@@ -1,0 +1,161 @@
+// Ablation: message-complexity-aware reducibility (Appendix B's closing
+// remark): "the 'classical' notion of model reducibility and equivalence
+// could be refined to take message complexity into account."
+//
+// <>LM and <>WLM are equivalent under classical (CHT) reducibility - the
+// Appendix B simulation proves one direction, the other is trivial - but
+// the REDUCTION ITSELF is expensive. This bench makes that concrete by
+// running the three <>WLM options over a stable network and accounting,
+// with the real wire codec, for (a) messages per stable round, (b) BYTES
+// per stable round, and (c) rounds to decision:
+//
+//   * Algorithm 2 (direct):        O(n) messages of O(1) size;
+//   * LM-3 over Algorithm 3:       O(n^2) RELAY messages each carrying up
+//                                  to n inner messages -> O(n^3) bytes per
+//                                  simulated round;
+//   * LM-3 run natively (needs the stronger <>LM network): O(n^2) small
+//                                  messages.
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "common/table.hpp"
+#include "consensus/factory.hpp"
+#include "giraf/engine.hpp"
+#include "models/schedule.hpp"
+#include "net/codec.hpp"
+#include "net/transport.hpp"
+#include "oracles/omega.hpp"
+
+using namespace timing;
+
+namespace {
+
+struct Cost {
+  Round decision_round = -1;
+  long long stable_msgs = 0;
+  long long stable_bytes = 0;
+};
+
+// Byte accounting needs message contents; we intercept by wrapping each
+// protocol and encoding what it sends.
+class ByteCounter final : public Protocol {
+ public:
+  ByteCounter(std::unique_ptr<Protocol> inner, long long* bytes,
+              long long* msgs)
+      : inner_(std::move(inner)), bytes_(bytes), msgs_(msgs) {}
+
+  SendSpec initialize(ProcessId hint) override {
+    return count(inner_->initialize(hint));
+  }
+  SendSpec compute(Round k, const RoundMsgs& received,
+                   ProcessId hint) override {
+    return count(inner_->compute(k, received, hint));
+  }
+  bool has_decided() const noexcept override { return inner_->has_decided(); }
+  Value decision() const noexcept override { return inner_->decision(); }
+
+ private:
+  SendSpec count(SendSpec spec) {
+    Bytes wire;
+    encode(Envelope{0, 0, spec.msg}, wire);
+    long long copies = 0;
+    for (ProcessId d : spec.dests) {
+      if (d != self_counted_) ++copies;
+    }
+    // Destination lists never include duplicates in our protocols; self
+    // is skipped by the engine.
+    *bytes_ = static_cast<long long>(wire.size()) * copies;
+    *msgs_ = copies;
+    return spec;
+  }
+
+  std::unique_ptr<Protocol> inner_;
+  long long* bytes_;
+  long long* msgs_;
+  ProcessId self_counted_ = kNoProcess;  // self never in dests for our protos
+};
+
+Cost run(AlgorithmKind kind, TimingModel network, int n) {
+  std::vector<long long> bytes(static_cast<std::size_t>(n), 0);
+  std::vector<long long> msgs(static_cast<std::size_t>(n), 0);
+  std::vector<std::unique_ptr<Protocol>> group;
+  for (ProcessId i = 0; i < n; ++i) {
+    group.push_back(std::make_unique<ByteCounter>(
+        make_protocol(kind, i, n, 100 + i), &bytes[static_cast<std::size_t>(i)],
+        &msgs[static_cast<std::size_t>(i)]));
+  }
+  auto oracle = std::make_shared<DesignatedOracle>(0);
+  RoundEngine engine(std::move(group), oracle);
+
+  ScheduleConfig sched;
+  sched.n = n;
+  sched.model = network;
+  sched.leader = 0;
+  sched.gsr = 1;  // stable from the start: measure the steady state
+  sched.seed = 77;
+  ScheduleSampler sampler(sched);
+
+  Cost cost;
+  LinkMatrix a(n);
+  std::vector<long long> round_msgs, round_bytes;
+  for (Round k = 1; k <= 200; ++k) {
+    sampler.sample_round(k, a);
+    engine.step(a);
+    long long m = 0, b = 0;
+    for (ProcessId i = 0; i < n; ++i) {
+      m += msgs[static_cast<std::size_t>(i)];
+      b += bytes[static_cast<std::size_t>(i)];
+    }
+    round_msgs.push_back(m);
+    round_bytes.push_back(b);
+    if (engine.all_alive_decided()) {
+      cost.decision_round = engine.global_decision_round();
+      break;
+    }
+  }
+  // Steady-state per-round cost: average the last two rounds, so the
+  // simulation's alternating relay/inner rounds are both represented
+  // (the relay rounds carry the O(n^3) payload).
+  const std::size_t have = round_msgs.size();
+  const std::size_t take = std::min<std::size_t>(2, have);
+  for (std::size_t i = have - take; i < have; ++i) {
+    cost.stable_msgs += round_msgs[i];
+    cost.stable_bytes += round_bytes[i];
+  }
+  cost.stable_msgs /= static_cast<long long>(take);
+  cost.stable_bytes /= static_cast<long long>(take);
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  for (int n : {8, 16, 32}) {
+    Table t({"protocol", "network", "decision round", "msgs/round",
+             "bytes/round"});
+    const Cost direct = run(AlgorithmKind::kWlm, TimingModel::kWlm, n);
+    const Cost simulated = run(AlgorithmKind::kLmOverWlm, TimingModel::kWlm, n);
+    const Cost native = run(AlgorithmKind::kLm3, TimingModel::kLm, n);
+    t.add_row({"Algorithm 2 (direct)", "<>WLM",
+               Table::integer(direct.decision_round),
+               Table::integer(direct.stable_msgs),
+               Table::integer(direct.stable_bytes)});
+    t.add_row({"LM-3 over Algorithm 3", "<>WLM",
+               Table::integer(simulated.decision_round),
+               Table::integer(simulated.stable_msgs),
+               Table::integer(simulated.stable_bytes)});
+    t.add_row({"LM-3 native", "<>LM (stronger!)",
+               Table::integer(native.decision_round),
+               Table::integer(native.stable_msgs),
+               Table::integer(native.stable_bytes)});
+    t.print(std::cout, "n = " + std::to_string(n));
+    std::cout << "\n";
+  }
+  std::cout
+      << "Classical reducibility calls <>LM and <>WLM equivalent; the wire\n"
+         "bill disagrees: the Appendix B reduction inflates both the round\n"
+         "count (x2+2) and the traffic (O(n^3) bytes/round), while the\n"
+         "paper's direct Algorithm 2 stays at O(n) small messages.\n";
+  return 0;
+}

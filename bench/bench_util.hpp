@@ -1,0 +1,55 @@
+// Shared helpers for the figure benches: canonical experiment
+// configurations (the paper's 33 runs x 300 rounds x 15 start points) and
+// the standard WAN timeout sweep used by Figures 1(d)-(h).
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "harness/experiments.hpp"
+
+namespace timing::bench {
+
+inline ExperimentConfig wan_config() {
+  ExperimentConfig cfg;
+  cfg.testbed = Testbed::kWan;
+  cfg.timeouts_ms = {140, 150, 160, 170, 180, 190, 200,
+                     210, 230, 260, 300, 350};
+  cfg.runs = 33;           // the paper's repetition count
+  cfg.rounds_per_run = 300;  // the paper's run length
+  cfg.start_points = 15;   // the paper's random starting points
+  cfg.seed = 42;
+  return cfg;
+}
+
+inline ExperimentConfig lan_config() {
+  ExperimentConfig cfg;
+  cfg.testbed = Testbed::kLan;
+  cfg.timeouts_ms = {0.1, 0.15, 0.2, 0.25, 0.35, 0.5, 0.7, 0.9, 1.2, 1.6};
+  cfg.runs = 25;
+  cfg.rounds_per_run = 300;
+  cfg.seed = 7;
+  return cfg;
+}
+
+/// True when the binary was invoked with --csv: tables are then emitted
+/// as machine-readable CSV instead of aligned text.
+inline bool csv_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) return true;
+  }
+  return false;
+}
+
+/// Print a table honouring the output mode.
+inline void emit(const Table& t, bool csv, const std::string& caption) {
+  if (csv) {
+    t.print_csv(std::cout, caption);
+  } else {
+    t.print(std::cout, caption);
+  }
+}
+
+}  // namespace timing::bench

@@ -1,0 +1,34 @@
+// Figure 1(f): WAN - the across-run VARIANCE of the P_M values behind
+// Figure 1(e).
+//
+// Reproduced claims (Section 5.3):
+//  * at short timeouts <>LM has high variance: in runs where the Poland
+//    site receives slowly, its row loses the majority and P_LM collapses
+//    (95% of rounds in some runs, ~15% in others at 160 ms);
+//  * <>AFM is consistently low at short timeouts (its cap is the
+//    chronically slow sender's column, present in every run), hence low
+//    variance; <>WLM is consistently high;
+//  * for long timeouts the leader/majority models' variance goes to ~0
+//    while ES remains (or grows) noisy.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+using namespace timing;
+
+int main(int argc, char** argv) {
+  const bool csv = timing::bench::csv_mode(argc, argv);
+  const auto rs = run_experiment(timing::bench::wan_config());
+  Table t({"timeout(ms)", "var P_ES", "var P_AFM", "var P_LM", "var P_WLM"});
+  for (const auto& r : rs) {
+    t.add_row({Table::num(r.timeout_ms, 0),
+               Table::num(r.models[model_index(TimingModel::kEs)].var_pm, 4),
+               Table::num(r.models[model_index(TimingModel::kAfm)].var_pm, 4),
+               Table::num(r.models[model_index(TimingModel::kLm)].var_pm, 4),
+               Table::num(r.models[model_index(TimingModel::kWlm)].var_pm, 4)});
+  }
+  timing::bench::emit(t, csv, std::string() +
+          "Figure 1(f): WAN, across-run variance of P_M per timeout");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Leader failover with the ONLINE Omega election (no designated oracle):
+// a sequence of consensus instances in which the elected leader crashes
+// midway. The election layer (punishment counters piggybacked on the
+// consensus messages) abandons the dead leader, converges on a live one,
+// and later instances keep deciding - the "stable leader election" story
+// the paper cites [1, 24] to justify its stable-leader analysis, here as
+// running code.
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "consensus/wlm.hpp"
+#include "giraf/engine.hpp"
+#include "models/schedule.hpp"
+#include "oracles/omega_election.hpp"
+
+using namespace timing;
+
+namespace {
+
+struct InstanceOutcome {
+  bool decided = false;
+  Value value = kNoValue;
+  Round rounds = 0;
+  ProcessId leader_at_end = kNoProcess;
+};
+
+InstanceOutcome run_instance(int n, int instance,
+                             const std::vector<Round>& crashes) {
+  std::vector<std::unique_ptr<Protocol>> group;
+  std::vector<OmegaElection*> stacks;
+  for (ProcessId i = 0; i < n; ++i) {
+    auto stack = std::make_unique<OmegaElection>(
+        i, n, std::make_unique<WlmConsensus>(i, n, 100 * (instance + 1) + i));
+    stacks.push_back(stack.get());
+    group.push_back(std::move(stack));
+  }
+  RoundEngine engine(std::move(group), /*oracle=*/nullptr);
+  for (ProcessId i = 0; i < n; ++i) {
+    if (crashes[static_cast<std::size_t>(i)] > 0) {
+      engine.crash_at(i, crashes[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  // Perfect links among the living: isolates the election dynamics.
+  ScheduleConfig sched;
+  sched.n = n;
+  sched.model = TimingModel::kEs;
+  sched.gsr = 1;
+  sched.seed = 99 + static_cast<std::uint64_t>(instance);
+  sched.crash_rounds = crashes;
+  ScheduleSampler sampler(sched);
+
+  InstanceOutcome out;
+  LinkMatrix a(n);
+  for (Round k = 1; k <= 120; ++k) {
+    sampler.sample_round(k, a);
+    engine.step(a);
+    if (engine.all_alive_decided()) {
+      out.rounds = k;
+      break;
+    }
+  }
+  out.decided = engine.all_alive_decided();
+  std::set<Value> vals;
+  for (ProcessId i = 0; i < n; ++i) {
+    if (engine.alive(i) && engine.process(i).has_decided()) {
+      vals.insert(engine.process(i).decision());
+    }
+  }
+  if (vals.size() == 1) out.value = *vals.begin();
+  for (ProcessId i = 0; i < n; ++i) {
+    if (engine.alive(i)) {
+      out.leader_at_end = stacks[static_cast<std::size_t>(i)]->trusted_leader();
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kN = 5;
+  std::vector<Round> crashes(kN, 0);
+
+  std::printf("online Omega election under %d replicas (no external "
+              "oracle)\n\n", kN);
+
+  // Instance 0: everyone healthy. The id tie-break elects p0.
+  auto o = run_instance(kN, 0, crashes);
+  std::printf("instance 0: decided=%s value=%lld in %d rounds, leader p%d\n",
+              o.decided ? "yes" : "NO", static_cast<long long>(o.value),
+              o.rounds, o.leader_at_end);
+
+  // Instance 1: p0 (the natural leader) dies at round 3, mid-protocol.
+  crashes[0] = 3;
+  o = run_instance(kN, 1, crashes);
+  std::printf("instance 1: p0 crashes at round 3 -> decided=%s value=%lld "
+              "in %d rounds, new leader p%d\n",
+              o.decided ? "yes" : "NO", static_cast<long long>(o.value),
+              o.rounds, o.leader_at_end);
+
+  // Instance 2: p0 AND p1 are gone from the start; p2 must take over.
+  crashes[0] = 1;
+  crashes[1] = 1;
+  o = run_instance(kN, 2, crashes);
+  std::printf("instance 2: p0,p1 never start -> decided=%s value=%lld in "
+              "%d rounds, leader p%d\n",
+              o.decided ? "yes" : "NO", static_cast<long long>(o.value),
+              o.rounds, o.leader_at_end);
+
+  std::printf("\nthe election layer keeps Algorithm 2 live across leader "
+              "crashes while never touching its safety.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: run one instance of the paper's <>WLM consensus
+// (Algorithm 2) among 8 simulated processes whose network stabilizes at
+// round GSR = 12, and watch it decide within 4 rounds of GSR (the
+// stable-leader bound of Theorem 10(b)) while sending only O(n) messages
+// per stable round.
+#include <iostream>
+#include <memory>
+
+#include "consensus/factory.hpp"
+#include "giraf/engine.hpp"
+#include "models/schedule.hpp"
+#include "oracles/omega.hpp"
+
+using namespace timing;
+
+int main() {
+  constexpr int kN = 8;
+  constexpr ProcessId kLeader = 2;
+  constexpr Round kGsr = 12;
+
+  // Every process proposes a different value; consensus must pick one.
+  std::vector<Value> proposals;
+  for (int i = 0; i < kN; ++i) proposals.push_back(100 + i);
+
+  // A stable leader known from the start (the common case the paper
+  // optimises for) and a network that conforms to <>WLM from round 12.
+  auto oracle = std::make_shared<DesignatedOracle>(kLeader);
+  RoundEngine engine(make_group(AlgorithmKind::kWlm, proposals), oracle);
+
+  ScheduleConfig sched;
+  sched.n = kN;
+  sched.model = TimingModel::kWlm;
+  sched.leader = kLeader;
+  sched.gsr = kGsr;
+  sched.pre_gsr_p = 0.25;  // chaotic network before stabilization
+  sched.seed = 2024;
+  ScheduleSampler sampler(sched);
+
+  const Round decided = engine.run(sampler, /*max_rounds=*/100);
+  if (decided < 0) {
+    std::cerr << "did not decide (unexpected)\n";
+    return 1;
+  }
+
+  std::cout << "GSR (network stabilization round): " << kGsr << "\n";
+  std::cout << "global decision round:             " << decided << " (bound: GSR+3 = "
+            << kGsr + 3 << ")\n";
+  for (ProcessId i = 0; i < kN; ++i) {
+    std::cout << "  p" << i << " proposed " << proposals[i] << ", decided "
+              << engine.process(i).decision() << " in round "
+              << engine.decision_round(i) << "\n";
+  }
+  std::cout << "messages in the last (stable) round: "
+            << engine.messages_last_round() << "  -- linear in n: 2(n-1) = "
+            << 2 * (kN - 1) << "\n";
+  std::cout << "total messages: " << engine.stats().messages_sent << "\n";
+  return 0;
+}

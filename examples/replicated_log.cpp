@@ -1,0 +1,75 @@
+// State-machine replication (the paper's motivating use case, [20]): a
+// replicated key-value store driven by the library's SMR layer - one
+// consensus instance (Algorithm 2) per log slot.
+//
+// Five replicas propose conflicting commands per slot; consensus orders
+// them. Each slot's network starts chaotic and stabilizes to <>WLM at a
+// random round - decisions only happen once stability arrives, but
+// safety never depends on it. At the end, all replicas hold identical
+// stores (checked by state fingerprints).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "models/schedule.hpp"
+#include "smr/smr.hpp"
+
+using namespace timing;
+
+int main() {
+  constexpr int kN = 5;
+  constexpr ProcessId kLeader = 0;
+  constexpr int kSlots = 8;
+
+  SmrGroupConfig cfg;
+  cfg.n = kN;
+  cfg.leader = kLeader;
+  std::vector<std::unique_ptr<StateMachine>> machines;
+  for (int i = 0; i < kN; ++i) {
+    machines.push_back(std::make_unique<KvStateMachine>());
+  }
+  SmrGroup group(cfg, std::move(machines));
+
+  Rng rng(2027);
+  std::printf("replicated log: %d replicas, %d slots, leader p%d\n\n", kN,
+              kSlots, kLeader);
+
+  for (int slot = 0; slot < kSlots; ++slot) {
+    std::vector<Command> proposals;
+    for (int i = 0; i < kN; ++i) {
+      proposals.push_back(make_kv_command(
+          static_cast<std::uint32_t>(rng.uniform_int(4)),
+          static_cast<std::uint32_t>(1000 * (slot + 1) + i)));
+    }
+
+    ScheduleConfig sched;
+    sched.n = kN;
+    sched.model = TimingModel::kWlm;
+    sched.leader = kLeader;
+    sched.gsr = 1 + static_cast<Round>(rng.uniform_int(10));
+    sched.pre_gsr_p = 0.3;
+    sched.seed = 0xbeef + static_cast<std::uint64_t>(slot);
+    ScheduleSampler network(sched);
+
+    const SmrInstanceResult r = group.run_instance(proposals, network);
+    if (!r.decided) {
+      std::fprintf(stderr, "slot %d failed to decide\n", slot);
+      return 1;
+    }
+    std::printf(
+        "slot %d: GSR=%2d, decided in round %2d (GSR+%d): set k%u := %u\n",
+        slot, sched.gsr, r.rounds, r.rounds - sched.gsr,
+        kv_command_key(r.command), kv_command_argument(r.command));
+  }
+
+  const auto& kv = static_cast<const KvStateMachine&>(group.machine(0));
+  std::printf("\nfinal store (replica 0): %s\n", kv.describe().c_str());
+  if (!group.consistent()) {
+    std::fprintf(stderr, "replicas diverged!\n");
+    return 1;
+  }
+  std::printf("all %d replicas hold identical stores (fingerprints match).\n",
+              kN);
+  return 0;
+}

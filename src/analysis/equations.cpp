@@ -1,0 +1,150 @@
+#include "analysis/equations.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/binomial.hpp"
+#include "common/check.hpp"
+
+namespace timing::analysis {
+
+namespace {
+bool valid_np(int n, double p) {
+  return n > 1 && p >= 0.0 && p <= 1.0;
+}
+}  // namespace
+
+double p_es(int n, double p) noexcept {
+  TM_CHECK(valid_np(n, p), "invalid (n, p)");
+  if (p == 0.0) return 0.0;
+  return std::exp(static_cast<double>(n) * n * std::log(p));
+}
+
+double pr_majority_given_leader(int n, double p) noexcept {
+  TM_CHECK(valid_np(n, p), "invalid (n, p)");
+  // Majority of ones in a row of n entries, given one entry (the
+  // leader's) is already 1: at least floor(n/2) of the remaining n-1.
+  return binomial_tail_ge(n - 1, n / 2, p);
+}
+
+double p_lm(int n, double p) noexcept {
+  const double per_row = p * pr_majority_given_leader(n, p);
+  if (per_row == 0.0) return 0.0;
+  return std::exp(n * std::log(per_row));
+}
+
+double p_wlm(int n, double p) noexcept {
+  if (p == 0.0) return 0.0;
+  return std::exp(n * std::log(p)) * pr_majority_given_leader(n, p);
+}
+
+double p_afm(int n, double p) noexcept {
+  TM_CHECK(valid_np(n, p), "invalid (n, p)");
+  // Pr(X > n/2) with X ~ Bin(n, p): at least floor(n/2)+1 successes.
+  const double row = binomial_tail_ge(n, n / 2 + 1, p);
+  if (row == 0.0) return 0.0;
+  return std::exp(2.0 * n * std::log(row));
+}
+
+double p_model(TimingModel m, int n, double p) noexcept {
+  switch (m) {
+    case TimingModel::kEs: return p_es(n, p);
+    case TimingModel::kLm: return p_lm(n, p);
+    case TimingModel::kWlm: return p_wlm(n, p);
+    case TimingModel::kAfm: return p_afm(n, p);
+  }
+  return 0.0;
+}
+
+double expected_rounds(double p_round, int rounds_needed) noexcept {
+  if (p_round <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::pow(p_round, -rounds_needed) + (rounds_needed - 1);
+}
+
+double exact_expected_rounds(double p_round, int rounds_needed) noexcept {
+  if (p_round <= 0.0) return std::numeric_limits<double>::infinity();
+  if (p_round >= 1.0) return rounds_needed;
+  const double pr = std::pow(p_round, rounds_needed);
+  return (1.0 - pr) / ((1.0 - p_round) * pr);
+}
+
+double e_rounds_exact(AnalyzedAlgorithm a, int n, double p) noexcept {
+  const double pm = p_model(model_of(a), n, p);
+  return exact_expected_rounds(pm, rounds_for_global_decision(a));
+}
+
+double e_rounds_es(int n, double p) noexcept {
+  return expected_rounds(p_es(n, p), 3);
+}
+double e_rounds_lm(int n, double p) noexcept {
+  return expected_rounds(p_lm(n, p), 3);
+}
+double e_rounds_wlm_direct(int n, double p) noexcept {
+  return expected_rounds(p_wlm(n, p), 4);
+}
+double e_rounds_wlm_simulated(int n, double p) noexcept {
+  return expected_rounds(p_wlm(n, p), 7);
+}
+double e_rounds_afm(int n, double p) noexcept {
+  return expected_rounds(p_afm(n, p), 5);
+}
+
+double e_rounds(AnalyzedAlgorithm a, int n, double p) noexcept {
+  switch (a) {
+    case AnalyzedAlgorithm::kEs3: return e_rounds_es(n, p);
+    case AnalyzedAlgorithm::kLm3: return e_rounds_lm(n, p);
+    case AnalyzedAlgorithm::kWlmDirect: return e_rounds_wlm_direct(n, p);
+    case AnalyzedAlgorithm::kWlmDirect5:
+      return expected_rounds(p_wlm(n, p), 5);
+    case AnalyzedAlgorithm::kWlmSimulated: return e_rounds_wlm_simulated(n, p);
+    case AnalyzedAlgorithm::kAfm5: return e_rounds_afm(n, p);
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double log10_e_rounds(AnalyzedAlgorithm a, int n, double p) noexcept {
+  // log10(P^-R + (R-1)) computed from log(P) to survive huge exponents.
+  const int r = rounds_for_global_decision(a);
+  double log_p;  // natural log of the per-round probability
+  switch (model_of(a)) {
+    case TimingModel::kEs:
+      log_p = p > 0 ? static_cast<double>(n) * n * std::log(p)
+                    : -std::numeric_limits<double>::infinity();
+      break;
+    case TimingModel::kLm: {
+      const double per_row = p * pr_majority_given_leader(n, p);
+      log_p = per_row > 0 ? n * std::log(per_row)
+                          : -std::numeric_limits<double>::infinity();
+      break;
+    }
+    case TimingModel::kWlm: {
+      const double mgl = pr_majority_given_leader(n, p);
+      log_p = (p > 0 && mgl > 0)
+                  ? n * std::log(p) + std::log(mgl)
+                  : -std::numeric_limits<double>::infinity();
+      break;
+    }
+    case TimingModel::kAfm: {
+      const double row = binomial_tail_ge(n, n / 2 + 1, p);
+      log_p = row > 0 ? 2.0 * n * std::log(row)
+                      : -std::numeric_limits<double>::infinity();
+      break;
+    }
+    default:
+      log_p = -std::numeric_limits<double>::infinity();
+  }
+  if (!std::isfinite(log_p)) return std::numeric_limits<double>::infinity();
+  const double log10_inv = -r * log_p / std::log(10.0);
+  // E(D) = 10^log10_inv + (r-1); the additive term only matters when the
+  // power term is small.
+  if (log10_inv > 15.0) return log10_inv;
+  return std::log10(std::pow(10.0, log10_inv) + (r - 1));
+}
+
+double afm_chernoff_upper_bound(int n, double p) noexcept {
+  const double row_lb = chernoff_majority_lower_bound(n, p);
+  if (row_lb <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::pow(row_lb, -10.0 * n) + 4.0;
+}
+
+}  // namespace timing::analysis

@@ -1,0 +1,63 @@
+#include "common/binomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace timing {
+
+double log_choose(int n, int k) noexcept {
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+namespace {
+
+double log_pmf(int n, int k, double p) noexcept {
+  if (p <= 0.0) return k == 0 ? 0.0 : -std::numeric_limits<double>::infinity();
+  if (p >= 1.0) return k == n ? 0.0 : -std::numeric_limits<double>::infinity();
+  return log_choose(n, k) + k * std::log(p) + (n - k) * std::log1p(-p);
+}
+
+}  // namespace
+
+double binomial_pmf(int n, int k, double p) noexcept {
+  if (k < 0 || k > n) return 0.0;
+  return std::exp(log_pmf(n, k, p));
+}
+
+double binomial_tail_ge(int n, int k, double p) noexcept {
+  if (k <= 0) return 1.0;
+  if (k > n) return 0.0;
+  // Sum descending pmf terms from the largest (near the mode) outward to
+  // limit cancellation; for the small n of this paper exact summation is
+  // plenty accurate.
+  double sum = 0.0;
+  std::vector<double> terms;
+  terms.reserve(static_cast<std::size_t>(n - k + 1));
+  for (int i = k; i <= n; ++i) terms.push_back(binomial_pmf(n, i, p));
+  std::sort(terms.begin(), terms.end());
+  for (double t : terms) sum += t;  // ascending: small terms are not lost
+  return std::min(1.0, sum);
+}
+
+double log_binomial_tail_ge(int n, int k, double p) noexcept {
+  if (k <= 0) return 0.0;
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  double max_log = -std::numeric_limits<double>::infinity();
+  for (int i = k; i <= n; ++i) max_log = std::max(max_log, log_pmf(n, i, p));
+  if (!std::isfinite(max_log)) return max_log;
+  double acc = 0.0;
+  for (int i = k; i <= n; ++i) acc += std::exp(log_pmf(n, i, p) - max_log);
+  return max_log + std::log(acc);
+}
+
+double chernoff_majority_lower_bound(int n, double p) noexcept {
+  if (p <= 0.5) return 0.0;
+  const double eps = 1.0 - 1.0 / (2.0 * p);
+  const double bound = std::exp(-eps * eps * n * p / 2.0);
+  return std::max(0.0, 1.0 - bound);
+}
+
+}  // namespace timing

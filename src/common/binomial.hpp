@@ -1,0 +1,29 @@
+// Exact binomial machinery for the closed-form analysis of Section 4.
+//
+// The analysis raises small probabilities to large powers (e.g. P_ES =
+// p^{n^2} cubed), so everything is computed in log space and only
+// exponentiated at the end.
+#pragma once
+
+#include <cstdint>
+
+namespace timing {
+
+/// ln C(n, k). Requires 0 <= k <= n.
+double log_choose(int n, int k) noexcept;
+
+/// Binomial pmf: P[Bin(n, p) = k].
+double binomial_pmf(int n, int k, double p) noexcept;
+
+/// Upper tail: P[Bin(n, p) >= k]. Exact summation in a numerically careful
+/// order (largest terms first).
+double binomial_tail_ge(int n, int k, double p) noexcept;
+
+/// ln of binomial_tail_ge (log-sum-exp), usable when the tail underflows.
+double log_binomial_tail_ge(int n, int k, double p) noexcept;
+
+/// Chernoff lower bound on P[Bin(n, p) > n/2] used in Appendix C
+/// (Lemma 13): 1 - exp(-(1 - 1/(2p))^2 * n * p / 2), valid for p > 1/2.
+double chernoff_majority_lower_bound(int n, double p) noexcept;
+
+}  // namespace timing

@@ -1,0 +1,16 @@
+// Lightweight invariant checking. TM_CHECK aborts with a message on
+// violation in all build types; protocol invariants are cheap relative to
+// simulation cost, so we keep them always on.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define TM_CHECK(cond, msg)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "TM_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, msg);                                       \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)

@@ -1,0 +1,65 @@
+// Deterministic, fast pseudo-random generation.
+//
+// All stochastic components (latency models, adversarial schedules,
+// Monte-Carlo validation) draw from this generator so that every
+// experiment is reproducible from a single 64-bit seed.
+#pragma once
+
+#include <cstdint>
+
+namespace timing {
+
+/// splitmix64 — used to expand a user seed into xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** by Blackman & Vigna. Satisfies UniformRandomBitGenerator,
+/// so it can also be plugged into <random> distributions when convenient.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t uniform_int(std::uint64_t bound) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (caches the spare deviate).
+  double normal() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept;
+
+  /// Lognormal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Exponential with given mean (mean = 1/lambda).
+  double exponential(double mean) noexcept;
+
+  /// Pareto with scale x_m and shape alpha (heavy tail for WAN spikes).
+  double pareto(double x_m, double alpha) noexcept;
+
+  /// Derive an independent stream (e.g. one per link or per run).
+  Rng split() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace timing

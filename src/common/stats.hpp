@@ -1,0 +1,54 @@
+// Statistics used by the measurement harness (Section 5 of the paper):
+// means, sample variance, 95% confidence intervals (Figure 1(e)) and the
+// variance series of Figure 1(f).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace timing {
+
+/// Welford online accumulator: numerically stable mean/variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean.
+  double stderr_mean() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+  /// Half-width of the two-sided 95% confidence interval for the mean,
+  /// using Student's t with n-1 degrees of freedom (as the paper does for
+  /// its 33-run averages). Returns 0 for n < 2.
+  double ci95_half_width() const noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided 97.5% quantile of Student's t distribution with df degrees of
+/// freedom (so +-t covers 95%). Exact table for small df, asymptotic
+/// expansion beyond.
+double student_t_975(std::size_t df) noexcept;
+
+/// Arithmetic mean of a vector (0 for empty).
+double mean_of(const std::vector<double>& xs) noexcept;
+
+/// Unbiased sample variance of a vector (0 for size < 2).
+double variance_of(const std::vector<double>& xs) noexcept;
+
+/// p-quantile (0 <= p <= 1) with linear interpolation; input copied and
+/// sorted internally.
+double quantile_of(std::vector<double> xs, double p) noexcept;
+
+}  // namespace timing

@@ -1,0 +1,83 @@
+#include "common/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace timing {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size()) {
+    throw std::invalid_argument("Table row arity mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  if (std::isnan(v)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::integer(double v) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  if (std::isnan(v)) return "nan";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(std::llround(v)));
+  return buf;
+}
+
+void Table::print_csv(std::ostream& os, const std::string& caption) const {
+  if (!caption.empty()) os << "# " << caption << "\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      const std::string& cell = row[c];
+      if (cell.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char ch : cell) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << cell;
+      }
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print(std::ostream& os, const std::string& caption) const {
+  if (!caption.empty()) os << caption << "\n";
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "");
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < width[c]; ++pad) os << ' ';
+    }
+    os << "\n";
+  };
+  emit(header_);
+  std::size_t total = header_.size() ? (header_.size() - 1) * 2 : 0;
+  for (auto w : width) total += w;
+  for (std::size_t i = 0; i < total; ++i) os << '-';
+  os << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace timing

@@ -1,0 +1,46 @@
+// Core identifier and value types shared by every module.
+//
+// The paper's system model (Section 2): a set Pi of n > 1 processes
+// p_1..p_n, fully connected, less than n/2 of which may crash. Consensus is
+// defined over a totally ordered value domain (Algorithm 2 relies on the
+// order via maxEST). We use a 64-bit integer domain, which is totally
+// ordered and large enough to encode application commands (see
+// examples/replicated_log.cpp).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace timing {
+
+/// Index of a process in Pi. Processes are numbered 0..n-1 internally
+/// (the paper numbers them 1..n; the shift is cosmetic).
+using ProcessId = int;
+
+/// Round number. Rounds start at 1 (round 0 is "before initialize()").
+using Round = int;
+
+/// Timestamp ("ballot" in Paxos terminology). Algorithm 2 uses round
+/// numbers as timestamps, so Timestamp and Round share representation.
+using Timestamp = int;
+
+/// Consensus value domain. Totally ordered, as the paper requires.
+using Value = std::int64_t;
+
+/// Sentinel for "no value" (the paper's bottom). Decisions are always
+/// proposals, and proposals are required to be != kNoValue.
+inline constexpr Value kNoValue = std::numeric_limits<Value>::min();
+
+/// Sentinel for "no process".
+inline constexpr ProcessId kNoProcess = -1;
+
+/// Majority threshold: a set is a majority iff its size > n/2, i.e.
+/// size >= majority_size(n) = floor(n/2) + 1.
+constexpr int majority_size(int n) noexcept { return n / 2 + 1; }
+
+/// True iff `count` processes out of `n` form a strict majority.
+constexpr bool is_majority(int count, int n) noexcept {
+  return count >= majority_size(n);
+}
+
+}  // namespace timing

@@ -1,0 +1,55 @@
+#include "consensus/factory.hpp"
+
+#include "common/check.hpp"
+#include "consensus/lm3.hpp"
+#include "consensus/lm_over_wlm.hpp"
+#include "consensus/paxos.hpp"
+#include "consensus/unanimity.hpp"
+#include "consensus/wlm.hpp"
+
+namespace timing {
+
+std::string to_string(AlgorithmKind k) {
+  switch (k) {
+    case AlgorithmKind::kWlm: return "Algorithm2(<>WLM)";
+    case AlgorithmKind::kEs3: return "ES-3";
+    case AlgorithmKind::kLm3: return "LM-3";
+    case AlgorithmKind::kAfm5: return "AFM-5";
+    case AlgorithmKind::kLmOverWlm: return "LM-over-WLM(Alg3)";
+    case AlgorithmKind::kPaxos: return "Paxos";
+  }
+  return "?";
+}
+
+std::unique_ptr<Protocol> make_protocol(AlgorithmKind kind, ProcessId self,
+                                        int n, Value proposal) {
+  switch (kind) {
+    case AlgorithmKind::kWlm:
+      return std::make_unique<WlmConsensus>(self, n, proposal);
+    case AlgorithmKind::kEs3:
+    case AlgorithmKind::kAfm5:
+      return std::make_unique<UnanimityConsensus>(self, n, proposal);
+    case AlgorithmKind::kLm3:
+      return std::make_unique<Lm3Consensus>(self, n, proposal);
+    case AlgorithmKind::kLmOverWlm:
+      return std::make_unique<LmOverWlmSimulation>(
+          self, n, std::make_unique<Lm3Consensus>(self, n, proposal));
+    case AlgorithmKind::kPaxos:
+      return std::make_unique<PaxosConsensus>(self, n, proposal);
+  }
+  TM_CHECK(false, "unknown algorithm kind");
+  return nullptr;
+}
+
+std::vector<std::unique_ptr<Protocol>> make_group(
+    AlgorithmKind kind, const std::vector<Value>& proposals) {
+  const int n = static_cast<int>(proposals.size());
+  std::vector<std::unique_ptr<Protocol>> out;
+  out.reserve(proposals.size());
+  for (ProcessId i = 0; i < n; ++i) {
+    out.push_back(make_protocol(kind, i, n, proposals[i]));
+  }
+  return out;
+}
+
+}  // namespace timing

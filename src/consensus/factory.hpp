@@ -1,0 +1,32 @@
+// Convenience construction of the library's protocols.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "giraf/protocol.hpp"
+
+namespace timing {
+
+enum class AlgorithmKind {
+  kWlm,        ///< Algorithm 2 (this paper)
+  kEs3,        ///< ES stand-in, 3 rounds
+  kLm3,        ///< <>LM stand-in, 3 rounds
+  kAfm5,       ///< <>AFM stand-in, 5 rounds
+  kLmOverWlm,  ///< Algorithm 3 simulation running the <>LM algorithm
+  kPaxos,      ///< baseline
+};
+
+std::string to_string(AlgorithmKind k);
+
+/// Build one protocol instance.
+std::unique_ptr<Protocol> make_protocol(AlgorithmKind kind, ProcessId self,
+                                        int n, Value proposal);
+
+/// Build a full group of n instances with the given proposals
+/// (proposals.size() == n).
+std::vector<std::unique_ptr<Protocol>> make_group(
+    AlgorithmKind kind, const std::vector<Value>& proposals);
+
+}  // namespace timing

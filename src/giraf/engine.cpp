@@ -1,0 +1,122 @@
+#include "giraf/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace timing {
+
+namespace {
+constexpr Round kNever = std::numeric_limits<Round>::max();
+}
+
+RoundEngine::RoundEngine(std::vector<std::unique_ptr<Protocol>> processes,
+                         std::shared_ptr<Oracle> oracle)
+    : procs_(std::move(processes)), oracle_(std::move(oracle)) {
+  TM_CHECK(procs_.size() > 1, "engine needs n > 1 processes");
+  const auto n = procs_.size();
+  outbox_.resize(n);
+  rows_.resize(n);
+  for (auto& row : rows_) row.assign(n, std::nullopt);
+  crash_round_.assign(n, kNever);
+  decision_round_.assign(n, -1);
+}
+
+void RoundEngine::crash_at(ProcessId i, Round at_round) {
+  TM_CHECK(i >= 0 && i < n(), "crash target out of range");
+  TM_CHECK(at_round > k_, "cannot crash in the past");
+  crash_round_[i] = at_round;
+}
+
+bool RoundEngine::alive(ProcessId i) const noexcept {
+  return k_ < crash_round_[i];
+}
+
+ProcessId RoundEngine::hint(ProcessId i, Round k) {
+  return oracle_ ? oracle_->query(i, k) : kNoProcess;
+}
+
+void RoundEngine::lazy_initialize() {
+  if (initialized_) return;
+  initialized_ = true;
+  for (ProcessId i = 0; i < n(); ++i) {
+    outbox_[i] = procs_[i]->initialize(hint(i, 0));
+  }
+}
+
+Round RoundEngine::step(const LinkMatrix& fates) {
+  TM_CHECK(fates.n() == n(), "matrix size mismatch");
+  lazy_initialize();
+  ++k_;
+
+  // Start of round k_: clear rows, place own messages, dispatch sends.
+  for (ProcessId i = 0; i < n(); ++i) {
+    std::fill(rows_[i].begin(), rows_[i].end(), std::nullopt);
+  }
+  msgs_last_round_ = 0;
+  for (ProcessId i = 0; i < n(); ++i) {
+    if (!alive(i)) continue;
+    rows_[i][i] = outbox_[i].msg;  // own message always received
+    for (ProcessId d : outbox_[i].dests) {
+      if (d == i) continue;
+      TM_CHECK(d >= 0 && d < n(), "destination out of range");
+      ++stats_.messages_sent;
+      ++msgs_last_round_;
+      const Delay fate = fates.at(d, i);
+      if (fate == kLost) {
+        ++stats_.lost_messages;
+      } else if (fate == 0) {
+        ++stats_.timely_deliveries;
+        if (k_ < crash_round_[d]) rows_[d][i] = outbox_[i].msg;
+      } else {
+        in_flight_.push_back(InFlight{k_ + fate, d, i});
+      }
+    }
+  }
+
+  // Late messages due this round: they belong to an earlier round whose
+  // computation already happened, so they only count as late arrivals.
+  std::erase_if(in_flight_, [&](const InFlight& f) {
+    if (f.due > k_) return false;
+    ++stats_.late_arrivals;
+    return true;
+  });
+
+  // End of round k_: oracle query + compute.
+  for (ProcessId i = 0; i < n(); ++i) {
+    if (!alive(i)) continue;
+    const bool was_decided = procs_[i]->has_decided();
+    outbox_[i] = procs_[i]->compute(k_, rows_[i], hint(i, k_));
+    if (!was_decided && procs_[i]->has_decided()) {
+      decision_round_[i] = k_;
+    }
+  }
+  return k_;
+}
+
+Round RoundEngine::run(TimelinessSampler& sampler, int max_rounds) {
+  TM_CHECK(sampler.n() == n(), "sampler size mismatch");
+  LinkMatrix fates(n());
+  for (int r = 0; r < max_rounds; ++r) {
+    sampler.sample_round(k_ + 1, fates);
+    step(fates);
+    if (all_alive_decided()) return global_decision_round();
+  }
+  return all_alive_decided() ? global_decision_round() : -1;
+}
+
+bool RoundEngine::all_alive_decided() const noexcept {
+  for (ProcessId i = 0; i < n(); ++i) {
+    if (alive(i) && !procs_[i]->has_decided()) return false;
+  }
+  return true;
+}
+
+Round RoundEngine::global_decision_round() const noexcept {
+  Round g = -1;
+  for (ProcessId i = 0; i < n(); ++i) g = std::max(g, decision_round_[i]);
+  return g;
+}
+
+}  // namespace timing

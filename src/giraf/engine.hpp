@@ -1,0 +1,105 @@
+// The GIRAF round engine: an implementation of Algorithm 1's environment
+// for lock-step (synchronized) rounds, which is the setting of the
+// paper's analysis (Section 4: "we assume that processes proceed in
+// synchronized rounds, although this is not required for correctness").
+//
+// Each round k:
+//   1. every alive process's pending round-k message is dispatched to its
+//      destination set D_i \ {i}; the link matrix decides each copy's fate
+//      (timely / late by d rounds / lost);
+//   2. timely copies land in the recipients' round-k row; a process's own
+//      message always appears in its own row (slot i);
+//   3. at end-of-round, each alive process queries the oracle and runs
+//      compute(k, row, oracle output), yielding its round-(k+1) message.
+//
+// Late messages belong to the round stamped on them; by the time they
+// arrive that round's computation is over, so they can no longer influence
+// the protocol (exactly as in the paper's PlanetLab implementation, where
+// a buffered past-round message is never revisited). The engine counts
+// them for diagnostics.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "giraf/oracle.hpp"
+#include "giraf/protocol.hpp"
+#include "sim/link_matrix.hpp"
+#include "sim/sampler.hpp"
+
+namespace timing {
+
+struct EngineStats {
+  long long messages_sent = 0;     ///< total point-to-point sends
+  long long timely_deliveries = 0;
+  long long late_arrivals = 0;     ///< arrived after their round ended
+  long long lost_messages = 0;
+};
+
+class RoundEngine {
+ public:
+  /// `oracle` may be null for protocols that ignore the leader hint (the
+  /// hint is then kNoProcess).
+  RoundEngine(std::vector<std::unique_ptr<Protocol>> processes,
+              std::shared_ptr<Oracle> oracle);
+
+  int n() const noexcept { return static_cast<int>(procs_.size()); }
+
+  /// Schedule a crash: the process executes rounds < at_round only.
+  /// Must be called before the process reaches that round.
+  void crash_at(ProcessId i, Round at_round);
+
+  /// Execute one round with the given link fates. Returns the round number
+  /// just executed (rounds are 1-based).
+  Round step(const LinkMatrix& fates);
+
+  /// Drive rounds from the sampler until every alive process has decided
+  /// or `max_rounds` have run. Returns the global decision round (the
+  /// largest decision round among deciders, per the paper's definition)
+  /// or -1 when some alive process never decided.
+  Round run(TimelinessSampler& sampler, int max_rounds);
+
+  Round current_round() const noexcept { return k_; }
+  bool alive(ProcessId i) const noexcept;
+  bool all_alive_decided() const noexcept;
+
+  const Protocol& process(ProcessId i) const { return *procs_[i]; }
+  Protocol& process(ProcessId i) { return *procs_[i]; }
+
+  /// Round in which process i decided; -1 if it has not.
+  Round decision_round(ProcessId i) const noexcept { return decision_round_[i]; }
+  /// max over deciders, -1 if nobody decided.
+  Round global_decision_round() const noexcept;
+
+  const EngineStats& stats() const noexcept { return stats_; }
+  /// Messages sent in the most recent round (stable-state message
+  /// complexity measurements).
+  long long messages_last_round() const noexcept { return msgs_last_round_; }
+
+  /// The row each process saw last round (test introspection).
+  const RoundMsgs& last_row(ProcessId i) const { return rows_[i]; }
+
+ private:
+  struct InFlight {
+    Round due;           ///< round during which it arrives
+    ProcessId dst;
+    ProcessId src;
+  };
+
+  std::vector<std::unique_ptr<Protocol>> procs_;
+  std::shared_ptr<Oracle> oracle_;
+  std::vector<SendSpec> outbox_;       ///< round-(k_+1) messages
+  std::vector<RoundMsgs> rows_;        ///< rows of the round in progress
+  std::vector<Round> crash_round_;
+  std::vector<Round> decision_round_;
+  std::vector<InFlight> in_flight_;
+  EngineStats stats_;
+  long long msgs_last_round_ = 0;
+  Round k_ = 0;
+  bool initialized_ = false;
+
+  void lazy_initialize();
+  ProcessId hint(ProcessId i, Round k);
+};
+
+}  // namespace timing

@@ -1,0 +1,21 @@
+#include "giraf/message.hpp"
+
+namespace timing {
+
+const char* to_string(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kPrepare: return "PREPARE";
+    case MsgType::kCommit: return "COMMIT";
+    case MsgType::kDecide: return "DECIDE";
+    case MsgType::kPaxosPrepare: return "PAXOS_PREPARE";
+    case MsgType::kPaxosPromise: return "PAXOS_PROMISE";
+    case MsgType::kPaxosNack: return "PAXOS_NACK";
+    case MsgType::kPaxosAccept: return "PAXOS_ACCEPT";
+    case MsgType::kPaxosAccepted: return "PAXOS_ACCEPTED";
+    case MsgType::kPaxosIdle: return "PAXOS_IDLE";
+    case MsgType::kRelay: return "RELAY";
+  }
+  return "?";
+}
+
+}  // namespace timing

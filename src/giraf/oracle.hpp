@@ -1,0 +1,19 @@
+// Failure-detector oracles. In GIRAF the oracle is queried by the
+// environment at every end-of-round event; the Omega oracles used by the
+// paper output a trusted leader.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace timing {
+
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  /// Output of oracle_self(k): queried at the end of round k (k = 0 for
+  /// the query preceding initialize()).
+  virtual ProcessId query(ProcessId self, Round k) = 0;
+};
+
+}  // namespace timing

@@ -1,0 +1,64 @@
+#include "harness/algorithm_runs.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/check.hpp"
+#include "giraf/engine.hpp"
+#include "oracles/omega.hpp"
+
+namespace timing {
+
+AlgorithmRunResult run_algorithm(const AlgorithmRunConfig& cfg) {
+  const int n = cfg.schedule.n;
+  TM_CHECK(static_cast<int>(cfg.proposals.size()) == n,
+           "need one proposal per process");
+
+  auto protocols = make_group(cfg.kind, cfg.proposals);
+  const Round stable_from =
+      cfg.oracle_stable_from >= 0 ? cfg.oracle_stable_from : cfg.schedule.gsr;
+  auto oracle = std::make_shared<UnstableOracle>(
+      n, cfg.schedule.leader, stable_from, cfg.schedule.seed ^ 0x9e37);
+
+  RoundEngine engine(std::move(protocols), oracle);
+  ScheduleConfig sched = cfg.schedule;
+  if (!cfg.crashes.empty()) {
+    TM_CHECK(static_cast<int>(cfg.crashes.size()) == n,
+             "crashes must have n entries");
+    for (ProcessId i = 0; i < n; ++i) {
+      if (cfg.crashes[static_cast<std::size_t>(i)] > 0) {
+        engine.crash_at(i, cfg.crashes[static_cast<std::size_t>(i)]);
+      }
+    }
+    // The model guarantees timely links from CORRECT processes; the
+    // schedule must know who is alive to honour that.
+    sched.crash_rounds = cfg.crashes;
+  }
+
+  ScheduleSampler sampler(sched);
+  const Round decided_at = engine.run(sampler, cfg.max_rounds);
+
+  AlgorithmRunResult out;
+  out.all_decided = decided_at >= 0;
+  out.global_decision_round = decided_at;
+  out.stable_round_messages = engine.messages_last_round();
+  out.total_messages = engine.stats().messages_sent;
+
+  for (ProcessId i = 0; i < n; ++i) {
+    const Protocol& p = engine.process(i);
+    if (!p.has_decided()) continue;
+    const Value d = p.decision();
+    if (out.decided_value == kNoValue) {
+      out.decided_value = d;
+    } else if (out.decided_value != d) {
+      out.agreement = false;
+    }
+    if (std::find(cfg.proposals.begin(), cfg.proposals.end(), d) ==
+        cfg.proposals.end()) {
+      out.validity = false;
+    }
+  }
+  return out;
+}
+
+}  // namespace timing

@@ -1,0 +1,42 @@
+// Running the *actual* consensus protocols over GSR schedules - the
+// validation side of the study: the figures use model predicates and the
+// known round bounds; these runs confirm the implementations meet those
+// bounds (e.g. Algorithm 2 deciding by GSR+4, or GSR+3 with a stable
+// leader) and preserve agreement/validity under chaos.
+#pragma once
+
+#include <vector>
+
+#include "consensus/factory.hpp"
+#include "models/schedule.hpp"
+
+namespace timing {
+
+struct AlgorithmRunConfig {
+  AlgorithmKind kind = AlgorithmKind::kWlm;
+  ScheduleConfig schedule;
+  /// Round from which the Omega oracle is stable; -1 means schedule.gsr
+  /// (the model's minimum). Use schedule.gsr - 1 for the paper's
+  /// stable-leader case (Theorem 10(b)).
+  Round oracle_stable_from = -1;
+  std::vector<Value> proposals;
+  int max_rounds = 2000;
+  /// Crash process i at round crashes[i] (0/negative = never). Must keep
+  /// a correct majority and a correct leader.
+  std::vector<Round> crashes;
+};
+
+struct AlgorithmRunResult {
+  bool all_decided = false;
+  Round global_decision_round = -1;
+  bool agreement = true;
+  bool validity = true;
+  Value decided_value = kNoValue;
+  /// Messages sent in the final round (stable-state message complexity).
+  long long stable_round_messages = 0;
+  long long total_messages = 0;
+};
+
+AlgorithmRunResult run_algorithm(const AlgorithmRunConfig& cfg);
+
+}  // namespace timing

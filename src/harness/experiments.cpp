@@ -1,0 +1,116 @@
+#include "harness/experiments.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "oracles/omega.hpp"
+
+namespace timing {
+
+namespace {
+
+std::unique_ptr<LatencyModel> make_model(const ExperimentConfig& cfg,
+                                         std::uint64_t seed) {
+  if (cfg.testbed == Testbed::kLan) {
+    return std::make_unique<LanLatencyModel>(cfg.lan, seed);
+  }
+  return std::make_unique<WanLatencyModel>(cfg.wan, seed);
+}
+
+std::uint64_t run_seed(std::uint64_t base, int run) {
+  std::uint64_t s = base ^ (0x51ed2701a2b9d4e3ULL * (run + 1));
+  return splitmix64(s);
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> expected_rtt_matrix(
+    const ExperimentConfig& cfg) {
+  const int n = cfg.testbed == Testbed::kLan ? cfg.lan.n : cfg.wan.n;
+  std::vector<std::vector<double>> rtt(
+      static_cast<std::size_t>(n),
+      std::vector<double>(static_cast<std::size_t>(n), 0.0));
+  if (cfg.testbed == Testbed::kLan) {
+    // Median one-way ~ base + exp(mu) scaled by the node factors.
+    const double med = cfg.lan.base_ms + std::exp(cfg.lan.lognormal_mu);
+    for (ProcessId i = 0; i < n; ++i) {
+      for (ProcessId j = 0; j < n; ++j) {
+        if (i == j) continue;
+        rtt[i][j] =
+            2.0 * med * cfg.lan.node_factor[i % 8] * cfg.lan.node_factor[j % 8];
+      }
+    }
+  } else {
+    WanLatencyModel probe(cfg.wan, /*seed=*/1);
+    for (ProcessId i = 0; i < n; ++i) {
+      for (ProcessId j = 0; j < n; ++j) {
+        if (i == j) continue;
+        rtt[i][j] = probe.base_ms(i, j) + probe.base_ms(j, i);
+      }
+    }
+  }
+  return rtt;
+}
+
+ProcessId resolve_leader(const ExperimentConfig& cfg) {
+  if (cfg.leader != kNoProcess) return cfg.leader;
+  if (cfg.testbed == Testbed::kWan) return WanLatencyModel::kUk;
+  return elect_well_connected(expected_rtt_matrix(cfg));
+}
+
+std::vector<TimeoutResult> run_experiment(const ExperimentConfig& cfg) {
+  TM_CHECK(!cfg.timeouts_ms.empty(), "no timeouts configured");
+  TM_CHECK(cfg.runs > 0 && cfg.rounds_per_run > 1, "bad run shape");
+  const ProcessId leader = resolve_leader(cfg);
+
+  std::vector<TimeoutResult> results;
+  results.reserve(cfg.timeouts_ms.size());
+
+  for (double timeout : cfg.timeouts_ms) {
+    TimeoutResult tr;
+    tr.timeout_ms = timeout;
+
+    RunningStats p_stats;
+    std::array<RunningStats, kNumModels> pm_stats;
+    std::array<RunningStats, kNumModels> rounds_stats;
+    std::array<RunningStats, kNumModels> censored_stats;
+
+    for (int run = 0; run < cfg.runs; ++run) {
+      // Paired seeds: the same latency stream for every timeout.
+      const std::uint64_t seed = run_seed(cfg.seed, run);
+      auto model = make_model(cfg, seed);
+      LatencyTimelinessSampler sampler(*model, timeout);
+      RunMeasurement m = measure_run(sampler, cfg.rounds_per_run, leader);
+      p_stats.add(m.timely_fraction());
+
+      Rng start_rng(run_seed(cfg.seed ^ 0xabcdef, run));
+      for (TimingModel tm : kAllModels) {
+        const int idx = model_index(tm);
+        pm_stats[idx].add(m.incidence(tm));
+        const DecisionStats ds =
+            decision_stats(m.sat[static_cast<std::size_t>(idx)],
+                           cfg.decision_rounds[static_cast<std::size_t>(idx)],
+                           cfg.start_points, start_rng);
+        rounds_stats[idx].add(ds.mean_rounds);
+        censored_stats[idx].add(ds.censored_fraction);
+      }
+    }
+
+    tr.mean_p = p_stats.mean();
+    for (int idx = 0; idx < kNumModels; ++idx) {
+      auto& ms = tr.models[static_cast<std::size_t>(idx)];
+      ms.mean_pm = pm_stats[idx].mean();
+      ms.ci95_pm = pm_stats[idx].ci95_half_width();
+      ms.var_pm = pm_stats[idx].variance();
+      ms.mean_rounds = rounds_stats[idx].mean();
+      ms.mean_time_ms = ms.mean_rounds * timeout;
+      ms.censored_fraction = censored_stats[idx].mean();
+    }
+    results.push_back(tr);
+  }
+  return results;
+}
+
+}  // namespace timing

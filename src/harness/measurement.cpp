@@ -1,0 +1,76 @@
+#include "harness/measurement.hpp"
+
+#include "common/check.hpp"
+
+namespace timing {
+
+double RunMeasurement::incidence(TimingModel m) const noexcept {
+  const auto& s = sat[static_cast<std::size_t>(model_index(m))];
+  if (s.empty()) return 0.0;
+  long long c = 0;
+  for (auto b : s) c += b ? 1 : 0;
+  return static_cast<double>(c) / static_cast<double>(s.size());
+}
+
+RunMeasurement measure_run(TimelinessSampler& sampler, int rounds,
+                           ProcessId leader) {
+  TM_CHECK(rounds > 0, "need at least one round");
+  RunMeasurement out;
+  out.rounds = rounds;
+  for (auto& s : out.sat) s.reserve(static_cast<std::size_t>(rounds));
+  const int n = sampler.n();
+  LinkMatrix a(n);
+  for (int r = 1; r <= rounds; ++r) {
+    sampler.sample_round(r, a);
+    for (TimingModel m : kAllModels) {
+      out.sat[static_cast<std::size_t>(model_index(m))].push_back(
+          satisfies(m, a, leader) ? 1 : 0);
+    }
+    for (ProcessId d = 0; d < n; ++d) {
+      for (ProcessId s = 0; s < n; ++s) {
+        if (s == d) continue;
+        ++out.messages_total;
+        if (a.timely(d, s)) ++out.messages_timely;
+      }
+    }
+  }
+  return out;
+}
+
+DecisionWindow rounds_until_conditions(const std::vector<std::uint8_t>& sat,
+                                       int start, int needed) {
+  TM_CHECK(needed >= 1, "window length must be positive");
+  TM_CHECK(start >= 0, "start must be non-negative");
+  const int len = static_cast<int>(sat.size());
+  int streak = 0;
+  for (int i = start; i < len; ++i) {
+    streak = sat[static_cast<std::size_t>(i)] ? streak + 1 : 0;
+    if (streak >= needed) {
+      return DecisionWindow{static_cast<double>(i - start + 1), false};
+    }
+  }
+  return DecisionWindow{static_cast<double>(len - start), true};
+}
+
+DecisionStats decision_stats(const std::vector<std::uint8_t>& sat, int needed,
+                             int start_points, Rng& rng) {
+  TM_CHECK(start_points > 0, "need at least one start point");
+  const int len = static_cast<int>(sat.size());
+  TM_CHECK(len > needed, "run shorter than the decision window");
+  DecisionStats out;
+  int censored = 0;
+  double sum = 0.0;
+  for (int s = 0; s < start_points; ++s) {
+    // Start anywhere in the first half so a typical window can complete.
+    const int start = static_cast<int>(rng.uniform_int(
+        static_cast<std::uint64_t>(std::max(1, len / 2))));
+    const DecisionWindow w = rounds_until_conditions(sat, start, needed);
+    sum += w.rounds;
+    if (w.censored) ++censored;
+  }
+  out.mean_rounds = sum / start_points;
+  out.censored_fraction = static_cast<double>(censored) / start_points;
+  return out;
+}
+
+}  // namespace timing

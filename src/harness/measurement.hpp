@@ -1,0 +1,69 @@
+// Per-run measurement machinery mirroring Section 5's methodology:
+//  * sample a run of R rounds from a timeliness source;
+//  * record, per round, which models' requirements hold (P_M incidence)
+//    and the fraction of timely messages (p);
+//  * from random starting points, find how many rounds pass until the
+//    conditions for global decision hold (R_M consecutive conforming
+//    rounds) - the quantity behind Figures 1(g)-(i).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "models/predicates.hpp"
+#include "models/timing_model.hpp"
+#include "sim/sampler.hpp"
+
+namespace timing {
+
+inline constexpr int kNumModels = 4;
+
+constexpr int model_index(TimingModel m) noexcept {
+  return static_cast<int>(m);
+}
+
+struct RunMeasurement {
+  int rounds = 0;
+  /// sat[model][round]: did round (0-based) satisfy the model?
+  std::array<std::vector<std::uint8_t>, kNumModels> sat;
+  long long messages_total = 0;
+  long long messages_timely = 0;
+
+  /// p for the run: fraction of messages delivered within the timeout.
+  double timely_fraction() const noexcept {
+    return messages_total
+               ? static_cast<double>(messages_timely) / messages_total
+               : 0.0;
+  }
+  /// P_M for the run.
+  double incidence(TimingModel m) const noexcept;
+};
+
+/// Runs `rounds` rounds of the sampler, evaluating all four predicates
+/// with the given (designated) leader. All-to-all traffic is assumed, as
+/// in the paper's measurement runs.
+RunMeasurement measure_run(TimelinessSampler& sampler, int rounds,
+                           ProcessId leader);
+
+struct DecisionWindow {
+  double rounds = 0.0;   ///< rounds from the start point until conditions held
+  bool censored = false; ///< the run ended before conditions held
+};
+
+/// First window of `needed` consecutive satisfying rounds at or after
+/// `start` (0-based): returns (end_of_window - start + 1). Censored
+/// results report the remaining run length (a lower bound).
+DecisionWindow rounds_until_conditions(const std::vector<std::uint8_t>& sat,
+                                       int start, int needed);
+
+struct DecisionStats {
+  double mean_rounds = 0.0;      ///< mean over start points (censored at cap)
+  double censored_fraction = 0.0;
+};
+
+/// The paper's "15 random points of each run" average.
+DecisionStats decision_stats(const std::vector<std::uint8_t>& sat, int needed,
+                             int start_points, Rng& rng);
+
+}  // namespace timing

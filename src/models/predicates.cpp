@@ -1,0 +1,108 @@
+#include "models/predicates.hpp"
+
+#include "common/check.hpp"
+
+namespace timing {
+
+namespace {
+
+bool alive(const CorrectMask* correct, ProcessId i) {
+  return correct == nullptr || (*correct)[static_cast<std::size_t>(i)];
+}
+
+/// Timely links into `dst` from correct sources (self included).
+int timely_in_from_correct(const LinkMatrix& a, ProcessId dst,
+                           const CorrectMask* correct) {
+  int c = 0;
+  for (ProcessId s = 0; s < a.n(); ++s) {
+    if (alive(correct, s) && a.timely(dst, s)) ++c;
+  }
+  return c;
+}
+
+/// Timely links out of `src`; recipients need not be correct (the paper's
+/// <>j-source definition does not require correctness of recipients), but
+/// delivery to a crashed process is vacuous, so we count all rows.
+int timely_out(const LinkMatrix& a, ProcessId src) {
+  int c = 0;
+  for (ProcessId d = 0; d < a.n(); ++d) {
+    if (a.timely(d, src)) ++c;
+  }
+  return c;
+}
+
+}  // namespace
+
+bool satisfies_es(const LinkMatrix& a, const CorrectMask* correct) {
+  for (ProcessId d = 0; d < a.n(); ++d) {
+    if (!alive(correct, d)) continue;
+    for (ProcessId s = 0; s < a.n(); ++s) {
+      if (!alive(correct, s)) continue;
+      if (!a.timely(d, s)) return false;
+    }
+  }
+  return true;
+}
+
+bool satisfies_lm(const LinkMatrix& a, ProcessId leader,
+                  const CorrectMask* correct) {
+  TM_CHECK(leader >= 0 && leader < a.n(), "leader out of range");
+  if (!alive(correct, leader)) return false;
+  // Leader is an n-source: timely outgoing links to all n processes.
+  // A crashed recipient satisfies the requirement vacuously.
+  for (ProcessId d = 0; d < a.n(); ++d) {
+    if (alive(correct, d) && !a.timely(d, leader)) return false;
+  }
+  const int maj = majority_size(a.n());
+  for (ProcessId d = 0; d < a.n(); ++d) {
+    if (!alive(correct, d)) continue;
+    if (timely_in_from_correct(a, d, correct) < maj) return false;
+  }
+  return true;
+}
+
+bool satisfies_wlm(const LinkMatrix& a, ProcessId leader,
+                   const CorrectMask* correct) {
+  TM_CHECK(leader >= 0 && leader < a.n(), "leader out of range");
+  if (!alive(correct, leader)) return false;
+  for (ProcessId d = 0; d < a.n(); ++d) {
+    if (alive(correct, d) && !a.timely(d, leader)) return false;
+  }
+  return timely_in_from_correct(a, leader, correct) >= majority_size(a.n());
+}
+
+bool satisfies_afm(const LinkMatrix& a, const CorrectMask* correct) {
+  const int maj = majority_size(a.n());
+  for (ProcessId i = 0; i < a.n(); ++i) {
+    if (!alive(correct, i)) continue;
+    if (timely_in_from_correct(a, i, correct) < maj) return false;
+    // Majority-source: count all timely outgoing links (self included).
+    if (correct == nullptr) {
+      if (timely_out(a, i) < maj) return false;
+    } else {
+      int c = 0;
+      for (ProcessId d = 0; d < a.n(); ++d) {
+        // Recipients need not be correct for the source count, but a
+        // crashed destination cannot "receive"; in failure-free runs the
+        // distinction is moot. We count deliveries to correct processes
+        // plus the self link, the conservative reading.
+        if ((d == i || alive(correct, d)) && a.timely(d, i)) ++c;
+      }
+      if (c < maj) return false;
+    }
+  }
+  return true;
+}
+
+bool satisfies(TimingModel m, const LinkMatrix& a, ProcessId leader,
+               const CorrectMask* correct) {
+  switch (m) {
+    case TimingModel::kEs: return satisfies_es(a, correct);
+    case TimingModel::kLm: return satisfies_lm(a, leader, correct);
+    case TimingModel::kWlm: return satisfies_wlm(a, leader, correct);
+    case TimingModel::kAfm: return satisfies_afm(a, correct);
+  }
+  return false;
+}
+
+}  // namespace timing

@@ -1,0 +1,45 @@
+// Per-round predicates: does the communication matrix A of one round meet
+// the timeliness requirements of a timing model? (Section 4.1.)
+//
+// Conventions, matching the paper's analysis and measurements:
+//  * rows of A are destinations, columns are sources;
+//  * a process's link with itself counts towards source/destination counts
+//    (footnote 1 in the paper), and LinkMatrix always marks self links
+//    timely;
+//  * all processes are assumed correct unless a `correct` mask is given -
+//    the measurement sections run failure-free experiments, like the paper.
+#pragma once
+
+#include <vector>
+
+#include "models/timing_model.hpp"
+#include "sim/link_matrix.hpp"
+
+namespace timing {
+
+/// Optional aliveness mask; null means everyone is correct.
+using CorrectMask = std::vector<bool>;
+
+/// ES: every link between correct processes is timely.
+bool satisfies_es(const LinkMatrix& a, const CorrectMask* correct = nullptr);
+
+/// <>LM: the leader is an n-source this round (its column is all timely)
+/// and every correct process receives timely messages from at least
+/// floor(n/2)+1 correct processes (every row has a majority of ones).
+bool satisfies_lm(const LinkMatrix& a, ProcessId leader,
+                  const CorrectMask* correct = nullptr);
+
+/// <>WLM: the leader is an n-source this round and receives timely
+/// messages from a majority (only the leader's row needs a majority).
+bool satisfies_wlm(const LinkMatrix& a, ProcessId leader,
+                   const CorrectMask* correct = nullptr);
+
+/// <>AFM (simplified): every correct process is a majority-destination and
+/// a majority-source this round.
+bool satisfies_afm(const LinkMatrix& a, const CorrectMask* correct = nullptr);
+
+/// Dispatch on the model. `leader` is ignored for ES and <>AFM.
+bool satisfies(TimingModel m, const LinkMatrix& a, ProcessId leader,
+               const CorrectMask* correct = nullptr);
+
+}  // namespace timing

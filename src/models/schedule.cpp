@@ -1,0 +1,130 @@
+#include "models/schedule.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace timing {
+
+ScheduleSampler::ScheduleSampler(const ScheduleConfig& cfg)
+    : cfg_(cfg), rng_(cfg.seed) {
+  TM_CHECK(cfg_.n > 1, "schedule needs n > 1");
+  TM_CHECK(cfg_.leader >= 0 && cfg_.leader < cfg_.n, "leader out of range");
+  TM_CHECK(cfg_.gsr >= 1, "GSR is a round number >= 1");
+  TM_CHECK(cfg_.crash_rounds.empty() ||
+               static_cast<int>(cfg_.crash_rounds.size()) == cfg_.n,
+           "crash_rounds must be empty or have n entries");
+}
+
+bool ScheduleSampler::alive(ProcessId i, Round k) const noexcept {
+  if (cfg_.crash_rounds.empty()) return true;
+  const Round c = cfg_.crash_rounds[static_cast<std::size_t>(i)];
+  return c <= 0 || k < c;
+}
+
+Delay ScheduleSampler::untimely_fate() {
+  if (rng_.bernoulli(cfg_.untimely_loss_share)) return kLost;
+  Delay d = 1;
+  while (rng_.bernoulli(0.4) && d < 8) ++d;
+  return d;
+}
+
+void ScheduleSampler::fill_random(LinkMatrix& out, double p) {
+  for (ProcessId dst = 0; dst < cfg_.n; ++dst) {
+    for (ProcessId src = 0; src < cfg_.n; ++src) {
+      if (src == dst) {
+        out.set(dst, src, 0);
+      } else {
+        out.set(dst, src, rng_.bernoulli(p) ? Delay{0} : untimely_fate());
+      }
+    }
+  }
+}
+
+void ScheduleSampler::repair_to_model(LinkMatrix& out, Round k) {
+  const int n = cfg_.n;
+  const int maj = majority_size(n);
+
+  std::vector<ProcessId> alive_set;
+  for (ProcessId i = 0; i < n; ++i) {
+    if (alive(i, k)) alive_set.push_back(i);
+  }
+  // The models' premise: fewer than n/2 crashes, so a majority of
+  // processes is always alive.
+  TM_CHECK(static_cast<int>(alive_set.size()) >= maj,
+           "schedule needs a correct majority");
+
+  // Force `dst`'s row to receive timely from at least `maj` ALIVE sources
+  // (the self link always counts, matching the paper's footnote 1).
+  auto force_row_majority = [&](ProcessId dst) {
+    int have = 0;
+    std::vector<ProcessId> candidates;
+    for (ProcessId s : alive_set) {
+      if (out.timely(dst, s) || s == dst) {
+        ++have;
+      } else {
+        candidates.push_back(s);
+      }
+    }
+    for (std::size_t i = candidates.size(); i > 1; --i) {
+      std::swap(candidates[i - 1], candidates[rng_.uniform_int(i)]);
+    }
+    for (ProcessId s : candidates) {
+      if (have >= maj) break;
+      out.set(dst, s, 0);
+      ++have;
+    }
+  };
+
+  switch (cfg_.model) {
+    case TimingModel::kEs:
+      // All links between correct processes timely.
+      for (ProcessId d : alive_set) {
+        for (ProcessId s : alive_set) out.set(d, s, 0);
+      }
+      break;
+    case TimingModel::kLm:
+      for (ProcessId d = 0; d < n; ++d) out.set(d, cfg_.leader, 0);
+      for (ProcessId d : alive_set) force_row_majority(d);
+      break;
+    case TimingModel::kWlm:
+      for (ProcessId d = 0; d < n; ++d) out.set(d, cfg_.leader, 0);
+      force_row_majority(cfg_.leader);
+      break;
+    case TimingModel::kAfm: {
+      if (alive_set.size() == static_cast<std::size_t>(n)) {
+        // Failure-free: a rotated circulant gives every row and column a
+        // majority with mobile timely sets.
+        const int rot = static_cast<int>(rng_.uniform_int(n));
+        for (ProcessId d = 0; d < n; ++d) {
+          for (int off = 0; off < maj; ++off) {
+            out.set(d, (d + rot + off) % n, 0);
+          }
+          out.set(d, d, 0);
+        }
+      } else {
+        // With crashes, conservatively make all alive<->alive links
+        // timely (satisfies both the majority-destination and the
+        // majority-source requirements w.r.t. correct processes).
+        for (ProcessId d : alive_set) {
+          for (ProcessId s : alive_set) out.set(d, s, 0);
+        }
+      }
+      break;
+    }
+  }
+}
+
+void ScheduleSampler::sample_round(Round k, LinkMatrix& out) {
+  if (k < cfg_.gsr) {
+    fill_random(out, cfg_.pre_gsr_p);
+    return;
+  }
+  fill_random(out, cfg_.minimal ? 0.0 : cfg_.post_gsr_extra_p);
+  repair_to_model(out, k);
+}
+
+}  // namespace timing

@@ -1,0 +1,60 @@
+// GSR-based schedules: timeliness samplers that are arbitrary (chaotic)
+// before a chosen Global Stabilization Round and conforming to a timing
+// model from GSR onward.
+//
+// These drive the algorithm-correctness tests and the validation runs that
+// check each algorithm's decision bound (e.g. Algorithm 2 deciding by
+// GSR+4 / GSR+3, Theorem 10). Two post-GSR flavours:
+//  * random-conforming: sample a random matrix, then repair it to satisfy
+//    the model (exercises typical stable rounds);
+//  * minimal-conforming: ONLY the links the model demands are timely - the
+//    strongest adversary that still conforms (exercises worst cases; for
+//    <>WLM this is what separates Algorithm 2 from Paxos).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "models/timing_model.hpp"
+#include "sim/sampler.hpp"
+
+namespace timing {
+
+struct ScheduleConfig {
+  int n = 8;
+  TimingModel model = TimingModel::kWlm;
+  ProcessId leader = 0;     ///< stable leader (ignored for ES / <>AFM)
+  Round gsr = 1;            ///< first round whose matrix conforms
+  double pre_gsr_p = 0.3;   ///< pre-GSR per-link timeliness probability
+  bool minimal = false;     ///< minimal-conforming post-GSR
+  double post_gsr_extra_p = 0.5;  ///< baseline timeliness of non-required links
+  double untimely_loss_share = 0.4;  ///< untimely messages lost vs late
+  std::uint64_t seed = 1;
+  /// Crash round per process (0 or negative = never crashes). The models
+  /// demand timely links FROM CORRECT processes ("it has j timely
+  /// incoming links from correct processes"), so the post-GSR repair must
+  /// draw the forced majorities from processes still alive in that round.
+  std::vector<Round> crash_rounds;
+};
+
+class ScheduleSampler final : public TimelinessSampler {
+ public:
+  explicit ScheduleSampler(const ScheduleConfig& cfg);
+
+  int n() const noexcept override { return cfg_.n; }
+  void sample_round(Round k, LinkMatrix& out) override;
+
+  const ScheduleConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void fill_random(LinkMatrix& out, double p);
+  void repair_to_model(LinkMatrix& out, Round k);
+  bool alive(ProcessId i, Round k) const noexcept;
+  Delay untimely_fate();
+
+  ScheduleConfig cfg_;
+  Rng rng_;
+};
+
+}  // namespace timing

@@ -1,0 +1,63 @@
+#include "models/timing_model.hpp"
+
+#include "common/check.hpp"
+
+namespace timing {
+
+TimingModel model_of(AnalyzedAlgorithm a) noexcept {
+  switch (a) {
+    case AnalyzedAlgorithm::kEs3: return TimingModel::kEs;
+    case AnalyzedAlgorithm::kLm3: return TimingModel::kLm;
+    case AnalyzedAlgorithm::kWlmDirect:
+    case AnalyzedAlgorithm::kWlmDirect5:
+    case AnalyzedAlgorithm::kWlmSimulated: return TimingModel::kWlm;
+    case AnalyzedAlgorithm::kAfm5: return TimingModel::kAfm;
+  }
+  return TimingModel::kEs;
+}
+
+int rounds_for_global_decision(AnalyzedAlgorithm a) noexcept {
+  switch (a) {
+    case AnalyzedAlgorithm::kEs3: return 3;
+    case AnalyzedAlgorithm::kLm3: return 3;
+    case AnalyzedAlgorithm::kWlmDirect: return 4;
+    case AnalyzedAlgorithm::kWlmDirect5: return 5;
+    case AnalyzedAlgorithm::kWlmSimulated: return 7;
+    case AnalyzedAlgorithm::kAfm5: return 5;
+  }
+  return 0;
+}
+
+int default_rounds_for_global_decision(TimingModel m) noexcept {
+  switch (m) {
+    case TimingModel::kEs: return 3;
+    case TimingModel::kLm: return 3;
+    case TimingModel::kWlm: return 4;
+    case TimingModel::kAfm: return 5;
+  }
+  return 0;
+}
+
+std::string to_string(TimingModel m) {
+  switch (m) {
+    case TimingModel::kEs: return "ES";
+    case TimingModel::kLm: return "<>LM";
+    case TimingModel::kWlm: return "<>WLM";
+    case TimingModel::kAfm: return "<>AFM";
+  }
+  return "?";
+}
+
+std::string to_string(AnalyzedAlgorithm a) {
+  switch (a) {
+    case AnalyzedAlgorithm::kEs3: return "ES (3 rounds)";
+    case AnalyzedAlgorithm::kLm3: return "<>LM (3 rounds)";
+    case AnalyzedAlgorithm::kWlmDirect: return "<>WLM direct (4 rounds)";
+    case AnalyzedAlgorithm::kWlmDirect5: return "<>WLM direct (5 rounds)";
+    case AnalyzedAlgorithm::kWlmSimulated: return "<>WLM simulated (7 rounds)";
+    case AnalyzedAlgorithm::kAfm5: return "<>AFM (5 rounds)";
+  }
+  return "?";
+}
+
+}  // namespace timing

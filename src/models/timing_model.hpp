@@ -1,0 +1,57 @@
+// The four timing models compared throughout the paper (Section 2), plus
+// the simulation-based variant of <>WLM (Appendix B) that the analysis of
+// Section 4 also tracks.
+//
+// Each model is characterised, for the purposes of the analysis and the
+// measurements, by (a) a per-round predicate over the communication matrix
+// A (see predicates.hpp) and (b) the number of consecutive conforming
+// rounds R_M that the fastest known algorithm needs for *global decision*:
+//
+//   ES    - Eventual Synchrony [DLS88]:        3 rounds ([14])
+//   <>LM  - Leader-Majority [19]:              3 rounds ([19])
+//   <>WLM - Weak-Leader-Majority (this paper): 4 rounds with a stable
+//           leader (Theorem 10(b)), 5 otherwise; 7 via the Appendix B
+//           simulation of <>LM
+//   <>AFM - All-From-Majority [19], simplified: 5 rounds ([19])
+#pragma once
+
+#include <string>
+
+namespace timing {
+
+enum class TimingModel {
+  kEs,
+  kLm,
+  kWlm,
+  kAfm,
+};
+
+/// Distinct algorithm choices the paper analyses (Figure 1(a)/(b) plots
+/// all five curves).
+enum class AnalyzedAlgorithm {
+  kEs3,           ///< optimal ES algorithm, 3 rounds
+  kLm3,           ///< optimal <>LM algorithm, 3 rounds
+  kWlmDirect,     ///< Algorithm 2 with stable leader, 4 rounds
+  kWlmDirect5,    ///< Algorithm 2, leader stabilises with communication, 5
+  kWlmSimulated,  ///< <>LM algorithm over Algorithm 3, 7 rounds
+  kAfm5,          ///< <>AFM algorithm, 5 rounds
+};
+
+/// Timing model whose per-round predicate the algorithm needs.
+TimingModel model_of(AnalyzedAlgorithm a) noexcept;
+
+/// Consecutive conforming rounds needed for global decision.
+int rounds_for_global_decision(AnalyzedAlgorithm a) noexcept;
+
+/// Default R_M used in the measurement figures (1(g)-(i)): ES 3, <>LM 3,
+/// <>WLM 4 (the stable-leader case, which the paper argues is the common
+/// one), <>AFM 5.
+int default_rounds_for_global_decision(TimingModel m) noexcept;
+
+std::string to_string(TimingModel m);
+std::string to_string(AnalyzedAlgorithm a);
+
+inline constexpr TimingModel kAllModels[] = {
+    TimingModel::kEs, TimingModel::kLm, TimingModel::kWlm, TimingModel::kAfm};
+
+}  // namespace timing

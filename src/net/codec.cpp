@@ -1,0 +1,137 @@
+#include "net/codec.hpp"
+
+#include <cstring>
+
+namespace timing {
+
+namespace {
+
+constexpr int kMaxRelayDepth = 4;
+constexpr std::size_t kMaxRelayFanout = 4096;
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> in) : in_(in) {}
+
+  bool ok() const noexcept { return ok_; }
+  bool done() const noexcept { return pos_ == in_.size(); }
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(take(4)); }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+ private:
+  std::uint64_t take(std::size_t bytes) {
+    if (!ok_ || in_.size() - pos_ < bytes) {
+      ok_ = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < bytes; ++i) {
+      v |= static_cast<std::uint64_t>(in_[pos_ + i]) << (8 * i);
+    }
+    pos_ += bytes;
+    return v;
+  }
+
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void encode_message(const Message& m, std::vector<std::uint8_t>& out) {
+  put_u8(out, static_cast<std::uint8_t>(m.type));
+  put_i64(out, m.est);
+  put_i32(out, m.ts);
+  put_i32(out, m.leader);
+  put_u8(out, m.maj_approved ? 1 : 0);
+  put_u8(out, m.heard_maj ? 1 : 0);
+  put_i32(out, m.ballot);
+  put_i32(out, m.accepted_ballot);
+  put_i64(out, m.accepted_value);
+  put_u32(out, static_cast<std::uint32_t>(m.punish.size()));
+  for (Timestamp p : m.punish) put_i32(out, p);
+  put_u32(out, static_cast<std::uint32_t>(m.relay_from.size()));
+  for (std::size_t i = 0; i < m.relay_from.size(); ++i) {
+    put_i32(out, m.relay_from[i]);
+    encode_message(m.relay_msgs[i], out);
+  }
+}
+
+bool decode_message(Reader& r, Message& m, int depth) {
+  if (depth > kMaxRelayDepth) return false;
+  const std::uint8_t type = r.u8();
+  if (type > static_cast<std::uint8_t>(MsgType::kRelay)) return false;
+  m.type = static_cast<MsgType>(type);
+  m.est = r.i64();
+  m.ts = r.i32();
+  m.leader = r.i32();
+  m.maj_approved = r.u8() != 0;
+  m.heard_maj = r.u8() != 0;
+  m.ballot = r.i32();
+  m.accepted_ballot = r.i32();
+  m.accepted_value = r.i64();
+  const std::uint32_t punishes = r.u32();
+  if (!r.ok() || punishes > kMaxRelayFanout) return false;
+  m.punish.resize(punishes);
+  for (std::uint32_t i = 0; i < punishes; ++i) m.punish[i] = r.i32();
+  const std::uint32_t fanout = r.u32();
+  if (!r.ok() || fanout > kMaxRelayFanout) return false;
+  m.relay_from.resize(fanout);
+  m.relay_msgs.resize(fanout);
+  for (std::uint32_t i = 0; i < fanout; ++i) {
+    m.relay_from[i] = r.i32();
+    if (!decode_message(r, m.relay_msgs[i], depth + 1)) return false;
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+void encode(const Envelope& e, std::vector<std::uint8_t>& out) {
+  put_i32(out, e.round);
+  put_i32(out, e.sender);
+  encode_message(e.msg, out);
+}
+
+std::optional<Envelope> decode(std::span<const std::uint8_t> in) {
+  Reader r(in);
+  Envelope e;
+  e.round = r.i32();
+  e.sender = r.i32();
+  if (!decode_message(r, e.msg, 0)) return std::nullopt;
+  if (!r.ok() || !r.done()) return std::nullopt;
+  return e;
+}
+
+}  // namespace timing

@@ -1,0 +1,36 @@
+// Wire format for GIRAF messages.
+//
+// A small hand-rolled binary codec: little-endian fixed-width integers,
+// length-prefixed recursive relay payloads, and a defensive decoder that
+// rejects malformed or truncated input (the UDP transport hands us raw
+// datagrams). The envelope carries the GIRAF round number and the sender,
+// which is exactly what the Section 5.1 round-synchronization protocol
+// needs ("this information is included in the message").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "giraf/message.hpp"
+
+namespace timing {
+
+struct Envelope {
+  Round round = 0;
+  ProcessId sender = kNoProcess;
+  Message msg;
+
+  bool operator==(const Envelope&) const = default;
+};
+
+/// Serialize; appends to `out`.
+void encode(const Envelope& e, std::vector<std::uint8_t>& out);
+
+/// Parse one envelope occupying the whole buffer. Returns std::nullopt on
+/// malformed input. Depth of nested relays is capped to reject hostile
+/// recursion.
+std::optional<Envelope> decode(std::span<const std::uint8_t> in);
+
+}  // namespace timing

@@ -1,0 +1,64 @@
+#include "net/frame.hpp"
+
+namespace timing {
+
+namespace {
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::optional<std::uint64_t> get_u64(std::span<const std::uint8_t> in) {
+  if (in.size() != 8) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void frame_envelope(const Envelope& e, Bytes& out) {
+  out.push_back(static_cast<std::uint8_t>(FrameTag::kEnvelope));
+  encode(e, out);
+}
+
+void frame_ping(const PingFrame& p, Bytes& out) {
+  out.push_back(static_cast<std::uint8_t>(FrameTag::kPing));
+  put_u64(out, p.nonce);
+}
+
+void frame_pong(const PongFrame& p, Bytes& out) {
+  out.push_back(static_cast<std::uint8_t>(FrameTag::kPong));
+  put_u64(out, p.nonce);
+}
+
+std::optional<Frame> parse_frame(std::span<const std::uint8_t> in) {
+  if (in.empty()) return std::nullopt;
+  const auto tag = static_cast<FrameTag>(in[0]);
+  const auto body = in.subspan(1);
+  switch (tag) {
+    case FrameTag::kEnvelope: {
+      auto e = decode(body);
+      if (!e) return std::nullopt;
+      return Frame{*e};
+    }
+    case FrameTag::kPing: {
+      auto v = get_u64(body);
+      if (!v) return std::nullopt;
+      return Frame{PingFrame{*v}};
+    }
+    case FrameTag::kPong: {
+      auto v = get_u64(body);
+      if (!v) return std::nullopt;
+      return Frame{PongFrame{*v}};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace timing

@@ -1,0 +1,35 @@
+// Transport-level framing: one tag byte distinguishes GIRAF envelopes
+// from the ping/pong probes used for latency estimation (Section 5.1/5.2:
+// "Before starting the experiments, we measure the average latency
+// between every pair of nodes in the system using pings").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <variant>
+
+#include "net/codec.hpp"
+#include "net/transport.hpp"
+
+namespace timing {
+
+enum class FrameTag : std::uint8_t { kEnvelope = 0, kPing = 1, kPong = 2 };
+
+struct PingFrame {
+  std::uint64_t nonce = 0;
+};
+struct PongFrame {
+  std::uint64_t nonce = 0;
+};
+
+using Frame = std::variant<Envelope, PingFrame, PongFrame>;
+
+void frame_envelope(const Envelope& e, Bytes& out);
+void frame_ping(const PingFrame& p, Bytes& out);
+void frame_pong(const PongFrame& p, Bytes& out);
+
+/// Returns std::nullopt on malformed input.
+std::optional<Frame> parse_frame(std::span<const std::uint8_t> in);
+
+}  // namespace timing

@@ -1,0 +1,39 @@
+// Pre-run latency estimation (Section 5.1): every node measures the
+// average round-trip time to every peer with ping/pong probes. The
+// results feed (a) round synchronization (L_i[j] in the fast-forward
+// rule) and (b) offline leader election (elect_well_connected).
+#pragma once
+
+#include <chrono>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace timing {
+
+struct PingConfig {
+  int pings_per_peer = 10;
+  std::chrono::milliseconds probe_interval{5};
+  std::chrono::milliseconds total_duration{2000};
+};
+
+struct PingReport {
+  /// Average RTT to each peer in ms; rtt[self] == 0. Peers that never
+  /// answered get kUnreachableMs.
+  std::vector<double> avg_rtt_ms;
+  std::vector<int> replies;  ///< pongs received per peer
+
+  static constexpr double kUnreachableMs = 1e9;
+
+  /// L_i[j]: one-way latency estimate = RTT / 2.
+  double one_way_ms(ProcessId j) const { return avg_rtt_ms[j] / 2.0; }
+};
+
+/// Runs the probe loop (answering peers' pings while measuring); all
+/// participating nodes must run this concurrently. Returns when
+/// `total_duration` elapses or every peer answered `pings_per_peer`
+/// times.
+PingReport measure_peer_rtts(Transport& transport, int n,
+                             const PingConfig& cfg = {});
+
+}  // namespace timing

@@ -1,0 +1,84 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace timing {
+
+InProcHub::InProcHub(int n) : n_(n), cv_(static_cast<std::size_t>(n)),
+                              queues_(static_cast<std::size_t>(n)) {
+  TM_CHECK(n > 0, "hub needs n > 0");
+}
+
+void InProcHub::set_latency_model(std::unique_ptr<LatencyModel> model,
+                                  double round_ms) {
+  std::lock_guard lk(mu_);
+  TM_CHECK(model == nullptr || model->n() >= n_, "model too small for hub");
+  model_ = std::move(model);
+  round_ms_ = round_ms;
+  model_epoch_ = Clock::now();
+  model_round_ = 0;
+  if (model_) model_->begin_round(1);
+}
+
+void InProcHub::advance_model_locked() {
+  if (!model_ || round_ms_ <= 0.0) return;
+  const auto elapsed = std::chrono::duration<double, std::milli>(
+                           Clock::now() - model_epoch_)
+                           .count();
+  const auto target = static_cast<long long>(elapsed / round_ms_);
+  // Catch up, but never spin unboundedly after a long pause.
+  int steps = 0;
+  while (model_round_ < target && steps < 1024) {
+    ++model_round_;
+    ++steps;
+    model_->begin_round(static_cast<Round>(model_round_ + 1));
+  }
+  model_round_ = std::max(model_round_, target);
+}
+
+void InProcHub::post(ProcessId src, ProcessId dst, const Bytes& bytes) {
+  TM_CHECK(dst >= 0 && dst < n_, "destination out of range");
+  std::lock_guard lk(mu_);
+  auto due = Clock::now();
+  if (model_) {
+    advance_model_locked();
+    const double ms = model_->sample_ms(src, dst);
+    if (!std::isfinite(ms)) return;  // lost
+    due += std::chrono::microseconds(static_cast<long long>(ms * 1000.0));
+  }
+  auto& q = queues_[static_cast<std::size_t>(dst)];
+  Packet p{due, src, bytes};
+  // Keep the queue sorted by due time (insertion near the back is the
+  // common case - latencies are similar).
+  auto it = std::upper_bound(
+      q.begin(), q.end(), p,
+      [](const Packet& a, const Packet& b) { return a.due < b.due; });
+  q.insert(it, std::move(p));
+  cv_[static_cast<std::size_t>(dst)].notify_all();
+}
+
+bool InProcHub::take(ProcessId dst, Bytes& out, ProcessId& from,
+                     Clock::time_point deadline) {
+  TM_CHECK(dst >= 0 && dst < n_, "destination out of range");
+  std::unique_lock lk(mu_);
+  auto& q = queues_[static_cast<std::size_t>(dst)];
+  auto& cv = cv_[static_cast<std::size_t>(dst)];
+  for (;;) {
+    const auto now = Clock::now();
+    if (!q.empty() && q.front().due <= now) {
+      out = std::move(q.front().bytes);
+      from = q.front().from;
+      q.pop_front();
+      return true;
+    }
+    if (now >= deadline) return false;
+    auto wake = deadline;
+    if (!q.empty()) wake = std::min(wake, q.front().due);
+    cv.wait_until(lk, wake);
+  }
+}
+
+}  // namespace timing

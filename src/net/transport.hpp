@@ -1,0 +1,104 @@
+// Datagram transports.
+//
+// The paper's experiments exchange UDP datagrams ("Each process sent 100
+// UDP messages to all others"). We provide:
+//  * InProcHub / InProcTransport - an in-process datagram switch with
+//    optional per-message latency injection from a LatencyModel, used to
+//    stand in for the LAN/WAN testbeds while exercising the exact same
+//    code paths as real sockets;
+//  * UdpTransport (udp_transport.hpp) - real UDP sockets on loopback.
+//
+// Semantics (both transports): unreliable, unordered datagrams; send()
+// never blocks; recv() blocks up to a deadline.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/latency_model.hpp"
+
+namespace timing {
+
+using Bytes = std::vector<std::uint8_t>;
+using Clock = std::chrono::steady_clock;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Fire-and-forget datagram. Returns false only on local failure (the
+  /// network may still drop it silently).
+  virtual bool send(ProcessId dst, const Bytes& bytes) = 0;
+
+  /// Blocking receive with deadline; returns false on timeout.
+  virtual bool recv(Bytes& out, ProcessId& from, Clock::time_point deadline) = 0;
+
+  virtual ProcessId self() const noexcept = 0;
+};
+
+/// Shared switch for InProcTransport endpoints. Thread-safe. If a latency
+/// model is installed, each datagram is delayed by a sampled one-way
+/// latency (and dropped on a loss sample), turning the hub into a
+/// miniature WAN.
+class InProcHub {
+ public:
+  explicit InProcHub(int n);
+
+  /// Install a latency model (hub takes ownership). The model's
+  /// begin_round is driven by wall time: we call it once per
+  /// `round_ms` of elapsed time so episode processes advance.
+  void set_latency_model(std::unique_ptr<LatencyModel> model,
+                         double round_ms);
+
+  int n() const noexcept { return n_; }
+
+  void post(ProcessId src, ProcessId dst, const Bytes& bytes);
+  bool take(ProcessId dst, Bytes& out, ProcessId& from,
+            Clock::time_point deadline);
+
+ private:
+  struct Packet {
+    Clock::time_point due;
+    ProcessId from;
+    Bytes bytes;
+  };
+
+  void advance_model_locked();
+
+  int n_;
+  std::mutex mu_;
+  std::vector<std::condition_variable> cv_;
+  std::vector<std::deque<Packet>> queues_;  // sorted insert by due time
+  std::unique_ptr<LatencyModel> model_;
+  double round_ms_ = 0.0;
+  Clock::time_point model_epoch_{};
+  long long model_round_ = 0;
+};
+
+class InProcTransport final : public Transport {
+ public:
+  InProcTransport(std::shared_ptr<InProcHub> hub, ProcessId self)
+      : hub_(std::move(hub)), self_(self) {}
+
+  bool send(ProcessId dst, const Bytes& bytes) override {
+    hub_->post(self_, dst, bytes);
+    return true;
+  }
+  bool recv(Bytes& out, ProcessId& from, Clock::time_point deadline) override {
+    return hub_->take(self_, out, from, deadline);
+  }
+  ProcessId self() const noexcept override { return self_; }
+
+ private:
+  std::shared_ptr<InProcHub> hub_;
+  ProcessId self_;
+};
+
+}  // namespace timing

@@ -1,0 +1,36 @@
+// Real UDP sockets on the loopback interface: node i binds
+// 127.0.0.1:(base_port + i). Used by the end-to-end integration tests and
+// the wan_testbed example, so the library is exercised over an actual
+// kernel network path, not only the in-process hub.
+#pragma once
+
+#include "net/transport.hpp"
+
+namespace timing {
+
+class UdpTransport final : public Transport {
+ public:
+  /// Throws std::runtime_error when the socket cannot be created/bound
+  /// (e.g. the port is taken).
+  UdpTransport(ProcessId self, int n, std::uint16_t base_port);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  bool send(ProcessId dst, const Bytes& bytes) override;
+  bool recv(Bytes& out, ProcessId& from, Clock::time_point deadline) override;
+  ProcessId self() const noexcept override { return self_; }
+
+  std::uint16_t port_of(ProcessId i) const noexcept {
+    return static_cast<std::uint16_t>(base_port_ + i);
+  }
+
+ private:
+  ProcessId self_;
+  int n_;
+  std::uint16_t base_port_;
+  int fd_ = -1;
+};
+
+}  // namespace timing

@@ -1,0 +1,92 @@
+#include "oracles/omega.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <tuple>
+
+#include "common/check.hpp"
+
+namespace timing {
+
+UnstableOracle::UnstableOracle(int n, ProcessId final_leader,
+                               Round stable_from, std::uint64_t seed)
+    : n_(n), final_leader_(final_leader), stable_from_(stable_from),
+      seed_(seed) {
+  TM_CHECK(n > 1, "oracle needs n > 1");
+  TM_CHECK(final_leader >= 0 && final_leader < n, "leader out of range");
+}
+
+ProcessId UnstableOracle::query(ProcessId self, Round k) {
+  if (k >= stable_from_) return final_leader_;
+  // Deterministic pseudo-random output per (self, k): repeated queries
+  // agree, different processes may disagree (arbitrary pre-GSR output).
+  std::uint64_t h = seed_ ^ (static_cast<std::uint64_t>(self) << 32) ^
+                    static_cast<std::uint64_t>(k);
+  h = splitmix64(h);
+  return static_cast<ProcessId>(h % static_cast<std::uint64_t>(n_));
+}
+
+ScriptedOracle::ScriptedOracle(int n, ProcessId default_leader)
+    : n_(n), default_leader_(default_leader) {
+  TM_CHECK(default_leader >= 0 && default_leader < n,
+           "default leader out of range");
+}
+
+void ScriptedOracle::script(ProcessId self, Round k, ProcessId answer) {
+  TM_CHECK(answer >= 0 && answer < n_, "scripted answer out of range");
+  entries_.emplace_back(self, k, answer);
+}
+
+ProcessId ScriptedOracle::query(ProcessId self, Round k) {
+  for (const auto& [s, r, a] : entries_) {
+    if (s == self && r == k) return a;
+  }
+  return default_leader_;
+}
+
+namespace {
+
+struct Connectivity {
+  double worst;
+  double mean;
+  ProcessId node;
+};
+
+std::vector<Connectivity> connectivity_of(
+    const std::vector<std::vector<double>>& rtt) {
+  const int n = static_cast<int>(rtt.size());
+  std::vector<Connectivity> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (ProcessId i = 0; i < n; ++i) {
+    double worst = 0.0;
+    double sum = 0.0;
+    for (ProcessId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      worst = std::max(worst, rtt[i][j]);
+      sum += rtt[i][j];
+    }
+    out.push_back({worst, n > 1 ? sum / (n - 1) : 0.0, i});
+  }
+  return out;
+}
+
+bool better(const Connectivity& a, const Connectivity& b) {
+  return std::tie(a.worst, a.mean, a.node) < std::tie(b.worst, b.mean, b.node);
+}
+
+}  // namespace
+
+ProcessId elect_well_connected(const std::vector<std::vector<double>>& rtt) {
+  TM_CHECK(rtt.size() > 1, "need at least 2 nodes to elect");
+  auto conn = connectivity_of(rtt);
+  return std::min_element(conn.begin(), conn.end(), better)->node;
+}
+
+ProcessId pick_average_leader(const std::vector<std::vector<double>>& rtt) {
+  TM_CHECK(rtt.size() > 1, "need at least 2 nodes");
+  auto conn = connectivity_of(rtt);
+  std::sort(conn.begin(), conn.end(), better);
+  return conn[conn.size() / 2].node;
+}
+
+}  // namespace timing

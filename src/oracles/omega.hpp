@@ -1,0 +1,75 @@
+// Omega failure-detector implementations.
+//
+// The paper's evaluation sidesteps online leader election: "we designated
+// one process to act as a leader in all runs", chosen offline as a
+// well-connected node from ping measurements (Section 5.2). We provide
+// that designated oracle, an unstable oracle for adversarial pre-GSR
+// behaviour, and the offline well-connected election procedure itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "giraf/oracle.hpp"
+
+namespace timing {
+
+/// Always trusts the same leader: the common case the paper analyses
+/// ("election protocols often ensure leader stability ... the same leader
+/// may persist for numerous instances of consensus"). Satisfies the
+/// Theorem 10(b) premise (oracle correct from round GSR-1, indeed from
+/// round 0), giving Algorithm 2 its 4-round bound.
+class DesignatedOracle final : public Oracle {
+ public:
+  explicit DesignatedOracle(ProcessId leader) : leader_(leader) {}
+  ProcessId query(ProcessId, Round) override { return leader_; }
+
+ private:
+  ProcessId leader_;
+};
+
+/// Outputs arbitrary (deterministic pseudo-random, per process and round)
+/// leaders before `stable_from`, then the final leader. Setting
+/// stable_from = GSR gives the model's minimum guarantee (5-round bound
+/// for Algorithm 2); stable_from = GSR-1 gives the stable-leader case.
+class UnstableOracle final : public Oracle {
+ public:
+  UnstableOracle(int n, ProcessId final_leader, Round stable_from,
+                 std::uint64_t seed);
+  ProcessId query(ProcessId self, Round k) override;
+
+ private:
+  int n_;
+  ProcessId final_leader_;
+  Round stable_from_;
+  std::uint64_t seed_;
+};
+
+/// Adversarial oracle scripted per (process, round); entries default to
+/// the final leader. Used by targeted worst-case tests.
+class ScriptedOracle final : public Oracle {
+ public:
+  ScriptedOracle(int n, ProcessId default_leader);
+  void script(ProcessId self, Round k, ProcessId answer);
+  ProcessId query(ProcessId self, Round k) override;
+
+ private:
+  int n_;
+  ProcessId default_leader_;
+  // (self, round) -> answer; flat map is plenty at test scale.
+  std::vector<std::tuple<ProcessId, Round, ProcessId>> entries_;
+};
+
+/// The paper's offline election: given measured average round-trip times
+/// (rtt[i][j], ms; diagonal ignored), return the node whose connectivity
+/// is best. "Well-connected" = smallest maximum RTT to any peer, with
+/// mean RTT as tie-breaker - a node that can reach everybody fast, which
+/// is what the <>n-source requirement needs.
+ProcessId elect_well_connected(const std::vector<std::vector<double>>& rtt);
+
+/// The opposite, used to reproduce the paper's "average leader"
+/// experiment on the LAN: the node with median connectivity.
+ProcessId pick_average_leader(const std::vector<std::vector<double>>& rtt);
+
+}  // namespace timing

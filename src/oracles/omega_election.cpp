@@ -1,0 +1,71 @@
+#include "oracles/omega_election.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace timing {
+
+OmegaElection::OmegaElection(ProcessId self, int n,
+                             std::unique_ptr<Protocol> inner,
+                             ElectionConfig cfg)
+    : self_(self), n_(n), cfg_(cfg), inner_(std::move(inner)),
+      punish_(static_cast<std::size_t>(n), 0), leader_(0) {
+  TM_CHECK(inner_ != nullptr, "inner protocol required");
+  TM_CHECK(n > 1, "election needs n > 1");
+  TM_CHECK(cfg_.miss_threshold >= 1, "miss threshold must be positive");
+}
+
+ProcessId OmegaElection::recompute_leader() const noexcept {
+  ProcessId best = 0;
+  for (ProcessId j = 1; j < n_; ++j) {
+    if (punish_[static_cast<std::size_t>(j)] <
+        punish_[static_cast<std::size_t>(best)]) {
+      best = j;
+    }
+  }
+  return best;
+}
+
+SendSpec OmegaElection::initialize(ProcessId /*external_hint_ignored*/) {
+  leader_ = recompute_leader();
+  SendSpec spec = inner_->initialize(leader_);
+  spec.msg.punish = punish_;
+  return spec;
+}
+
+SendSpec OmegaElection::compute(Round k, const RoundMsgs& received,
+                                ProcessId /*external_hint_ignored*/) {
+  // Merge counters pointwise-max from everything received.
+  for (const auto& m : received) {
+    if (!m || m->punish.size() != punish_.size()) continue;
+    for (std::size_t j = 0; j < punish_.size(); ++j) {
+      punish_[j] = std::max(punish_[j], m->punish[j]);
+    }
+  }
+
+  // Miss detection against the leader we trusted THIS round (whose
+  // message we were expecting).
+  if (leader_ != self_) {
+    if (received[static_cast<std::size_t>(leader_)].has_value()) {
+      missed_ = 0;
+    } else if (++missed_ >= cfg_.miss_threshold) {
+      ++punish_[static_cast<std::size_t>(leader_)];
+      missed_ = 0;
+    }
+  } else {
+    missed_ = 0;
+  }
+
+  const ProcessId new_leader = recompute_leader();
+  if (new_leader != leader_) {
+    leader_ = new_leader;
+    missed_ = 0;
+  }
+
+  SendSpec spec = inner_->compute(k, received, leader_);
+  spec.msg.punish = punish_;
+  return spec;
+}
+
+}  // namespace timing

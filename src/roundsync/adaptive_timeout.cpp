@@ -1,0 +1,45 @@
+#include "roundsync/adaptive_timeout.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace timing {
+
+AdaptiveTimeout::AdaptiveTimeout(AdaptiveTimeoutConfig cfg)
+    : cfg_(cfg), current_ms_(cfg.initial_ms) {
+  TM_CHECK(cfg_.initial_ms > 0.0, "initial timeout must be positive");
+  TM_CHECK(cfg_.target_p > 0.0 && cfg_.target_p < 1.0,
+           "target_p must be in (0, 1)");
+  TM_CHECK(cfg_.min_ms > 0.0 && cfg_.min_ms <= cfg_.max_ms,
+           "bad timeout bounds");
+  TM_CHECK(cfg_.window_samples >= 8, "window too small to estimate quantiles");
+  TM_CHECK(cfg_.max_step_factor > 1.0, "step factor must exceed 1");
+  window_.reserve(static_cast<std::size_t>(cfg_.window_samples));
+}
+
+void AdaptiveTimeout::record_offset_ms(double offset_ms) {
+  if (offset_ms < 0.0) offset_ms = 0.0;
+  if (static_cast<int>(window_.size()) < 4 * cfg_.window_samples) {
+    window_.push_back(offset_ms);
+  }
+}
+
+double AdaptiveTimeout::next_timeout_ms() {
+  if (static_cast<int>(window_.size()) < cfg_.window_samples) {
+    return current_ms_;
+  }
+  const double q = quantile_of(window_, cfg_.target_p);
+  window_.clear();
+  double proposed = q * cfg_.margin_factor;
+  // Never move more than max_step_factor per adjustment.
+  proposed = std::min(proposed, current_ms_ * cfg_.max_step_factor);
+  proposed = std::max(proposed, current_ms_ / cfg_.max_step_factor);
+  proposed = std::clamp(proposed, cfg_.min_ms, cfg_.max_ms);
+  if (proposed != current_ms_) ++adjustments_;
+  current_ms_ = proposed;
+  return current_ms_;
+}
+
+}  // namespace timing

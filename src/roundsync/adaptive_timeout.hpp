@@ -1,0 +1,56 @@
+// Online timeout tuning - the Section 5.3 methodology as a controller.
+//
+// The paper ends with: "a system administrator can perform measurements
+// and choose the timeout for a specific system, according to such
+// criteria", and shows that the optimum sits where a target fraction of
+// messages arrives on time (p ~ 0.90 for <>WLM, ~0.96 for <>LM at their
+// testbed). This controller automates the loop: each node records the
+// arrival offsets of incoming round messages (milliseconds since its
+// round started) and periodically resets its round timeout to the
+// target-p quantile of the observed offsets, plus a safety margin.
+//
+// The controller is deliberately conservative: it moves at most
+// `max_step_factor` per adjustment so transient bursts cannot whipsaw the
+// round length, and it never leaves [min_ms, max_ms].
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace timing {
+
+struct AdaptiveTimeoutConfig {
+  double initial_ms = 50.0;
+  double target_p = 0.90;      ///< fraction of messages that should be timely
+  double margin_factor = 1.15; ///< headroom above the measured quantile
+  double min_ms = 0.05;
+  double max_ms = 10000.0;
+  int window_samples = 64;     ///< adjust after this many observations
+  double max_step_factor = 1.5;  ///< bound per-adjustment change (up or down)
+};
+
+class AdaptiveTimeout {
+ public:
+  explicit AdaptiveTimeout(AdaptiveTimeoutConfig cfg);
+
+  /// Record one message's arrival offset within its round (ms).
+  void record_offset_ms(double offset_ms);
+
+  /// Current round timeout.
+  double timeout_ms() const noexcept { return current_ms_; }
+
+  /// Called at round boundaries: applies an adjustment when a full window
+  /// of samples is available and returns the timeout to use next.
+  double next_timeout_ms();
+
+  int adjustments() const noexcept { return adjustments_; }
+
+ private:
+  AdaptiveTimeoutConfig cfg_;
+  std::vector<double> window_;
+  double current_ms_;
+  int adjustments_ = 0;
+};
+
+}  // namespace timing

@@ -1,0 +1,177 @@
+#include "sim/latency_model.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace timing {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+std::string LatencyModel::node_name(ProcessId i) const {
+  return "node" + std::to_string(i);
+}
+
+// ---------------------------------------------------------------- IID --
+
+IidLatencyModel::IidLatencyModel(int n, double p, std::uint64_t seed,
+                                 double loss_share, double timeout_ms)
+    : n_(n), p_(p), loss_share_(loss_share), timeout_ms_(timeout_ms),
+      rng_(seed) {
+  TM_CHECK(n > 1, "IID model needs n > 1");
+  TM_CHECK(p >= 0.0 && p <= 1.0, "p must be a probability");
+}
+
+void IidLatencyModel::begin_round(Round) {}
+
+double IidLatencyModel::sample_ms(ProcessId, ProcessId) {
+  if (rng_.bernoulli(p_)) return 0.5 * timeout_ms_;
+  if (rng_.bernoulli(loss_share_)) return kInf;
+  // Late by a geometric number of rounds: most stragglers arrive soon.
+  double lateness = 1.0;
+  while (rng_.bernoulli(0.4) && lateness < 16.0) lateness += 1.0;
+  return (lateness + 0.5) * timeout_ms_;
+}
+
+// ---------------------------------------------------------------- LAN --
+
+LanLatencyModel::LanLatencyModel(LanProfile profile, std::uint64_t seed)
+    : profile_(profile), rng_(seed) {
+  TM_CHECK(profile_.n > 1, "LAN model needs n > 1");
+}
+
+void LanLatencyModel::begin_round(Round) {
+  if (in_burst_) {
+    if (rng_.bernoulli(profile_.burst_exit_prob)) in_burst_ = false;
+  } else if (rng_.bernoulli(profile_.burst_enter_prob)) {
+    in_burst_ = true;
+  }
+  if (slow_episode_) {
+    if (rng_.bernoulli(profile_.slow_exit_prob)) slow_episode_ = false;
+  } else if (rng_.bernoulli(profile_.slow_enter_prob)) {
+    slow_episode_ = true;
+  }
+}
+
+double LanLatencyModel::sample_ms(ProcessId src, ProcessId dst) {
+  if (src == dst) return 0.0;
+  if (rng_.bernoulli(profile_.loss_prob)) return kInf;
+  double ms = profile_.base_ms +
+              rng_.lognormal(profile_.lognormal_mu, profile_.lognormal_sigma);
+  ms *= profile_.node_factor[src % 8] * profile_.node_factor[dst % 8];
+  if (in_burst_) ms *= profile_.burst_factor;
+  if (slow_episode_ && dst == profile_.slow_node) ms *= profile_.slow_factor;
+  return ms;
+}
+
+// ---------------------------------------------------------------- WAN --
+
+namespace {
+
+// Site order: 0 CH (Switzerland), 1 JP (Japan), 2 CA (California, US),
+// 3 GA (Georgia, US), 4 CN (China), 5 PL (Poland), 6 UK, 7 SE (Sweden).
+constexpr std::array<const char*, 8> kSiteNames = {
+    "CH", "JP", "CA-US", "GA-US", "CN", "PL", "UK", "SE"};
+
+// Median one-way latencies (ms), PlanetLab era. Symmetric. The UK site
+// has unusually good long-haul links (dedicated research-network routes
+// to JP/CN), which is why the paper's offline ping-based election picks
+// it: its worst-case RTT beats every other site's (see the
+// WellConnectedElectionPicksUk test).
+constexpr double kBaseMs[8][8] = {
+    //  CH    JP    CA    GA    CN    PL    UK    SE
+    { 0.1,  135,   80,   55,  140,   22,   10,   22},  // CH
+    { 135,  0.1,   60,   85,   35,  140,   95,  138},  // JP
+    {  80,   60,  0.1,   30,  110,   90,   72,   85},  // CA
+    {  55,   85,   30,  0.1,  110,   65,   48,   58},  // GA
+    { 140,   35,  110,  110,  0.1,  140,   95,  135},  // CN
+    {  22,  140,   90,   65,  140,  0.1,   24,   18},  // PL
+    {  10,   95,   72,   48,   95,   24,  0.1,   14},  // UK
+    {  22,  138,   85,   58,  135,   18,   14,  0.1},  // SE
+};
+
+// G = good, M = medium, B = bad. Intra-Europe and CA-GA are good; links
+// touching the UK are at worst medium; remaining intercontinental links
+// involving JP/CN are bad; US<->Europe are medium.
+constexpr char kQuality[8][8] = {
+    //  CH   JP   CA   GA   CN   PL   UK   SE
+    { 'G', 'B', 'M', 'M', 'B', 'G', 'G', 'G'},  // CH
+    { 'B', 'G', 'M', 'B', 'M', 'B', 'M', 'B'},  // JP
+    { 'M', 'M', 'G', 'G', 'B', 'M', 'M', 'M'},  // CA
+    { 'M', 'B', 'G', 'G', 'B', 'M', 'M', 'M'},  // GA
+    { 'B', 'M', 'B', 'B', 'G', 'B', 'M', 'B'},  // CN
+    { 'G', 'B', 'M', 'M', 'B', 'G', 'G', 'G'},  // PL
+    { 'G', 'M', 'M', 'M', 'M', 'G', 'G', 'G'},  // UK
+    { 'G', 'B', 'M', 'M', 'B', 'G', 'G', 'G'},  // SE
+};
+
+}  // namespace
+
+WanLatencyModel::WanLatencyModel(WanProfile profile, std::uint64_t seed)
+    : profile_(profile), rng_(seed) {
+  TM_CHECK(profile_.n == 8, "the WAN profile models exactly 8 sites");
+  slow_run_ = rng_.bernoulli(profile_.slow_run_prob);
+  run_jitter_ = rng_.lognormal(0.0, profile_.run_jitter_sigma);
+}
+
+std::string WanLatencyModel::node_name(ProcessId i) const {
+  return kSiteNames[static_cast<std::size_t>(i)];
+}
+
+double WanLatencyModel::base_ms(ProcessId src, ProcessId dst) const noexcept {
+  return kBaseMs[src][dst];
+}
+
+LinkQuality WanLatencyModel::quality(ProcessId src,
+                                     ProcessId dst) const noexcept {
+  switch (kQuality[src][dst]) {
+    case 'G': return LinkQuality::kGood;
+    case 'M': return LinkQuality::kMedium;
+    default: return LinkQuality::kBad;
+  }
+}
+
+void WanLatencyModel::begin_round(Round) {
+  if (slow_run_) {
+    if (slow_episode_) {
+      if (rng_.bernoulli(profile_.slow_exit_prob)) slow_episode_ = false;
+    } else if (rng_.bernoulli(profile_.slow_enter_prob)) {
+      slow_episode_ = true;
+    }
+  }
+  if (out_burst_) {
+    if (rng_.bernoulli(profile_.burst_exit_prob)) out_burst_ = false;
+  } else if (rng_.bernoulli(profile_.burst_enter_prob)) {
+    out_burst_ = true;
+  }
+}
+
+double WanLatencyModel::sample_ms(ProcessId src, ProcessId dst) {
+  if (src == dst) return 0.0;
+  const LinkNoise& noise = [&]() -> const LinkNoise& {
+    switch (quality(src, dst)) {
+      case LinkQuality::kGood: return profile_.good;
+      case LinkQuality::kMedium: return profile_.medium;
+      default: return profile_.bad;
+    }
+  }();
+  if (rng_.bernoulli(noise.loss_prob)) return kInf;
+  double ms =
+      base_ms(src, dst) * run_jitter_ * rng_.lognormal(0.0, noise.jitter_sigma);
+  if (rng_.bernoulli(noise.spike_prob)) {
+    ms *= rng_.pareto(profile_.spike_pareto_xm, profile_.spike_pareto_alpha);
+  }
+  if (slow_episode_ && dst == profile_.slow_inbound_node) {
+    ms += profile_.slow_extra_ms;
+  }
+  if (out_burst_ && src == profile_.bursty_outbound_node) {
+    ms += profile_.burst_extra_ms;
+  }
+  return ms;
+}
+
+}  // namespace timing

@@ -1,0 +1,77 @@
+// The per-round communication matrix A of Section 4.1.
+//
+// Rows are destinations, columns are sources (as in the paper). Instead of
+// only 0/1 we record the *fate* of a message sent on the link in this
+// round: delivered timely (delay 0), delivered d >= 1 rounds late, or lost.
+// The analysis only distinguishes timely vs not; algorithm executions also
+// exercise late deliveries (indulgence).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace timing {
+
+/// Fate of one message: number of rounds of extra delay. 0 = timely
+/// (arrives in the round it was sent, i.e. A entry = 1).
+using Delay = std::int16_t;
+
+/// Sentinel: the message never arrives.
+inline constexpr Delay kLost = -1;
+
+class LinkMatrix {
+ public:
+  LinkMatrix() = default;
+  explicit LinkMatrix(int n, Delay fill = 0)
+      : n_(n), cells_(static_cast<std::size_t>(n) * n, fill) {}
+
+  int n() const noexcept { return n_; }
+
+  Delay at(ProcessId dst, ProcessId src) const noexcept {
+    return cells_[static_cast<std::size_t>(dst) * n_ + src];
+  }
+  void set(ProcessId dst, ProcessId src, Delay d) noexcept {
+    cells_[static_cast<std::size_t>(dst) * n_ + src] = d;
+  }
+
+  /// A_{dst,src} = 1 in the paper's notation.
+  bool timely(ProcessId dst, ProcessId src) const noexcept {
+    return at(dst, src) == 0;
+  }
+
+  void fill(Delay d) noexcept {
+    for (auto& c : cells_) c = d;
+  }
+
+  /// Number of timely incoming links of `dst` (a full row of ones count);
+  /// includes the self link, matching the paper ("p's link with itself
+  /// counts towards the count").
+  int timely_into(ProcessId dst) const noexcept {
+    int c = 0;
+    for (ProcessId s = 0; s < n_; ++s) c += timely(dst, s) ? 1 : 0;
+    return c;
+  }
+
+  /// Number of timely outgoing links of `src` (column count), incl. self.
+  int timely_out_of(ProcessId src) const noexcept {
+    int c = 0;
+    for (ProcessId d = 0; d < n_; ++d) c += timely(d, src) ? 1 : 0;
+    return c;
+  }
+
+  /// Fraction of timely entries over all n^2 entries.
+  double timely_fraction() const noexcept {
+    if (n_ == 0) return 0.0;
+    int c = 0;
+    for (ProcessId d = 0; d < n_; ++d) c += timely_into(d);
+    return static_cast<double>(c) / static_cast<double>(n_ * n_);
+  }
+
+ private:
+  int n_ = 0;
+  std::vector<Delay> cells_;
+};
+
+}  // namespace timing

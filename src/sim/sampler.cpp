@@ -1,0 +1,74 @@
+#include "sim/sampler.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace timing {
+
+LatencyTimelinessSampler::LatencyTimelinessSampler(LatencyModel& model,
+                                                   double timeout_ms,
+                                                   int max_delay_rounds)
+    : model_(model), timeout_ms_(timeout_ms),
+      max_delay_rounds_(max_delay_rounds) {
+  TM_CHECK(timeout_ms > 0.0, "timeout must be positive");
+}
+
+void LatencyTimelinessSampler::sample_round(Round k, LinkMatrix& out) {
+  model_.begin_round(k);
+  const int n = model_.n();
+  for (ProcessId dst = 0; dst < n; ++dst) {
+    for (ProcessId src = 0; src < n; ++src) {
+      if (src == dst) {
+        out.set(dst, src, 0);  // a process always "receives" its own message
+        continue;
+      }
+      const double ms = model_.sample_ms(src, dst);
+      if (sink_) sink_(src, dst, ms);
+      Delay d;
+      if (!std::isfinite(ms)) {
+        d = kLost;
+      } else if (ms <= timeout_ms_) {
+        d = 0;
+      } else {
+        // Rounds last `timeout`; a message sent at the start of round k
+        // with latency L lands in round k + floor(L / timeout).
+        const double rounds_late = std::floor(ms / timeout_ms_);
+        d = rounds_late > max_delay_rounds_
+                ? kLost
+                : static_cast<Delay>(rounds_late);
+      }
+      out.set(dst, src, d);
+    }
+  }
+}
+
+IidTimelinessSampler::IidTimelinessSampler(int n, double p,
+                                           std::uint64_t seed,
+                                           double loss_share)
+    : n_(n), p_(p), loss_share_(loss_share), rng_(seed) {
+  TM_CHECK(n > 1, "IID sampler needs n > 1");
+  TM_CHECK(p >= 0.0 && p <= 1.0, "p must be a probability");
+}
+
+void IidTimelinessSampler::sample_round(Round, LinkMatrix& out) {
+  for (ProcessId dst = 0; dst < n_; ++dst) {
+    for (ProcessId src = 0; src < n_; ++src) {
+      if (src == dst) {
+        out.set(dst, src, 0);
+        continue;
+      }
+      if (rng_.bernoulli(p_)) {
+        out.set(dst, src, 0);
+      } else if (rng_.bernoulli(loss_share_)) {
+        out.set(dst, src, kLost);
+      } else {
+        Delay d = 1;
+        while (rng_.bernoulli(0.4) && d < 16) ++d;
+        out.set(dst, src, d);
+      }
+    }
+  }
+}
+
+}  // namespace timing

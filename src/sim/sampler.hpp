@@ -1,0 +1,73 @@
+// Timeliness samplers: produce the per-round link matrix A consumed by the
+// round engine and by the model predicates.
+//
+// Two families:
+//  * LatencyTimelinessSampler - wraps a LatencyModel and a timeout; a
+//    message is timely iff its sampled latency is within the timeout
+//    (the paper: "a message is considered to arrive in a communication
+//    round if its latency is less than the timeout").
+//  * Schedule-based samplers live in src/models (they need the model
+//    definitions to construct conforming/adversarial rounds).
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "sim/latency_model.hpp"
+#include "sim/link_matrix.hpp"
+
+namespace timing {
+
+class TimelinessSampler {
+ public:
+  virtual ~TimelinessSampler() = default;
+  virtual int n() const noexcept = 0;
+  /// Fill `out` (resized by caller to n x n) with the fates of the round-k
+  /// messages. Must be called with strictly increasing k.
+  virtual void sample_round(Round k, LinkMatrix& out) = 0;
+};
+
+/// Observer invoked for every sampled latency; used by the harness to
+/// measure p (the fraction of timely messages) alongside the matrices.
+using LatencySink =
+    std::function<void(ProcessId src, ProcessId dst, double ms)>;
+
+class LatencyTimelinessSampler final : public TimelinessSampler {
+ public:
+  /// `max_delay_rounds` caps how long a straggler stays in flight before
+  /// we count it as lost (keeps engine queues bounded).
+  LatencyTimelinessSampler(LatencyModel& model, double timeout_ms,
+                           int max_delay_rounds = 64);
+
+  int n() const noexcept override { return model_.n(); }
+  void sample_round(Round k, LinkMatrix& out) override;
+
+  void set_latency_sink(LatencySink sink) { sink_ = std::move(sink); }
+  double timeout_ms() const noexcept { return timeout_ms_; }
+
+ private:
+  LatencyModel& model_;
+  double timeout_ms_;
+  int max_delay_rounds_;
+  LatencySink sink_;
+};
+
+/// Direct Bernoulli sampler: entry timely with probability p, otherwise
+/// late by a geometric number of rounds or lost. This is the Section 4
+/// IID world without the latency detour.
+class IidTimelinessSampler final : public TimelinessSampler {
+ public:
+  IidTimelinessSampler(int n, double p, std::uint64_t seed,
+                       double loss_share = 0.25);
+
+  int n() const noexcept override { return n_; }
+  void sample_round(Round k, LinkMatrix& out) override;
+
+ private:
+  int n_;
+  double p_;
+  double loss_share_;
+  Rng rng_;
+};
+
+}  // namespace timing

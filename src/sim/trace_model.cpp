@@ -1,0 +1,111 @@
+#include "sim/trace_model.hpp"
+
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/check.hpp"
+
+namespace timing {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+TraceLatencyModel TraceLatencyModel::parse(std::istream& in) {
+  TraceLatencyModel model;
+  std::string line;
+  bool have_header = false;
+  long long current_round = -1;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (!have_header) {
+      std::istringstream hs(line);
+      std::string word, version, nfield;
+      hs >> word >> version >> nfield;
+      if (word != "trace" || version != "v1" ||
+          nfield.rfind("n=", 0) != 0) {
+        throw std::runtime_error("trace: bad header: " + line);
+      }
+      model.n_ = std::stoi(nfield.substr(2));
+      if (model.n_ < 2 || model.n_ > 4096) {
+        throw std::runtime_error("trace: implausible n");
+      }
+      have_header = true;
+      continue;
+    }
+    std::istringstream ls(line);
+    long long round;
+    int src, dst;
+    std::string latency;
+    if (!(ls >> round >> src >> dst >> latency)) {
+      throw std::runtime_error("trace: bad line: " + line);
+    }
+    if (model.rounds_.empty()) {
+      current_round = round - 1;  // the trace may start at any round number
+    }
+    if (round < current_round) {
+      throw std::runtime_error("trace: rounds must be non-decreasing");
+    }
+    if (src < 0 || src >= model.n_ || dst < 0 || dst >= model.n_) {
+      throw std::runtime_error("trace: process id out of range: " + line);
+    }
+    while (current_round < round) {
+      model.rounds_.emplace_back(
+          static_cast<std::size_t>(model.n_) * model.n_, 0.0);
+      ++current_round;
+    }
+    double ms;
+    if (latency == "lost") {
+      ms = kInf;
+    } else {
+      ms = std::stod(latency);
+      if (!(ms >= 0.0)) throw std::runtime_error("trace: negative latency");
+    }
+    model.rounds_.back()[static_cast<std::size_t>(src) * model.n_ + dst] = ms;
+  }
+  if (!have_header) throw std::runtime_error("trace: missing header");
+  if (model.rounds_.empty()) throw std::runtime_error("trace: no rounds");
+  // The first begin_round() advances the cursor; park it on the last
+  // entry so replay starts at the trace's first round.
+  model.cursor_ = model.rounds_.size() - 1;
+  return model;
+}
+
+void TraceLatencyModel::begin_round(Round) {
+  cursor_ = (cursor_ + 1) % rounds_.size();
+}
+
+double TraceLatencyModel::sample_ms(ProcessId src, ProcessId dst) {
+  if (src == dst) return 0.0;
+  return rounds_[cursor_][static_cast<std::size_t>(src) * n_ + dst];
+}
+
+TraceRecorder::TraceRecorder(LatencyModel& wrapped, std::ostream& out)
+    : wrapped_(wrapped), out_(out) {}
+
+void TraceRecorder::begin_round(Round k) {
+  if (!wrote_header_) {
+    out_ << "trace v1 n=" << wrapped_.n() << "\n";
+    wrote_header_ = true;
+  }
+  round_ = k;
+  wrapped_.begin_round(k);
+}
+
+double TraceRecorder::sample_ms(ProcessId src, ProcessId dst) {
+  const double ms = wrapped_.sample_ms(src, dst);
+  out_ << round_ << ' ' << src << ' ' << dst << ' ';
+  if (std::isfinite(ms)) {
+    out_ << ms;
+  } else {
+    out_ << "lost";
+  }
+  out_ << "\n";
+  return ms;
+}
+
+}  // namespace timing

@@ -1,0 +1,62 @@
+// Trace-based latencies: record any LatencyModel's samples to a portable
+// text format and replay them later - the bridge between this library and
+// REAL measurements (the paper's raw PlanetLab traces are not available;
+// a user with their own testbed pings can feed them in here and re-run
+// every figure against reality).
+//
+// Format (line-oriented, '#' comments):
+//   trace v1 n=<n>
+//   <round> <src> <dst> <latency_ms | 'lost'>
+// Rounds must be non-decreasing. Replay cycles back to the first round
+// when the trace is exhausted, so short traces can drive long runs.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/latency_model.hpp"
+
+namespace timing {
+
+class TraceLatencyModel final : public LatencyModel {
+ public:
+  /// Parse from a stream; throws std::runtime_error on malformed input.
+  static TraceLatencyModel parse(std::istream& in);
+
+  int n() const noexcept override { return n_; }
+  void begin_round(Round k) override;
+  double sample_ms(ProcessId src, ProcessId dst) override;
+
+  /// Number of recorded rounds.
+  int trace_rounds() const noexcept { return static_cast<int>(rounds_.size()); }
+
+ private:
+  TraceLatencyModel() = default;
+
+  // rounds_[r] is an n*n matrix of latencies (infinity = lost); cells
+  // never sampled in the trace default to 0 (timely).
+  int n_ = 0;
+  std::vector<std::vector<double>> rounds_;
+  std::size_t cursor_ = 0;
+};
+
+/// Wraps a model, copying every sample to `out` in the trace format.
+/// begin_round/sample_ms forward to the wrapped model.
+class TraceRecorder final : public LatencyModel {
+ public:
+  TraceRecorder(LatencyModel& wrapped, std::ostream& out);
+
+  int n() const noexcept override { return wrapped_.n(); }
+  void begin_round(Round k) override;
+  double sample_ms(ProcessId src, ProcessId dst) override;
+
+ private:
+  LatencyModel& wrapped_;
+  std::ostream& out_;
+  Round round_ = 0;
+  bool wrote_header_ = false;
+};
+
+}  // namespace timing

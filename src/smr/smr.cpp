@@ -1,0 +1,146 @@
+#include "smr/smr.hpp"
+
+#include "common/check.hpp"
+#include "giraf/engine.hpp"
+#include "oracles/omega.hpp"
+#include "oracles/omega_election.hpp"
+
+namespace timing {
+
+namespace {
+
+std::unique_ptr<Protocol> build_protocol(AlgorithmKind kind, ProcessId self,
+                                         int n, Command proposal,
+                                         bool use_election) {
+  // Proposals must be real values; noops are encoded as a reserved
+  // command, which is a valid consensus value but must not collide with
+  // kNoValue.
+  static_assert(kNoopCommand != kNoValue);
+  auto inner = make_protocol(kind, self, n, proposal);
+  if (!use_election) return inner;
+  return std::make_unique<OmegaElection>(self, n, std::move(inner));
+}
+
+}  // namespace
+
+SmrGroup::SmrGroup(SmrGroupConfig cfg,
+                   std::vector<std::unique_ptr<StateMachine>> machines)
+    : cfg_(cfg), machines_(std::move(machines)) {
+  TM_CHECK(static_cast<int>(machines_.size()) == cfg_.n,
+           "one state machine per replica");
+  TM_CHECK(cfg_.n > 1, "replication needs n > 1");
+  for (const auto& m : machines_) TM_CHECK(m != nullptr, "null machine");
+}
+
+SmrInstanceResult SmrGroup::run_instance(
+    const std::vector<Command>& proposals, TimelinessSampler& network,
+    const std::vector<Round>* crash_rounds) {
+  TM_CHECK(static_cast<int>(proposals.size()) == cfg_.n,
+           "one proposal per replica");
+  std::vector<std::unique_ptr<Protocol>> group;
+  for (ProcessId i = 0; i < cfg_.n; ++i) {
+    group.push_back(build_protocol(cfg_.algorithm, i, cfg_.n,
+                                   proposals[static_cast<std::size_t>(i)],
+                                   cfg_.use_election));
+  }
+  std::shared_ptr<Oracle> oracle;
+  if (!cfg_.use_election) {
+    oracle = std::make_shared<DesignatedOracle>(cfg_.leader);
+  }
+  RoundEngine engine(std::move(group), oracle);
+  if (crash_rounds != nullptr) {
+    TM_CHECK(static_cast<int>(crash_rounds->size()) == cfg_.n,
+             "one crash entry per replica");
+    for (ProcessId i = 0; i < cfg_.n; ++i) {
+      const Round at = (*crash_rounds)[static_cast<std::size_t>(i)];
+      if (at > 0) engine.crash_at(i, at);
+    }
+  }
+  const Round decided = engine.run(network, cfg_.max_rounds_per_instance);
+
+  SmrInstanceResult result;
+  result.rounds = engine.current_round();
+  if (decided < 0) return result;  // nothing applied anywhere
+
+  result.decided = true;
+  Value agreed = kNoValue;
+  for (ProcessId i = 0; i < cfg_.n; ++i) {
+    if (!engine.alive(i) && !engine.process(i).has_decided()) continue;
+    const Value d = engine.process(i).decision();
+    if (agreed == kNoValue) agreed = d;
+    TM_CHECK(d == agreed,
+             "consensus violated agreement");  // hard stop: data corruption
+  }
+  result.command = agreed;
+  for (ProcessId i = 0; i < cfg_.n; ++i) {
+    if (!engine.alive(i)) continue;  // crashed: would replay on recovery
+    machines_[static_cast<std::size_t>(i)]->apply(result.command);
+  }
+  ++instances_decided_;
+  return result;
+}
+
+bool SmrGroup::consistent() const {
+  return consistent_among(std::vector<bool>(machines_.size(), true));
+}
+
+bool SmrGroup::consistent_among(const std::vector<bool>& include) const {
+  std::uint64_t reference = 0;
+  bool have_reference = false;
+  for (std::size_t i = 0; i < machines_.size(); ++i) {
+    if (!include[i]) continue;
+    const std::uint64_t f = machines_[i]->fingerprint();
+    if (!have_reference) {
+      reference = f;
+      have_reference = true;
+    } else if (f != reference) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SmrNode::SmrNode(SmrNodeConfig cfg, Transport& transport,
+                 std::unique_ptr<StateMachine> machine)
+    : cfg_(cfg), transport_(transport), machine_(std::move(machine)) {
+  TM_CHECK(cfg_.n > 1, "replication needs n > 1");
+  TM_CHECK(cfg_.self >= 0 && cfg_.self < cfg_.n, "self out of range");
+  TM_CHECK(machine_ != nullptr, "state machine required");
+  TM_CHECK(cfg_.instance_round_stride > cfg_.max_rounds_per_instance * 2,
+           "instance round ranges would overlap");
+}
+
+std::vector<SmrNodeInstance> SmrNode::run(
+    int instances, const std::function<Command(int)>& next_command) {
+  std::vector<SmrNodeInstance> log;
+  log.reserve(static_cast<std::size_t>(instances));
+  for (int inst = 0; inst < instances; ++inst) {
+    const Command proposal = next_command(inst);
+    auto protocol = build_protocol(AlgorithmKind::kWlm, cfg_.self, cfg_.n,
+                                   proposal, cfg_.use_election);
+    DesignatedOracle designated(cfg_.leader);
+
+    RoundSyncConfig rcfg;
+    rcfg.timeout_ms = cfg_.timeout_ms;
+    rcfg.max_rounds = cfg_.max_rounds_per_instance;
+    rcfg.first_round = 1 + static_cast<Round>(inst) * cfg_.instance_round_stride;
+    rcfg.one_way_ms = cfg_.one_way_ms;
+    RoundSyncRunner runner(*protocol,
+                           cfg_.use_election ? nullptr : &designated,
+                           transport_, cfg_.n, rcfg);
+    const RoundSyncResult r = runner.run();
+
+    SmrNodeInstance rec;
+    rec.decided = r.decided;
+    rec.decision_round = r.decision_round;
+    rec.elapsed_ms = r.elapsed_ms;
+    if (r.decided) {
+      rec.command = protocol->decision();
+      machine_->apply(rec.command);
+    }
+    log.push_back(rec);
+  }
+  return log;
+}
+
+}  // namespace timing

@@ -1,0 +1,125 @@
+// State-machine replication on top of the consensus library: a sequence
+// of consensus instances, one per log slot, each deciding the command
+// that every replica then applies.
+//
+// Two drivers:
+//  * SmrGroup - deterministic, engine-based (lock-step rounds over a
+//    TimelinessSampler): the form used by tests and simulation studies;
+//  * SmrNode - deployment-shaped (one object per node over a Transport,
+//    using the Section 5.1 round synchronization): the form used by the
+//    examples and the UDP integration tests. Successive instances use
+//    disjoint wire round ranges so packets of instance k can never
+//    confuse instance k+1.
+//
+// The paper's stable-leader observation is what makes this practical:
+// "the same leader may persist for numerous instances of consensus
+// (possibly thousands)", so Algorithm 2's O(n) stable-state messaging is
+// the steady-state cost of the whole replicated service.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "consensus/factory.hpp"
+#include "net/transport.hpp"
+#include "roundsync/roundsync.hpp"
+#include "sim/sampler.hpp"
+#include "smr/state_machine.hpp"
+
+namespace timing {
+
+// ---------------------------------------------------------------------
+// Deterministic, engine-based replication.
+
+struct SmrGroupConfig {
+  int n = 5;
+  AlgorithmKind algorithm = AlgorithmKind::kWlm;
+  ProcessId leader = 0;       ///< designated leader (ignored with election)
+  bool use_election = false;  ///< wrap protocols in OmegaElection
+  int max_rounds_per_instance = 500;
+};
+
+struct SmrInstanceResult {
+  bool decided = false;
+  Value command = kNoValue;
+  Round rounds = 0;  ///< rounds the instance ran
+};
+
+class SmrGroup {
+ public:
+  /// One state machine per replica (machines.size() == cfg.n).
+  SmrGroup(SmrGroupConfig cfg,
+           std::vector<std::unique_ptr<StateMachine>> machines);
+
+  /// Run one consensus instance over the given network; proposals[i] is
+  /// replica i's pending command (use kNoopCommand when idle). On global
+  /// decision every surviving replica applies the decided command.
+  /// `crash_rounds` (optional, one entry per replica, 0 = never) injects
+  /// crash failures; pass the same vector to the network's ScheduleConfig
+  /// so the model's timeliness guarantees refer to correct processes.
+  /// Crashed replicas' machines stop applying commands - a real system
+  /// would replay the log on recovery.
+  SmrInstanceResult run_instance(const std::vector<Command>& proposals,
+                                 TimelinessSampler& network,
+                                 const std::vector<Round>* crash_rounds =
+                                     nullptr);
+
+  int instances_decided() const noexcept { return instances_decided_; }
+  const StateMachine& machine(ProcessId i) const { return *machines_[i]; }
+
+  /// True iff all replicas' fingerprints agree.
+  bool consistent() const;
+  /// Consistency restricted to a subset (e.g. the survivors of a crash).
+  bool consistent_among(const std::vector<bool>& include) const;
+
+ private:
+  SmrGroupConfig cfg_;
+  std::vector<std::unique_ptr<StateMachine>> machines_;
+  int instances_decided_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Network replica (one per node, run concurrently).
+
+struct SmrNodeConfig {
+  int n = 0;
+  ProcessId self = kNoProcess;
+  double timeout_ms = 50.0;
+  int max_rounds_per_instance = 500;
+  ProcessId leader = 0;       ///< designated leader (ignored with election)
+  bool use_election = false;
+  std::vector<double> one_way_ms;  ///< L_i[j] for fast-forward (optional)
+  /// Wire-round stride between instances; must exceed any instance's
+  /// round count and be identical across replicas.
+  Round instance_round_stride = 1 << 20;
+};
+
+struct SmrNodeInstance {
+  bool decided = false;
+  Value command = kNoValue;
+  Round decision_round = -1;
+  double elapsed_ms = 0.0;
+};
+
+class SmrNode {
+ public:
+  SmrNode(SmrNodeConfig cfg, Transport& transport,
+          std::unique_ptr<StateMachine> machine);
+
+  /// Runs `instances` consecutive consensus instances. next_command(i)
+  /// supplies this node's proposal for instance i (return kNoopCommand
+  /// when idle; a real command is required from at least one replica for
+  /// the slot to be useful, but consensus itself does not care).
+  std::vector<SmrNodeInstance> run(
+      int instances, const std::function<Command(int)>& next_command);
+
+  const StateMachine& machine() const { return *machine_; }
+
+ private:
+  SmrNodeConfig cfg_;
+  Transport& transport_;
+  std::unique_ptr<StateMachine> machine_;
+};
+
+}  // namespace timing

@@ -1,0 +1,76 @@
+#include "smr/state_machine.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace timing {
+
+Command make_kv_command(std::uint32_t key, std::uint32_t argument) noexcept {
+  return (static_cast<Command>(key & 0x7fffffffu) << 31) |
+         static_cast<Command>(argument & 0x7fffffffu);
+}
+
+std::uint32_t kv_command_key(Command c) noexcept {
+  return static_cast<std::uint32_t>((static_cast<std::uint64_t>(c) >> 31) &
+                                    0x7fffffffu);
+}
+
+std::uint32_t kv_command_argument(Command c) noexcept {
+  return static_cast<std::uint32_t>(static_cast<std::uint64_t>(c) &
+                                    0x7fffffffu);
+}
+
+void KvStateMachine::apply(Command cmd) {
+  ++applied_;
+  if (cmd == kNoopCommand) return;
+  kv_[kv_command_key(cmd)] = kv_command_argument(cmd);
+}
+
+std::uint64_t KvStateMachine::fingerprint() const {
+  std::uint64_t h = 0x243f6a8885a308d3ULL ^
+                    static_cast<std::uint64_t>(applied_);
+  for (const auto& [k, v] : kv_) {
+    std::uint64_t x = (static_cast<std::uint64_t>(k) << 32) | v;
+    x ^= h;
+    h = splitmix64(x);
+  }
+  return h;
+}
+
+std::string KvStateMachine::describe() const {
+  std::ostringstream os;
+  os << "kv{";
+  bool first = true;
+  for (const auto& [k, v] : kv_) {
+    os << (first ? "" : ", ") << k << "=" << v;
+    first = false;
+  }
+  os << "} after " << applied_ << " commands";
+  return os.str();
+}
+
+bool KvStateMachine::get(std::uint32_t key, std::uint32_t& out) const {
+  auto it = kv_.find(key);
+  if (it == kv_.end()) return false;
+  out = it->second;
+  return true;
+}
+
+std::uint64_t JournalStateMachine::fingerprint() const {
+  std::uint64_t h = 0x452821e638d01377ULL;
+  for (Command c : journal_) {
+    std::uint64_t x = static_cast<std::uint64_t>(c) ^ h;
+    h = splitmix64(x);
+  }
+  return h;
+}
+
+std::string JournalStateMachine::describe() const {
+  std::ostringstream os;
+  os << "journal of " << journal_.size() << " commands";
+  return os.str();
+}
+
+}  // namespace timing

@@ -1,0 +1,77 @@
+// State machines for replication - the application side of the paper's
+// motivating use case ("Consensus is an important building block for
+// achieving fault-tolerance using the state-machine paradigm [20]").
+//
+// Commands are consensus values (64-bit, totally ordered as the paper's
+// Values must be). A state machine is deterministic: replicas that apply
+// the same command sequence reach identical states, which the SMR tests
+// verify via fingerprints.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace timing {
+
+/// A replication command. kNoopCommand fills instances for which a
+/// replica had nothing to propose.
+using Command = Value;
+inline constexpr Command kNoopCommand = 0;
+
+class StateMachine {
+ public:
+  virtual ~StateMachine() = default;
+
+  /// Apply the next decided command. Must be deterministic.
+  virtual void apply(Command cmd) = 0;
+
+  /// Order-sensitive digest of the current state; equal fingerprints <=>
+  /// replicas are in sync (for the deterministic machines used here).
+  virtual std::uint64_t fingerprint() const = 0;
+
+  /// Human-readable state dump (examples, debugging).
+  virtual std::string describe() const = 0;
+};
+
+/// Command encoding helpers for the KV machine: a command sets
+/// key := argument, both 31-bit unsigned. The sign bit stays clear so
+/// commands remain positive and distinct from kNoopCommand.
+Command make_kv_command(std::uint32_t key, std::uint32_t argument) noexcept;
+std::uint32_t kv_command_key(Command c) noexcept;
+std::uint32_t kv_command_argument(Command c) noexcept;
+
+/// A tiny replicated key-value store.
+class KvStateMachine final : public StateMachine {
+ public:
+  void apply(Command cmd) override;
+  std::uint64_t fingerprint() const override;
+  std::string describe() const override;
+
+  /// Lookup; returns false when the key was never set.
+  bool get(std::uint32_t key, std::uint32_t& out) const;
+  std::size_t size() const noexcept { return kv_.size(); }
+  long long applied() const noexcept { return applied_; }
+
+ private:
+  std::map<std::uint32_t, std::uint32_t> kv_;
+  long long applied_ = 0;
+};
+
+/// An append-only register machine recording every command (useful for
+/// asserting exact command sequences in tests).
+class JournalStateMachine final : public StateMachine {
+ public:
+  void apply(Command cmd) override { journal_.push_back(cmd); }
+  std::uint64_t fingerprint() const override;
+  std::string describe() const override;
+  const std::vector<Command>& journal() const noexcept { return journal_; }
+
+ private:
+  std::vector<Command> journal_;
+};
+
+}  // namespace timing

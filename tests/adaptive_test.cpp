@@ -1,0 +1,146 @@
+// Tests for the adaptive timeout controller: quantile tracking, bounded
+// steps, and end-to-end behaviour inside the round-sync runner (the
+// Section 5.3 tuning methodology, automated).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "consensus/factory.hpp"
+#include "net/transport.hpp"
+#include "oracles/omega.hpp"
+#include "roundsync/adaptive_timeout.hpp"
+#include "roundsync/roundsync.hpp"
+
+namespace timing {
+namespace {
+
+TEST(AdaptiveTimeout, ConvergesToTargetQuantile) {
+  AdaptiveTimeoutConfig cfg;
+  cfg.initial_ms = 100.0;
+  cfg.target_p = 0.90;
+  cfg.margin_factor = 1.0;
+  cfg.window_samples = 50;
+  AdaptiveTimeout at(cfg);
+  Rng rng(5);
+  // Offsets uniform in [0, 10): the 0.9-quantile is ~9 ms.
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 20; ++i) at.record_offset_ms(rng.uniform(0.0, 10.0));
+    at.next_timeout_ms();
+  }
+  EXPECT_NEAR(at.timeout_ms(), 9.0, 1.0);
+  EXPECT_GT(at.adjustments(), 0);
+}
+
+TEST(AdaptiveTimeout, GrowsWhenMessagesArriveLate) {
+  AdaptiveTimeoutConfig cfg;
+  cfg.initial_ms = 2.0;
+  cfg.target_p = 0.9;
+  cfg.margin_factor = 1.0;
+  cfg.window_samples = 20;
+  cfg.max_step_factor = 2.0;
+  AdaptiveTimeout at(cfg);
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 20; ++i) at.record_offset_ms(40.0);
+    at.next_timeout_ms();
+  }
+  EXPECT_NEAR(at.timeout_ms(), 40.0, 1.0);
+}
+
+TEST(AdaptiveTimeout, StepsAreBounded) {
+  AdaptiveTimeoutConfig cfg;
+  cfg.initial_ms = 10.0;
+  cfg.window_samples = 10;
+  cfg.max_step_factor = 1.5;
+  AdaptiveTimeout at(cfg);
+  for (int i = 0; i < 10; ++i) at.record_offset_ms(1000.0);
+  EXPECT_NEAR(at.next_timeout_ms(), 15.0, 1e-9) << "one step up: x1.5 only";
+  for (int i = 0; i < 10; ++i) at.record_offset_ms(0.001);
+  EXPECT_NEAR(at.next_timeout_ms(), 10.0, 1e-9) << "one step down: /1.5";
+}
+
+TEST(AdaptiveTimeout, RespectsBounds) {
+  AdaptiveTimeoutConfig cfg;
+  cfg.initial_ms = 1.0;
+  cfg.min_ms = 0.5;
+  cfg.max_ms = 2.0;
+  cfg.window_samples = 10;
+  cfg.max_step_factor = 100.0;
+  AdaptiveTimeout at(cfg);
+  for (int i = 0; i < 10; ++i) at.record_offset_ms(500.0);
+  EXPECT_DOUBLE_EQ(at.next_timeout_ms(), 2.0);
+  for (int i = 0; i < 10; ++i) at.record_offset_ms(0.0);
+  EXPECT_DOUBLE_EQ(at.next_timeout_ms(), 0.5);
+}
+
+TEST(AdaptiveTimeout, NoAdjustmentWithoutAFullWindow) {
+  AdaptiveTimeoutConfig cfg;
+  cfg.initial_ms = 7.0;
+  cfg.window_samples = 100;
+  AdaptiveTimeout at(cfg);
+  for (int i = 0; i < 50; ++i) at.record_offset_ms(1.0);
+  EXPECT_DOUBLE_EQ(at.next_timeout_ms(), 7.0);
+  EXPECT_EQ(at.adjustments(), 0);
+}
+
+TEST(AdaptiveRoundSync, ShrinksAnOversizedTimeoutAndStillDecides) {
+  // Nodes start with a 60 ms round on a ~2 ms network: the controller
+  // must walk the timeout down while consensus keeps working.
+  constexpr int kN = 4;
+  class Fast final : public LatencyModel {
+   public:
+    int n() const noexcept override { return kN; }
+    void begin_round(Round) override {}
+    double sample_ms(ProcessId, ProcessId) override { return 2.0; }
+  };
+  auto hub = std::make_shared<InProcHub>(kN);
+  hub->set_latency_model(std::make_unique<Fast>(), 10.0);
+
+  struct Out {
+    RoundSyncResult r;
+    Value decision = kNoValue;
+    double final_timeout = 0;
+  };
+  std::vector<Out> outs(kN);
+  std::vector<std::thread> threads;
+  for (ProcessId i = 0; i < kN; ++i) {
+    threads.emplace_back([&, i] {
+      // A protocol that decides but lingers long enough for several
+      // adjustment windows: use WLM with a large linger.
+      auto protocol = make_protocol(AlgorithmKind::kWlm, i, kN, 900 + i);
+      DesignatedOracle oracle(0);
+      InProcTransport transport(hub, i);
+      AdaptiveTimeoutConfig acfg;
+      acfg.initial_ms = 60.0;
+      acfg.target_p = 0.9;
+      acfg.window_samples = 12;
+      acfg.min_ms = 1.0;
+      AdaptiveTimeout adaptive(acfg);
+      RoundSyncConfig cfg;
+      cfg.timeout_ms = acfg.initial_ms;
+      cfg.max_rounds = 120;
+      cfg.linger_rounds_after_decide = 60;
+      cfg.adaptive = &adaptive;
+      RoundSyncRunner runner(*protocol, &oracle, transport, kN, cfg);
+      outs[static_cast<std::size_t>(i)].r = runner.run();
+      outs[static_cast<std::size_t>(i)].decision = protocol->decision();
+      outs[static_cast<std::size_t>(i)].final_timeout = adaptive.timeout_ms();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  Value agreed = kNoValue;
+  for (const auto& o : outs) {
+    ASSERT_TRUE(o.r.decided);
+    if (agreed == kNoValue) agreed = o.decision;
+    EXPECT_EQ(o.decision, agreed);
+    EXPECT_LT(o.final_timeout, 30.0)
+        << "controller failed to shrink a 60 ms timeout on a 2 ms network";
+    EXPECT_GE(o.final_timeout, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace timing

@@ -1,0 +1,238 @@
+// Unit tests for src/common: RNG determinism and distribution sanity,
+// statistics, and the exact binomial machinery the analysis relies on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/binomial.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/types.hpp"
+
+namespace timing {
+namespace {
+
+TEST(Types, MajoritySize) {
+  EXPECT_EQ(majority_size(2), 2);
+  EXPECT_EQ(majority_size(3), 2);
+  EXPECT_EQ(majority_size(4), 3);
+  EXPECT_EQ(majority_size(5), 3);
+  EXPECT_EQ(majority_size(8), 5);
+  EXPECT_EQ(majority_size(9), 5);
+}
+
+TEST(Types, IsMajority) {
+  EXPECT_FALSE(is_majority(4, 8));
+  EXPECT_TRUE(is_majority(5, 8));
+  EXPECT_FALSE(is_majority(2, 5));
+  EXPECT_TRUE(is_majority(3, 5));
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(123), c2(124);
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) {
+    if (a2.next() != c2.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_LT(r.uniform_int(8), 8u);
+  }
+  // All residues hit for a small bound.
+  bool seen[5] = {};
+  for (int i = 0; i < 1000; ++i) seen[r.uniform_int(5)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, BernoulliMean) {
+  Rng r(11);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(r.normal(2.0, 3.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng r(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 50001; ++i) xs.push_back(r.lognormal(1.0, 0.5));
+  EXPECT_NEAR(quantile_of(xs, 0.5), std::exp(1.0), 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(19);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(r.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+}
+
+TEST(Rng, ParetoSupport) {
+  Rng r(23);
+  for (int i = 0; i < 1000; ++i) ASSERT_GE(r.pareto(1.6, 1.4), 1.6);
+}
+
+TEST(Rng, SplitStreamsDiffer) {
+  Rng r(29);
+  Rng s1 = r.split();
+  Rng s2 = r.split();
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) {
+    if (s1.next() != s2.next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Stats, WelfordMatchesDirect) {
+  RunningStats s;
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), mean_of(xs));
+  EXPECT_NEAR(s.variance(), variance_of(xs), 1e-12);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 16.0);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_half_width(), 0.0);
+  s.add(5.0);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci95_half_width(), 0.0);
+}
+
+TEST(Stats, Ci95ShrinksWithN) {
+  RunningStats small, large;
+  Rng r(31);
+  for (int i = 0; i < 5; ++i) small.add(r.normal());
+  for (int i = 0; i < 500; ++i) large.add(r.normal());
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(Stats, StudentTTable) {
+  EXPECT_NEAR(student_t_975(1), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_975(32), 2.037, 0.02);  // the paper's 33-run case
+  EXPECT_NEAR(student_t_975(1000), 1.96, 1e-6);
+}
+
+TEST(Stats, Quantiles) {
+  std::vector<double> xs = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 0.25), 2.0);
+}
+
+TEST(Binomial, ChooseBasics) {
+  EXPECT_NEAR(std::exp(log_choose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(8, 4)), 70.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 0)), 1.0, 1e-9);
+}
+
+TEST(Binomial, PmfSumsToOne) {
+  for (double p : {0.1, 0.5, 0.9}) {
+    double sum = 0.0;
+    for (int k = 0; k <= 12; ++k) sum += binomial_pmf(12, k, p);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(Binomial, TailEdges) {
+  EXPECT_DOUBLE_EQ(binomial_tail_ge(10, 0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_ge(10, 11, 0.3), 0.0);
+  EXPECT_NEAR(binomial_tail_ge(10, 10, 0.5), std::pow(0.5, 10), 1e-12);
+  EXPECT_NEAR(binomial_tail_ge(1, 1, 0.25), 0.25, 1e-12);
+}
+
+TEST(Binomial, TailMonotoneInP) {
+  double prev = 0.0;
+  for (double p = 0.0; p <= 1.0001; p += 0.05) {
+    const double t = binomial_tail_ge(9, 5, std::min(p, 1.0));
+    EXPECT_GE(t + 1e-12, prev);
+    prev = t;
+  }
+}
+
+TEST(Binomial, LogTailMatchesLinear) {
+  const double t = binomial_tail_ge(20, 15, 0.6);
+  EXPECT_NEAR(std::exp(log_binomial_tail_ge(20, 15, 0.6)), t, 1e-9);
+}
+
+TEST(Binomial, ChernoffIsLowerBound) {
+  for (int n : {8, 16, 64, 256}) {
+    for (double p : {0.6, 0.75, 0.9, 0.99}) {
+      const double exact = binomial_tail_ge(n, n / 2 + 1, p);
+      const double bound = chernoff_majority_lower_bound(n, p);
+      EXPECT_LE(bound, exact + 1e-9) << "n=" << n << " p=" << p;
+    }
+  }
+  EXPECT_EQ(chernoff_majority_lower_bound(100, 0.5), 0.0);
+}
+
+TEST(Table, FormatsRows) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os, "caption");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("caption"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "plain"});
+  t.add_row({"2", "with,comma"});
+  t.add_row({"3", "with\"quote"});
+  std::ostringstream os;
+  t.print_csv(os, "cap");
+  EXPECT_EQ(os.str(),
+            "# cap\na,b\n1,plain\n2,\"with,comma\"\n3,\"with\"\"quote\"\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::integer(3.6), "4");
+  EXPECT_EQ(Table::num(std::numeric_limits<double>::infinity()), "inf");
+}
+
+}  // namespace
+}  // namespace timing

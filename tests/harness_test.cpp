@@ -1,0 +1,177 @@
+// Unit tests for the measurement harness: run measurement, decision
+// windows, random start points, and the experiment driver's statistics.
+#include <gtest/gtest.h>
+
+#include "harness/algorithm_runs.hpp"
+#include "harness/experiments.hpp"
+#include "oracles/omega.hpp"
+#include "harness/measurement.hpp"
+#include "models/schedule.hpp"
+
+namespace timing {
+namespace {
+
+TEST(Measurement, IncidenceCountsSatisfyingRounds) {
+  // An ES schedule stable from round 11 of 20: exactly half the rounds
+  // satisfy every model (plus whatever chaos satisfies by luck at p=0).
+  ScheduleConfig cfg;
+  cfg.n = 6;
+  cfg.model = TimingModel::kEs;
+  cfg.gsr = 11;
+  cfg.pre_gsr_p = 0.0;
+  cfg.seed = 3;
+  ScheduleSampler s(cfg);
+  RunMeasurement m = measure_run(s, 20, /*leader=*/0);
+  EXPECT_EQ(m.rounds, 20);
+  EXPECT_DOUBLE_EQ(m.incidence(TimingModel::kEs), 0.5);
+  EXPECT_DOUBLE_EQ(m.incidence(TimingModel::kWlm), 0.5);
+  // p: 10 rounds fully timely, 10 rounds fully untimely (except self
+  // links, which are excluded from message counting).
+  EXPECT_NEAR(m.timely_fraction(), 0.5, 1e-9);
+}
+
+TEST(Measurement, DecisionWindowBasics) {
+  //                         0  1  2  3  4  5  6  7
+  std::vector<std::uint8_t> sat{0, 1, 1, 0, 1, 1, 1, 0};
+  // From 0, first window of 3 consecutive ends at index 6: 7 rounds.
+  auto w = rounds_until_conditions(sat, 0, 3);
+  EXPECT_FALSE(w.censored);
+  EXPECT_DOUBLE_EQ(w.rounds, 7.0);
+  // From 4: ends at 6 -> 3 rounds.
+  w = rounds_until_conditions(sat, 4, 3);
+  EXPECT_DOUBLE_EQ(w.rounds, 3.0);
+  // Window of 2 from 0 ends at index 2 -> 3 rounds.
+  w = rounds_until_conditions(sat, 0, 2);
+  EXPECT_DOUBLE_EQ(w.rounds, 3.0);
+  // Window of 4 never occurs: censored, lower bound = remaining length.
+  w = rounds_until_conditions(sat, 0, 4);
+  EXPECT_TRUE(w.censored);
+  EXPECT_DOUBLE_EQ(w.rounds, 8.0);
+}
+
+TEST(Measurement, DecisionWindowStreakMustBeConsecutive) {
+  std::vector<std::uint8_t> sat{1, 0, 1, 0, 1, 0, 1, 0, 1, 1, 1};
+  auto w = rounds_until_conditions(sat, 0, 3);
+  EXPECT_FALSE(w.censored);
+  EXPECT_DOUBLE_EQ(w.rounds, 11.0) << "alternating rounds never form a window";
+}
+
+TEST(Measurement, DecisionStatsAveragesStartPoints) {
+  std::vector<std::uint8_t> sat(100, 1);  // always satisfying
+  Rng rng(5);
+  auto ds = decision_stats(sat, 4, 15, rng);
+  EXPECT_DOUBLE_EQ(ds.mean_rounds, 4.0);
+  EXPECT_DOUBLE_EQ(ds.censored_fraction, 0.0);
+
+  std::vector<std::uint8_t> never(100, 0);
+  auto ds2 = decision_stats(never, 4, 15, rng);
+  EXPECT_DOUBLE_EQ(ds2.censored_fraction, 1.0);
+  EXPECT_GT(ds2.mean_rounds, 45.0) << "censored windows report remaining run";
+}
+
+TEST(Experiments, PairedSeedsGiveIdenticalLatencies) {
+  // The same run index must see the same p regardless of other timeouts
+  // in the sweep (paired design).
+  ExperimentConfig a;
+  a.testbed = Testbed::kWan;
+  a.timeouts_ms = {200};
+  a.runs = 5;
+  a.rounds_per_run = 50;
+  a.seed = 11;
+  ExperimentConfig b = a;
+  b.timeouts_ms = {160, 200, 350};
+  const auto ra = run_experiment(a);
+  const auto rb = run_experiment(b);
+  EXPECT_DOUBLE_EQ(ra[0].mean_p, rb[1].mean_p);
+  EXPECT_DOUBLE_EQ(ra[0].models[2].mean_pm, rb[1].models[2].mean_pm);
+}
+
+TEST(Experiments, LeaderResolution) {
+  ExperimentConfig wan;
+  wan.testbed = Testbed::kWan;
+  EXPECT_EQ(resolve_leader(wan), WanLatencyModel::kUk);
+  wan.leader = 3;
+  EXPECT_EQ(resolve_leader(wan), 3);
+
+  ExperimentConfig lan;
+  lan.testbed = Testbed::kLan;
+  // The best-connected LAN machine is node 0 (smallest node factor).
+  EXPECT_EQ(resolve_leader(lan), 0);
+}
+
+TEST(Experiments, WellConnectedElectionPicksUk) {
+  // The paper's offline method ("we measured the round-trip times of all
+  // links using pings, and then chose a well-connected node") must pick
+  // the UK site on this testbed, as it did on PlanetLab.
+  ExperimentConfig wan;
+  wan.testbed = Testbed::kWan;
+  EXPECT_EQ(elect_well_connected(expected_rtt_matrix(wan)),
+            WanLatencyModel::kUk);
+}
+
+TEST(Experiments, ExpectedRttMatrixShape) {
+  ExperimentConfig wan;
+  wan.testbed = Testbed::kWan;
+  const auto rtt = expected_rtt_matrix(wan);
+  ASSERT_EQ(rtt.size(), 8u);
+  EXPECT_DOUBLE_EQ(rtt[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(rtt[0][6], rtt[6][0]);
+  EXPECT_NEAR(rtt[0][6], 20.0, 1.0);  // CH <-> UK, 2 x 10 ms
+}
+
+TEST(Experiments, MeanTimeIsRoundsTimesTimeout) {
+  ExperimentConfig cfg;
+  cfg.testbed = Testbed::kWan;
+  cfg.timeouts_ms = {250};
+  cfg.runs = 4;
+  cfg.rounds_per_run = 120;
+  cfg.seed = 9;
+  const auto rs = run_experiment(cfg);
+  for (const auto& m : rs[0].models) {
+    EXPECT_DOUBLE_EQ(m.mean_time_ms, m.mean_rounds * 250.0);
+  }
+}
+
+TEST(AlgorithmRuns, ReportsMessageComplexity) {
+  AlgorithmRunConfig cfg;
+  cfg.kind = AlgorithmKind::kLm3;
+  cfg.schedule.n = 6;
+  cfg.schedule.model = TimingModel::kLm;
+  cfg.schedule.leader = 1;
+  cfg.schedule.gsr = 5;
+  cfg.schedule.seed = 8;
+  for (int i = 0; i < 6; ++i) cfg.proposals.push_back(i + 1);
+  const auto r = run_algorithm(cfg);
+  ASSERT_TRUE(r.all_decided);
+  EXPECT_EQ(r.stable_round_messages, 6 * 5) << "LM-3 broadcasts: n(n-1)";
+  EXPECT_GT(r.total_messages, r.stable_round_messages);
+}
+
+TEST(AlgorithmRuns, WlmVsLm3MessageComplexityContrast) {
+  // The paper's core message-complexity claim, measured: Algorithm 2
+  // sends 2(n-1) stable-state messages/round, the <>LM algorithm n(n-1).
+  for (int n : {4, 8, 16, 32}) {
+    AlgorithmRunConfig wlm;
+    wlm.kind = AlgorithmKind::kWlm;
+    wlm.schedule.n = n;
+    wlm.schedule.model = TimingModel::kWlm;
+    wlm.schedule.leader = 0;
+    wlm.schedule.gsr = 4;
+    wlm.schedule.seed = n;
+    wlm.oracle_stable_from = 0;
+    for (int i = 0; i < n; ++i) wlm.proposals.push_back(i + 1);
+    const auto rw = run_algorithm(wlm);
+    ASSERT_TRUE(rw.all_decided);
+    EXPECT_EQ(rw.stable_round_messages, 2 * (n - 1));
+
+    AlgorithmRunConfig lm = wlm;
+    lm.kind = AlgorithmKind::kLm3;
+    lm.schedule.model = TimingModel::kLm;
+    const auto rl = run_algorithm(lm);
+    ASSERT_TRUE(rl.all_decided);
+    EXPECT_EQ(rl.stable_round_messages, static_cast<long long>(n) * (n - 1));
+  }
+}
+
+}  // namespace
+}  // namespace timing

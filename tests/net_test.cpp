@@ -1,0 +1,335 @@
+// Tests for the networking substrate: codec round-trips (including
+// malformed-input rejection), framing, the in-process hub (delivery,
+// latency injection, loss), the UDP loopback transport, and ping-based
+// latency measurement.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "net/codec.hpp"
+#include "net/frame.hpp"
+#include "net/ping.hpp"
+#include "net/transport.hpp"
+#include "net/udp_transport.hpp"
+
+namespace timing {
+namespace {
+
+Message sample_message() {
+  Message m;
+  m.type = MsgType::kCommit;
+  m.est = -1234567890123LL;
+  m.ts = 42;
+  m.leader = 3;
+  m.maj_approved = true;
+  m.heard_maj = false;
+  m.ballot = 17;
+  m.accepted_ballot = 9;
+  m.accepted_value = 777;
+  return m;
+}
+
+TEST(Codec, RoundTripSimple) {
+  Envelope e{12, 4, sample_message()};
+  Bytes buf;
+  encode(e, buf);
+  auto back = decode(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, e);
+}
+
+TEST(Codec, RoundTripWithRelayPayload) {
+  Message relay;
+  relay.type = MsgType::kRelay;
+  relay.relay_from = {0, 2, 5};
+  relay.relay_msgs = {sample_message(), Message{}, sample_message()};
+  relay.relay_msgs[1].type = MsgType::kDecide;
+  relay.relay_msgs[1].est = 5;
+  Envelope e{7, 1, relay};
+  Bytes buf;
+  encode(e, buf);
+  auto back = decode(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, e);
+}
+
+TEST(Codec, NestedRelays) {
+  Message inner;
+  inner.type = MsgType::kRelay;
+  inner.relay_from = {1};
+  inner.relay_msgs = {sample_message()};
+  Message outer;
+  outer.type = MsgType::kRelay;
+  outer.relay_from = {3};
+  outer.relay_msgs = {inner};
+  Envelope e{2, 0, outer};
+  Bytes buf;
+  encode(e, buf);
+  auto back = decode(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, e);
+}
+
+TEST(Codec, RejectsTruncatedInput) {
+  Envelope e{12, 4, sample_message()};
+  Bytes buf;
+  encode(e, buf);
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    Bytes partial(buf.begin(), buf.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(decode(partial).has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(Codec, RejectsTrailingGarbage) {
+  Envelope e{1, 0, sample_message()};
+  Bytes buf;
+  encode(e, buf);
+  buf.push_back(0xab);
+  EXPECT_FALSE(decode(buf).has_value());
+}
+
+TEST(Codec, RejectsBadTypeAndHostileFanout) {
+  Envelope e{1, 0, sample_message()};
+  Bytes buf;
+  encode(e, buf);
+  Bytes bad = buf;
+  bad[8] = 0xff;  // message type byte
+  EXPECT_FALSE(decode(bad).has_value());
+
+  // Hostile relay fanout: huge count with no payload.
+  Message relay;
+  relay.type = MsgType::kRelay;
+  Envelope re{1, 0, relay};
+  Bytes rbuf;
+  encode(re, rbuf);
+  // Patch the fanout (last 4 bytes of the message) to a huge value.
+  rbuf[rbuf.size() - 4] = 0xff;
+  rbuf[rbuf.size() - 3] = 0xff;
+  rbuf[rbuf.size() - 2] = 0xff;
+  rbuf[rbuf.size() - 1] = 0x7f;
+  EXPECT_FALSE(decode(rbuf).has_value());
+}
+
+TEST(Codec, FuzzBitflipsNeverCrashAndNeverAliasValidEnvelopes) {
+  // Flip random bits in valid encodings: the decoder must either reject
+  // the buffer or produce SOME envelope - never crash or read out of
+  // bounds (ASAN-visible if it did). This guards the UDP receive path,
+  // which feeds raw datagrams straight into decode().
+  Rng rng(1234);
+  Message m = sample_message();
+  m.punish = {1, 2, 3, 4};
+  Envelope e{12, 4, m};
+  Bytes buf;
+  encode(e, buf);
+  int rejected = 0;
+  const int trials = 5000;
+  for (int t = 0; t < trials; ++t) {
+    Bytes mutated = buf;
+    const int flips = 1 + static_cast<int>(rng.uniform_int(4));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = rng.uniform_int(mutated.size());
+      mutated[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+    }
+    if (!decode(mutated).has_value()) ++rejected;
+  }
+  // Most single-field corruptions still parse (they change payload
+  // values, which is fine); structural corruptions must be rejected.
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(Codec, FuzzRandomBuffersNeverCrash) {
+  Rng rng(4321);
+  for (int t = 0; t < 5000; ++t) {
+    Bytes junk(rng.uniform_int(128));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.uniform_int(256));
+    (void)decode(junk);   // must not crash
+    (void)parse_frame(junk);
+  }
+}
+
+TEST(Codec, RandomMessagesRoundTrip) {
+  Rng rng(777);
+  for (int t = 0; t < 2000; ++t) {
+    Message m;
+    m.type = static_cast<MsgType>(rng.uniform_int(10));
+    m.est = static_cast<Value>(rng.next());
+    m.ts = static_cast<Timestamp>(rng.uniform_int(1 << 30));
+    m.leader = static_cast<ProcessId>(rng.uniform_int(64)) - 1;
+    m.maj_approved = rng.bernoulli(0.5);
+    m.heard_maj = rng.bernoulli(0.5);
+    m.ballot = static_cast<Timestamp>(rng.uniform_int(1 << 20));
+    m.accepted_ballot = static_cast<Timestamp>(rng.uniform_int(1 << 20));
+    m.accepted_value = static_cast<Value>(rng.next());
+    const auto punishes = rng.uniform_int(9);
+    for (std::uint64_t i = 0; i < punishes; ++i) {
+      m.punish.push_back(static_cast<Timestamp>(rng.uniform_int(1000)));
+    }
+    if (rng.bernoulli(0.3)) {
+      const auto fanout = 1 + rng.uniform_int(5);
+      for (std::uint64_t i = 0; i < fanout; ++i) {
+        Message inner;
+        inner.est = static_cast<Value>(rng.next());
+        m.relay_from.push_back(static_cast<ProcessId>(i));
+        m.relay_msgs.push_back(inner);
+      }
+    }
+    Envelope e{static_cast<Round>(rng.uniform_int(1 << 20)),
+               static_cast<ProcessId>(rng.uniform_int(64)), m};
+    Bytes buf;
+    encode(e, buf);
+    auto back = decode(buf);
+    ASSERT_TRUE(back.has_value()) << "trial " << t;
+    ASSERT_EQ(*back, e) << "trial " << t;
+  }
+}
+
+TEST(Frame, RoundTrips) {
+  Bytes buf;
+  frame_ping(PingFrame{0xdeadbeefcafeULL}, buf);
+  auto f = parse_frame(buf);
+  ASSERT_TRUE(f.has_value());
+  ASSERT_TRUE(std::holds_alternative<PingFrame>(*f));
+  EXPECT_EQ(std::get<PingFrame>(*f).nonce, 0xdeadbeefcafeULL);
+
+  buf.clear();
+  frame_pong(PongFrame{99}, buf);
+  f = parse_frame(buf);
+  ASSERT_TRUE(std::holds_alternative<PongFrame>(*f));
+
+  buf.clear();
+  Envelope e{3, 2, sample_message()};
+  frame_envelope(e, buf);
+  f = parse_frame(buf);
+  ASSERT_TRUE(std::holds_alternative<Envelope>(*f));
+  EXPECT_EQ(std::get<Envelope>(*f), e);
+
+  EXPECT_FALSE(parse_frame(Bytes{}).has_value());
+  EXPECT_FALSE(parse_frame(Bytes{9, 1, 2}).has_value());
+}
+
+TEST(InProcHub, DeliversBetweenEndpoints) {
+  auto hub = std::make_shared<InProcHub>(3);
+  InProcTransport a(hub, 0), b(hub, 1);
+  Bytes msg{1, 2, 3};
+  EXPECT_TRUE(a.send(1, msg));
+  Bytes got;
+  ProcessId from = kNoProcess;
+  ASSERT_TRUE(b.recv(got, from, Clock::now() + std::chrono::seconds(1)));
+  EXPECT_EQ(got, msg);
+  EXPECT_EQ(from, 0);
+}
+
+TEST(InProcHub, RecvTimesOut) {
+  auto hub = std::make_shared<InProcHub>(2);
+  InProcTransport a(hub, 0);
+  Bytes got;
+  ProcessId from;
+  const auto t0 = Clock::now();
+  EXPECT_FALSE(a.recv(got, from, t0 + std::chrono::milliseconds(30)));
+  EXPECT_GE(Clock::now() - t0, std::chrono::milliseconds(25));
+}
+
+TEST(InProcHub, LatencyInjectionDelaysDelivery) {
+  class Fixed final : public LatencyModel {
+   public:
+    int n() const noexcept override { return 2; }
+    void begin_round(Round) override {}
+    double sample_ms(ProcessId, ProcessId) override { return 60.0; }
+  };
+  auto hub = std::make_shared<InProcHub>(2);
+  hub->set_latency_model(std::make_unique<Fixed>(), 10.0);
+  InProcTransport a(hub, 0), b(hub, 1);
+  a.send(1, Bytes{7});
+  Bytes got;
+  ProcessId from;
+  // Not there after 20 ms...
+  EXPECT_FALSE(b.recv(got, from, Clock::now() + std::chrono::milliseconds(20)));
+  // ...but there within 200 ms.
+  EXPECT_TRUE(b.recv(got, from, Clock::now() + std::chrono::milliseconds(200)));
+}
+
+TEST(InProcHub, LossDropsPacket) {
+  class Lossy final : public LatencyModel {
+   public:
+    int n() const noexcept override { return 2; }
+    void begin_round(Round) override {}
+    double sample_ms(ProcessId, ProcessId) override {
+      return std::numeric_limits<double>::infinity();
+    }
+  };
+  auto hub = std::make_shared<InProcHub>(2);
+  hub->set_latency_model(std::make_unique<Lossy>(), 10.0);
+  InProcTransport a(hub, 0), b(hub, 1);
+  a.send(1, Bytes{7});
+  Bytes got;
+  ProcessId from;
+  EXPECT_FALSE(b.recv(got, from, Clock::now() + std::chrono::milliseconds(50)));
+}
+
+TEST(Udp, LoopbackRoundTrip) {
+  UdpTransport a(0, 2, 39100), b(1, 2, 39100);
+  Bytes msg{9, 8, 7, 6};
+  ASSERT_TRUE(a.send(1, msg));
+  Bytes got;
+  ProcessId from = kNoProcess;
+  ASSERT_TRUE(b.recv(got, from, Clock::now() + std::chrono::seconds(2)));
+  EXPECT_EQ(got, msg);
+  EXPECT_EQ(from, 0);
+}
+
+TEST(Udp, BindConflictThrows) {
+  UdpTransport a(0, 2, 39140);
+  EXPECT_THROW(UdpTransport(0, 2, 39140), std::runtime_error);
+}
+
+TEST(Udp, RecvTimesOut) {
+  UdpTransport a(0, 2, 39160);
+  Bytes got;
+  ProcessId from;
+  EXPECT_FALSE(a.recv(got, from, Clock::now() + std::chrono::milliseconds(30)));
+}
+
+TEST(Ping, MeasuresRttOverHub) {
+  auto hub = std::make_shared<InProcHub>(3);
+  class Fixed final : public LatencyModel {
+   public:
+    int n() const noexcept override { return 3; }
+    void begin_round(Round) override {}
+    double sample_ms(ProcessId, ProcessId) override { return 5.0; }
+  };
+  hub->set_latency_model(std::make_unique<Fixed>(), 50.0);
+
+  PingConfig cfg;
+  cfg.pings_per_peer = 5;
+  cfg.total_duration = std::chrono::milliseconds(3000);
+
+  std::vector<PingReport> reports(3);
+  std::vector<std::thread> threads;
+  for (ProcessId i = 0; i < 3; ++i) {
+    threads.emplace_back([&, i] {
+      InProcTransport t(hub, i);
+      reports[static_cast<std::size_t>(i)] = measure_peer_rtts(t, 3, cfg);
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  for (ProcessId i = 0; i < 3; ++i) {
+    for (ProcessId j = 0; j < 3; ++j) {
+      if (i == j) {
+        EXPECT_EQ(reports[i].avg_rtt_ms[j], 0.0);
+      } else {
+        EXPECT_GT(reports[i].replies[j], 0) << i << "->" << j;
+        // 2 x 5 ms one-way, plus scheduling slack.
+        EXPECT_GE(reports[i].avg_rtt_ms[j], 9.0);
+        EXPECT_LT(reports[i].avg_rtt_ms[j], 60.0);
+        EXPECT_NEAR(reports[i].one_way_ms(j), reports[i].avg_rtt_ms[j] / 2,
+                    1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace timing

@@ -1,0 +1,108 @@
+// Unit tests for the Omega oracle implementations and the offline
+// well-connected leader election (Section 5.2's ping-based method).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "oracles/omega.hpp"
+
+namespace timing {
+namespace {
+
+TEST(DesignatedOracle, AlwaysAnswersTheSameLeader) {
+  DesignatedOracle o(3);
+  for (ProcessId self = 0; self < 5; ++self) {
+    for (Round k = 0; k < 10; ++k) {
+      EXPECT_EQ(o.query(self, k), 3);
+    }
+  }
+}
+
+TEST(UnstableOracle, StableFromTheConfiguredRound) {
+  UnstableOracle o(6, /*final_leader=*/4, /*stable_from=*/20, 9);
+  for (ProcessId self = 0; self < 6; ++self) {
+    for (Round k = 20; k < 40; ++k) {
+      EXPECT_EQ(o.query(self, k), 4);
+    }
+  }
+}
+
+TEST(UnstableOracle, PreStabilizationIsArbitraryButDeterministic) {
+  UnstableOracle a(6, 0, 1000, 13), b(6, 0, 1000, 13);
+  std::set<ProcessId> answers;
+  bool disagreement = false;
+  for (Round k = 0; k < 50; ++k) {
+    std::set<ProcessId> this_round;
+    for (ProcessId self = 0; self < 6; ++self) {
+      const ProcessId ans = a.query(self, k);
+      EXPECT_EQ(ans, b.query(self, k)) << "same seed must agree";
+      EXPECT_GE(ans, 0);
+      EXPECT_LT(ans, 6);
+      answers.insert(ans);
+      this_round.insert(ans);
+    }
+    if (this_round.size() > 1) disagreement = true;
+  }
+  EXPECT_GT(answers.size(), 1u) << "pre-GSR output must vary";
+  EXPECT_TRUE(disagreement) << "processes must be able to disagree";
+}
+
+TEST(UnstableOracle, RepeatedQueriesAgree) {
+  UnstableOracle o(4, 1, 100, 77);
+  for (Round k = 0; k < 20; ++k) {
+    for (ProcessId self = 0; self < 4; ++self) {
+      EXPECT_EQ(o.query(self, k), o.query(self, k));
+    }
+  }
+}
+
+TEST(ScriptedOracle, ScriptOverridesDefault) {
+  ScriptedOracle o(4, /*default_leader=*/0);
+  o.script(2, 5, 3);
+  o.script(2, 6, 1);
+  EXPECT_EQ(o.query(2, 4), 0);
+  EXPECT_EQ(o.query(2, 5), 3);
+  EXPECT_EQ(o.query(2, 6), 1);
+  EXPECT_EQ(o.query(1, 5), 0) << "other processes keep the default";
+}
+
+std::vector<std::vector<double>> rtt_matrix(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  std::vector<std::vector<double>> m;
+  for (const auto& r : rows) m.emplace_back(r);
+  return m;
+}
+
+TEST(Election, PicksMinimaxNode) {
+  // Node 1 has the smallest worst-case RTT.
+  const auto rtt = rtt_matrix({{0, 10, 90},
+                               {10, 0, 40},
+                               {90, 40, 0}});
+  EXPECT_EQ(elect_well_connected(rtt), 1);
+}
+
+TEST(Election, TieBreaksByMeanThenId) {
+  // Nodes 0 and 1 share the same worst RTT (50); node 1 has the lower
+  // mean.
+  const auto rtt = rtt_matrix({{0, 50, 50},
+                               {50, 0, 10},
+                               {50, 10, 0}});
+  EXPECT_EQ(elect_well_connected(rtt), 1);
+  // Full symmetry: lowest id wins.
+  const auto sym = rtt_matrix({{0, 50, 50},
+                               {50, 0, 50},
+                               {50, 50, 0}});
+  EXPECT_EQ(elect_well_connected(sym), 0);
+}
+
+TEST(Election, AverageLeaderIsTheMedian) {
+  // Connectivity order: 1 (best), 0, 2 (worst) -> median is node 0.
+  const auto rtt = rtt_matrix({{0, 20, 60},
+                               {20, 0, 30},
+                               {60, 30, 0}});
+  EXPECT_EQ(pick_average_leader(rtt), 0);
+}
+
+}  // namespace
+}  // namespace timing

@@ -1,0 +1,285 @@
+// Tests for the state-machine-replication layer: the KV/journal machines,
+// the deterministic engine-based SmrGroup (including chaos, crashes and
+// leader election), and the network SmrNode over the in-process hub.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "models/schedule.hpp"
+#include "net/transport.hpp"
+#include "smr/smr.hpp"
+
+namespace timing {
+namespace {
+
+// ------------------------------------------------------ state machines --
+
+TEST(StateMachine, KvCommandEncoding) {
+  const Command c = make_kv_command(7, 4242);
+  EXPECT_EQ(kv_command_key(c), 7u);
+  EXPECT_EQ(kv_command_argument(c), 4242u);
+  EXPECT_GT(c, 0);
+  const Command big = make_kv_command(0x7fffffffu, 0x7fffffffu);
+  EXPECT_EQ(kv_command_key(big), 0x7fffffffu);
+  EXPECT_EQ(kv_command_argument(big), 0x7fffffffu);
+  EXPECT_NE(big, kNoValue);
+}
+
+TEST(StateMachine, KvApplyAndLookup) {
+  KvStateMachine kv;
+  kv.apply(make_kv_command(1, 10));
+  kv.apply(make_kv_command(2, 20));
+  kv.apply(make_kv_command(1, 11));  // overwrite
+  kv.apply(kNoopCommand);            // counted, no effect on the map
+  std::uint32_t out = 0;
+  ASSERT_TRUE(kv.get(1, out));
+  EXPECT_EQ(out, 11u);
+  ASSERT_TRUE(kv.get(2, out));
+  EXPECT_EQ(out, 20u);
+  EXPECT_FALSE(kv.get(3, out));
+  EXPECT_EQ(kv.size(), 2u);
+  EXPECT_EQ(kv.applied(), 4);
+}
+
+TEST(StateMachine, FingerprintsDetectDivergence) {
+  KvStateMachine a, b;
+  a.apply(make_kv_command(1, 10));
+  b.apply(make_kv_command(1, 10));
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.apply(make_kv_command(1, 11));
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  // Same final map, different applied count: still flagged (replicas
+  // must agree on the SEQUENCE, not just the end state).
+  a.apply(make_kv_command(1, 11));
+  a.apply(kNoopCommand);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(StateMachine, JournalRecordsSequence) {
+  JournalStateMachine j;
+  j.apply(5);
+  j.apply(9);
+  EXPECT_EQ(j.journal(), (std::vector<Command>{5, 9}));
+  JournalStateMachine k;
+  k.apply(9);
+  k.apply(5);
+  EXPECT_NE(j.fingerprint(), k.fingerprint()) << "order must matter";
+}
+
+// ------------------------------------------------------------ SmrGroup --
+
+std::vector<std::unique_ptr<StateMachine>> kv_machines(int n) {
+  std::vector<std::unique_ptr<StateMachine>> ms;
+  for (int i = 0; i < n; ++i) ms.push_back(std::make_unique<KvStateMachine>());
+  return ms;
+}
+
+TEST(SmrGroup, ReplicatesAcrossChaoticInstances) {
+  const int n = 5;
+  SmrGroupConfig cfg;
+  cfg.n = n;
+  cfg.leader = 1;
+  SmrGroup group(cfg, kv_machines(n));
+
+  Rng rng(404);
+  for (int inst = 0; inst < 10; ++inst) {
+    std::vector<Command> proposals;
+    for (int i = 0; i < n; ++i) {
+      proposals.push_back(make_kv_command(
+          static_cast<std::uint32_t>(rng.uniform_int(4)),
+          static_cast<std::uint32_t>(1 + rng.uniform_int(1000))));
+    }
+    ScheduleConfig sched;
+    sched.n = n;
+    sched.model = TimingModel::kWlm;
+    sched.leader = 1;
+    sched.gsr = 1 + static_cast<Round>(rng.uniform_int(12));
+    sched.pre_gsr_p = 0.3;
+    sched.seed = 1000 + static_cast<std::uint64_t>(inst);
+    ScheduleSampler network(sched);
+
+    const auto r = group.run_instance(proposals, network);
+    ASSERT_TRUE(r.decided) << "instance " << inst;
+    EXPECT_NE(std::find(proposals.begin(), proposals.end(), r.command),
+              proposals.end())
+        << "decided command must be someone's proposal";
+    ASSERT_TRUE(group.consistent()) << "instance " << inst;
+  }
+  EXPECT_EQ(group.instances_decided(), 10);
+  const auto& kv = static_cast<const KvStateMachine&>(group.machine(0));
+  EXPECT_EQ(kv.applied(), 10);
+}
+
+TEST(SmrGroup, UndecidedInstanceAppliesNothing) {
+  const int n = 4;
+  SmrGroupConfig cfg;
+  cfg.n = n;
+  cfg.max_rounds_per_instance = 30;
+  SmrGroup group(cfg, kv_machines(n));
+  std::vector<Command> proposals{make_kv_command(1, 1), make_kv_command(1, 2),
+                                 make_kv_command(1, 3), make_kv_command(1, 4)};
+  ScheduleConfig sched;
+  sched.n = n;
+  sched.model = TimingModel::kWlm;
+  sched.gsr = 1 << 28;  // never stabilizes
+  sched.pre_gsr_p = 0.1;
+  sched.seed = 3;
+  ScheduleSampler network(sched);
+  const auto r = group.run_instance(proposals, network);
+  EXPECT_FALSE(r.decided);
+  EXPECT_EQ(group.instances_decided(), 0);
+  const auto& kv = static_cast<const KvStateMachine&>(group.machine(0));
+  EXPECT_EQ(kv.applied(), 0);
+  EXPECT_TRUE(group.consistent());
+}
+
+TEST(SmrGroup, WorksWithOnlineElection) {
+  const int n = 5;
+  SmrGroupConfig cfg;
+  cfg.n = n;
+  cfg.use_election = true;  // no designated oracle at all
+  SmrGroup group(cfg, kv_machines(n));
+  for (int inst = 0; inst < 5; ++inst) {
+    std::vector<Command> proposals;
+    for (int i = 0; i < n; ++i) {
+      proposals.push_back(
+          make_kv_command(static_cast<std::uint32_t>(inst),
+                          static_cast<std::uint32_t>(100 + i)));
+    }
+    ScheduleConfig sched;
+    sched.n = n;
+    sched.model = TimingModel::kWlm;
+    sched.leader = 2;
+    sched.gsr = 6;
+    sched.seed = 50 + static_cast<std::uint64_t>(inst);
+    ScheduleSampler network(sched);
+    const auto r = group.run_instance(proposals, network);
+    ASSERT_TRUE(r.decided) << "instance " << inst;
+    ASSERT_TRUE(group.consistent());
+  }
+}
+
+TEST(SmrGroup, NoopsFillIdleSlots) {
+  const int n = 4;
+  SmrGroupConfig cfg;
+  cfg.n = n;
+  cfg.leader = 0;
+  std::vector<std::unique_ptr<StateMachine>> ms;
+  for (int i = 0; i < n; ++i) {
+    ms.push_back(std::make_unique<JournalStateMachine>());
+  }
+  SmrGroup group(cfg, std::move(ms));
+  std::vector<Command> proposals(static_cast<std::size_t>(n), kNoopCommand);
+  ScheduleConfig sched;
+  sched.n = n;
+  sched.model = TimingModel::kWlm;
+  sched.leader = 0;
+  sched.gsr = 1;
+  sched.seed = 5;
+  ScheduleSampler network(sched);
+  const auto r = group.run_instance(proposals, network);
+  ASSERT_TRUE(r.decided);
+  EXPECT_EQ(r.command, kNoopCommand);
+  const auto& j = static_cast<const JournalStateMachine&>(group.machine(2));
+  EXPECT_EQ(j.journal(), (std::vector<Command>{kNoopCommand}));
+}
+
+TEST(SmrGroup, SurvivesMinorityCrashes) {
+  // Two of five replicas crash at different points of a 6-instance log;
+  // the survivors keep deciding and stay mutually consistent.
+  const int n = 5;
+  SmrGroupConfig cfg;
+  cfg.n = n;
+  cfg.leader = 0;
+  SmrGroup group(cfg, kv_machines(n));
+
+  for (int inst = 0; inst < 6; ++inst) {
+    std::vector<Command> proposals;
+    for (int i = 0; i < n; ++i) {
+      proposals.push_back(make_kv_command(
+          static_cast<std::uint32_t>(inst),
+          static_cast<std::uint32_t>(100 * inst + i)));
+    }
+    // Instance 2 loses p4 mid-run; instance 4 additionally loses p3.
+    std::vector<Round> crashes(static_cast<std::size_t>(n), 0);
+    if (inst >= 2) crashes[4] = inst == 2 ? 5 : 1;
+    if (inst >= 4) crashes[3] = inst == 4 ? 3 : 1;
+
+    ScheduleConfig sched;
+    sched.n = n;
+    sched.model = TimingModel::kWlm;
+    sched.leader = 0;
+    sched.gsr = 8;
+    sched.seed = 900 + static_cast<std::uint64_t>(inst);
+    sched.crash_rounds = crashes;
+    ScheduleSampler network(sched);
+
+    const auto r = group.run_instance(proposals, network, &crashes);
+    ASSERT_TRUE(r.decided) << "instance " << inst;
+  }
+  // Survivors p0..p2 applied everything and agree.
+  std::vector<bool> survivors{true, true, true, false, false};
+  EXPECT_TRUE(group.consistent_among(survivors));
+  const auto& kv = static_cast<const KvStateMachine&>(group.machine(0));
+  EXPECT_EQ(kv.applied(), 6);
+  // The crashed replicas are BEHIND (shorter logs), not divergent: their
+  // applied prefix lengths are smaller.
+  const auto& kv4 = static_cast<const KvStateMachine&>(group.machine(4));
+  EXPECT_LT(kv4.applied(), 6);
+}
+
+// ------------------------------------------------------------- SmrNode --
+
+TEST(SmrNode, ReplicatedKvOverTheHub) {
+  constexpr int kN = 4;
+  constexpr int kInstances = 4;
+  auto hub = std::make_shared<InProcHub>(kN);
+
+  struct Out {
+    std::vector<SmrNodeInstance> log;
+    std::uint64_t fingerprint = 0;
+    long long applied = 0;
+  };
+  std::vector<Out> outs(kN);
+  std::vector<std::thread> threads;
+  for (ProcessId i = 0; i < kN; ++i) {
+    threads.emplace_back([&, i] {
+      InProcTransport transport(hub, i);
+      SmrNodeConfig cfg;
+      cfg.n = kN;
+      cfg.self = i;
+      cfg.timeout_ms = 20.0;
+      cfg.leader = 1;
+      cfg.max_rounds_per_instance = 200;
+      auto machine = std::make_unique<KvStateMachine>();
+      const auto* kv = machine.get();
+      SmrNode node(cfg, transport, std::move(machine));
+      outs[static_cast<std::size_t>(i)].log = node.run(
+          kInstances, [i](int inst) {
+            return make_kv_command(static_cast<std::uint32_t>(inst),
+                                   static_cast<std::uint32_t>(10 * inst + i));
+          });
+      outs[static_cast<std::size_t>(i)].fingerprint = kv->fingerprint();
+      outs[static_cast<std::size_t>(i)].applied = kv->applied();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (const auto& o : outs) {
+    ASSERT_EQ(o.log.size(), static_cast<std::size_t>(kInstances));
+    for (int inst = 0; inst < kInstances; ++inst) {
+      ASSERT_TRUE(o.log[static_cast<std::size_t>(inst)].decided)
+          << "instance " << inst;
+      EXPECT_EQ(o.log[static_cast<std::size_t>(inst)].command,
+                outs[0].log[static_cast<std::size_t>(inst)].command);
+    }
+    EXPECT_EQ(o.applied, kInstances);
+    EXPECT_EQ(o.fingerprint, outs[0].fingerprint)
+        << "replica state diverged";
+  }
+}
+
+}  // namespace
+}  // namespace timing

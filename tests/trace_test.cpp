@@ -1,0 +1,105 @@
+// Tests for the trace record/replay pipeline: round-trip fidelity,
+// malformed-input rejection, and cycling replay.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/sampler.hpp"
+#include "sim/trace_model.hpp"
+
+namespace timing {
+namespace {
+
+TEST(Trace, RecordThenReplayReproducesMatrices) {
+  WanProfile prof;
+  WanLatencyModel original(prof, 321);
+  std::ostringstream trace_text;
+  TraceRecorder recorder(original, trace_text);
+  LatencyTimelinessSampler record_sampler(recorder, 170.0);
+
+  std::vector<LinkMatrix> recorded;
+  LinkMatrix a(8);
+  for (Round k = 1; k <= 30; ++k) {
+    record_sampler.sample_round(k, a);
+    recorded.push_back(a);
+  }
+
+  std::istringstream in(trace_text.str());
+  TraceLatencyModel replay = TraceLatencyModel::parse(in);
+  EXPECT_EQ(replay.n(), 8);
+  EXPECT_EQ(replay.trace_rounds(), 30);
+  LatencyTimelinessSampler replay_sampler(replay, 170.0);
+  for (Round k = 1; k <= 30; ++k) {
+    replay_sampler.sample_round(k, a);
+    for (ProcessId d = 0; d < 8; ++d) {
+      for (ProcessId s = 0; s < 8; ++s) {
+        ASSERT_EQ(a.at(d, s), recorded[static_cast<std::size_t>(k - 1)].at(d, s))
+            << "round " << k << " (" << d << "," << s << ")";
+      }
+    }
+  }
+}
+
+TEST(Trace, ReplayCyclesPastTheEnd) {
+  std::istringstream in(
+      "trace v1 n=2\n"
+      "1 0 1 5.0\n"
+      "1 1 0 lost\n"
+      "2 0 1 100.0\n"
+      "2 1 0 1.0\n");
+  TraceLatencyModel m = TraceLatencyModel::parse(in);
+  EXPECT_EQ(m.trace_rounds(), 2);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    m.begin_round(2 * cycle + 1);
+    EXPECT_DOUBLE_EQ(m.sample_ms(0, 1), 5.0);
+    EXPECT_TRUE(std::isinf(m.sample_ms(1, 0)));
+    m.begin_round(2 * cycle + 2);
+    EXPECT_DOUBLE_EQ(m.sample_ms(0, 1), 100.0);
+    EXPECT_DOUBLE_EQ(m.sample_ms(1, 0), 1.0);
+  }
+}
+
+TEST(Trace, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "# recorded on the moon\n"
+      "\n"
+      "trace v1 n=3\n"
+      "# round one\n"
+      "1 0 1 2.5\n");
+  TraceLatencyModel m = TraceLatencyModel::parse(in);
+  m.begin_round(1);
+  EXPECT_DOUBLE_EQ(m.sample_ms(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(m.sample_ms(2, 2), 0.0);
+}
+
+TEST(Trace, GapRoundsAreAllTimely) {
+  std::istringstream in(
+      "trace v1 n=2\n"
+      "5 0 1 9.0\n"
+      "8 0 1 7.0\n");
+  TraceLatencyModel m = TraceLatencyModel::parse(in);
+  EXPECT_EQ(m.trace_rounds(), 4);  // rounds 5,6,7,8
+  m.begin_round(1);
+  EXPECT_DOUBLE_EQ(m.sample_ms(0, 1), 9.0);
+  m.begin_round(2);
+  EXPECT_DOUBLE_EQ(m.sample_ms(0, 1), 0.0);  // gap round
+}
+
+TEST(Trace, RejectsMalformedInput) {
+  auto expect_throw = [](const std::string& text) {
+    std::istringstream in(text);
+    EXPECT_THROW(TraceLatencyModel::parse(in), std::runtime_error) << text;
+  };
+  expect_throw("");                                  // no header
+  expect_throw("trace v2 n=4\n1 0 1 1.0\n");         // bad version
+  expect_throw("trace v1 n=1\n");                    // implausible n
+  expect_throw("trace v1 n=4\n");                    // no rounds
+  expect_throw("trace v1 n=4\nnonsense\n");          // bad line
+  expect_throw("trace v1 n=4\n1 0 9 1.0\n");         // id out of range
+  expect_throw("trace v1 n=4\n2 0 1 1.0\n1 0 1 1\n");// decreasing rounds
+  expect_throw("trace v1 n=4\n1 0 1 -3.0\n");        // negative latency
+}
+
+}  // namespace
+}  // namespace timing
