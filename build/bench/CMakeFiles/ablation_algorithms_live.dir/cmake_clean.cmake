@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_algorithms_live.dir/ablation_algorithms_live.cpp.o"
+  "CMakeFiles/ablation_algorithms_live.dir/ablation_algorithms_live.cpp.o.d"
+  "ablation_algorithms_live"
+  "ablation_algorithms_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_algorithms_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_paxos_recovery.dir/ablation_paxos_recovery.cpp.o"
+  "CMakeFiles/ablation_paxos_recovery.dir/ablation_paxos_recovery.cpp.o.d"
+  "ablation_paxos_recovery"
+  "ablation_paxos_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_paxos_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

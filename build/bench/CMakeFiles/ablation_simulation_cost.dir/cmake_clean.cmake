@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_simulation_cost.dir/ablation_simulation_cost.cpp.o"
+  "CMakeFiles/ablation_simulation_cost.dir/ablation_simulation_cost.cpp.o.d"
+  "ablation_simulation_cost"
+  "ablation_simulation_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_simulation_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smr_cost.dir/ablation_smr_cost.cpp.o"
+  "CMakeFiles/ablation_smr_cost.dir/ablation_smr_cost.cpp.o.d"
+  "ablation_smr_cost"
+  "ablation_smr_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smr_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

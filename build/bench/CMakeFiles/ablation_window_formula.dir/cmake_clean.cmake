@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_window_formula.dir/ablation_window_formula.cpp.o"
+  "CMakeFiles/ablation_window_formula.dir/ablation_window_formula.cpp.o.d"
+  "ablation_window_formula"
+  "ablation_window_formula.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_window_formula.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appc_asymptotics.dir/appc_asymptotics.cpp.o"
+  "CMakeFiles/appc_asymptotics.dir/appc_asymptotics.cpp.o.d"
+  "appc_asymptotics"
+  "appc_asymptotics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appc_asymptotics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for appc_asymptotics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_analysis_high_p.dir/fig1a_analysis_high_p.cpp.o"
+  "CMakeFiles/fig1a_analysis_high_p.dir/fig1a_analysis_high_p.cpp.o.d"
+  "fig1a_analysis_high_p"
+  "fig1a_analysis_high_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_analysis_high_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1b_analysis_low_p.dir/fig1b_analysis_low_p.cpp.o"
+  "CMakeFiles/fig1b_analysis_low_p.dir/fig1b_analysis_low_p.cpp.o.d"
+  "fig1b_analysis_low_p"
+  "fig1b_analysis_low_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1b_analysis_low_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

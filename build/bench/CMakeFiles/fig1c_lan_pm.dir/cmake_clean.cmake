@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1c_lan_pm.dir/fig1c_lan_pm.cpp.o"
+  "CMakeFiles/fig1c_lan_pm.dir/fig1c_lan_pm.cpp.o.d"
+  "fig1c_lan_pm"
+  "fig1c_lan_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1c_lan_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1d_wan_timeout_to_p.dir/fig1d_wan_timeout_to_p.cpp.o"
+  "CMakeFiles/fig1d_wan_timeout_to_p.dir/fig1d_wan_timeout_to_p.cpp.o.d"
+  "fig1d_wan_timeout_to_p"
+  "fig1d_wan_timeout_to_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1d_wan_timeout_to_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1d_wan_timeout_to_p.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1e_wan_pm.dir/fig1e_wan_pm.cpp.o"
+  "CMakeFiles/fig1e_wan_pm.dir/fig1e_wan_pm.cpp.o.d"
+  "fig1e_wan_pm"
+  "fig1e_wan_pm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1e_wan_pm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

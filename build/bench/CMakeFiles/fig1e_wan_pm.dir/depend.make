@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1e_wan_pm.
+# This may be replaced when dependencies are built.

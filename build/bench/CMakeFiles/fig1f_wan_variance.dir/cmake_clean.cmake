@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1f_wan_variance.dir/fig1f_wan_variance.cpp.o"
+  "CMakeFiles/fig1f_wan_variance.dir/fig1f_wan_variance.cpp.o.d"
+  "fig1f_wan_variance"
+  "fig1f_wan_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1f_wan_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1f_wan_variance.
+# This may be replaced when dependencies are built.

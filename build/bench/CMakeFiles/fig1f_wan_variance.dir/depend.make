@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1f_wan_variance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1g_wan_rounds.dir/fig1g_wan_rounds.cpp.o"
+  "CMakeFiles/fig1g_wan_rounds.dir/fig1g_wan_rounds.cpp.o.d"
+  "fig1g_wan_rounds"
+  "fig1g_wan_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1g_wan_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1g_wan_rounds.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1g_wan_rounds.
+# This may be replaced when dependencies are built.

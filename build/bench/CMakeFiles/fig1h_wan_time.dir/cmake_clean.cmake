@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1h_wan_time.dir/fig1h_wan_time.cpp.o"
+  "CMakeFiles/fig1h_wan_time.dir/fig1h_wan_time.cpp.o.d"
+  "fig1h_wan_time"
+  "fig1h_wan_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1h_wan_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1i_timeout_tradeoff.dir/fig1i_timeout_tradeoff.cpp.o"
+  "CMakeFiles/fig1i_timeout_tradeoff.dir/fig1i_timeout_tradeoff.cpp.o.d"
+  "fig1i_timeout_tradeoff"
+  "fig1i_timeout_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1i_timeout_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

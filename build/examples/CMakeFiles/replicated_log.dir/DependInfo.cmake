@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/replicated_log.cpp" "examples/CMakeFiles/replicated_log.dir/replicated_log.cpp.o" "gcc" "examples/CMakeFiles/replicated_log.dir/replicated_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/tm_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/giraf/CMakeFiles/tm_giraf.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracles/CMakeFiles/tm_oracles.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/tm_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tm_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/roundsync/CMakeFiles/tm_roundsync.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/tm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/smr/CMakeFiles/tm_smr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeout_tuner.dir/timeout_tuner.cpp.o"
+  "CMakeFiles/timeout_tuner.dir/timeout_tuner.cpp.o.d"
+  "timeout_tuner"
+  "timeout_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeout_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_testbed.dir/wan_testbed.cpp.o"
+  "CMakeFiles/wan_testbed.dir/wan_testbed.cpp.o.d"
+  "wan_testbed"
+  "wan_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_analysis.dir/equations.cpp.o"
+  "CMakeFiles/tm_analysis.dir/equations.cpp.o.d"
+  "libtm_analysis.a"
+  "libtm_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

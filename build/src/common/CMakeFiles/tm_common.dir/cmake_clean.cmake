@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_common.dir/binomial.cpp.o"
+  "CMakeFiles/tm_common.dir/binomial.cpp.o.d"
+  "CMakeFiles/tm_common.dir/rng.cpp.o"
+  "CMakeFiles/tm_common.dir/rng.cpp.o.d"
+  "CMakeFiles/tm_common.dir/stats.cpp.o"
+  "CMakeFiles/tm_common.dir/stats.cpp.o.d"
+  "CMakeFiles/tm_common.dir/table.cpp.o"
+  "CMakeFiles/tm_common.dir/table.cpp.o.d"
+  "libtm_common.a"
+  "libtm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/consensus/factory.cpp" "src/consensus/CMakeFiles/tm_consensus.dir/factory.cpp.o" "gcc" "src/consensus/CMakeFiles/tm_consensus.dir/factory.cpp.o.d"
+  "/root/repo/src/consensus/lm3.cpp" "src/consensus/CMakeFiles/tm_consensus.dir/lm3.cpp.o" "gcc" "src/consensus/CMakeFiles/tm_consensus.dir/lm3.cpp.o.d"
+  "/root/repo/src/consensus/lm_over_wlm.cpp" "src/consensus/CMakeFiles/tm_consensus.dir/lm_over_wlm.cpp.o" "gcc" "src/consensus/CMakeFiles/tm_consensus.dir/lm_over_wlm.cpp.o.d"
+  "/root/repo/src/consensus/paxos.cpp" "src/consensus/CMakeFiles/tm_consensus.dir/paxos.cpp.o" "gcc" "src/consensus/CMakeFiles/tm_consensus.dir/paxos.cpp.o.d"
+  "/root/repo/src/consensus/unanimity.cpp" "src/consensus/CMakeFiles/tm_consensus.dir/unanimity.cpp.o" "gcc" "src/consensus/CMakeFiles/tm_consensus.dir/unanimity.cpp.o.d"
+  "/root/repo/src/consensus/wlm.cpp" "src/consensus/CMakeFiles/tm_consensus.dir/wlm.cpp.o" "gcc" "src/consensus/CMakeFiles/tm_consensus.dir/wlm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/giraf/CMakeFiles/tm_giraf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_consensus.dir/factory.cpp.o"
+  "CMakeFiles/tm_consensus.dir/factory.cpp.o.d"
+  "CMakeFiles/tm_consensus.dir/lm3.cpp.o"
+  "CMakeFiles/tm_consensus.dir/lm3.cpp.o.d"
+  "CMakeFiles/tm_consensus.dir/lm_over_wlm.cpp.o"
+  "CMakeFiles/tm_consensus.dir/lm_over_wlm.cpp.o.d"
+  "CMakeFiles/tm_consensus.dir/paxos.cpp.o"
+  "CMakeFiles/tm_consensus.dir/paxos.cpp.o.d"
+  "CMakeFiles/tm_consensus.dir/unanimity.cpp.o"
+  "CMakeFiles/tm_consensus.dir/unanimity.cpp.o.d"
+  "CMakeFiles/tm_consensus.dir/wlm.cpp.o"
+  "CMakeFiles/tm_consensus.dir/wlm.cpp.o.d"
+  "libtm_consensus.a"
+  "libtm_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_giraf.dir/engine.cpp.o"
+  "CMakeFiles/tm_giraf.dir/engine.cpp.o.d"
+  "CMakeFiles/tm_giraf.dir/message.cpp.o"
+  "CMakeFiles/tm_giraf.dir/message.cpp.o.d"
+  "libtm_giraf.a"
+  "libtm_giraf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_giraf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

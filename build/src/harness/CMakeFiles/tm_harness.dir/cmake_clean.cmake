@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_harness.dir/algorithm_runs.cpp.o"
+  "CMakeFiles/tm_harness.dir/algorithm_runs.cpp.o.d"
+  "CMakeFiles/tm_harness.dir/experiments.cpp.o"
+  "CMakeFiles/tm_harness.dir/experiments.cpp.o.d"
+  "CMakeFiles/tm_harness.dir/measurement.cpp.o"
+  "CMakeFiles/tm_harness.dir/measurement.cpp.o.d"
+  "libtm_harness.a"
+  "libtm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/predicates.cpp" "src/models/CMakeFiles/tm_models.dir/predicates.cpp.o" "gcc" "src/models/CMakeFiles/tm_models.dir/predicates.cpp.o.d"
+  "/root/repo/src/models/schedule.cpp" "src/models/CMakeFiles/tm_models.dir/schedule.cpp.o" "gcc" "src/models/CMakeFiles/tm_models.dir/schedule.cpp.o.d"
+  "/root/repo/src/models/timing_model.cpp" "src/models/CMakeFiles/tm_models.dir/timing_model.cpp.o" "gcc" "src/models/CMakeFiles/tm_models.dir/timing_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_models.dir/predicates.cpp.o"
+  "CMakeFiles/tm_models.dir/predicates.cpp.o.d"
+  "CMakeFiles/tm_models.dir/schedule.cpp.o"
+  "CMakeFiles/tm_models.dir/schedule.cpp.o.d"
+  "CMakeFiles/tm_models.dir/timing_model.cpp.o"
+  "CMakeFiles/tm_models.dir/timing_model.cpp.o.d"
+  "libtm_models.a"
+  "libtm_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/codec.cpp" "src/net/CMakeFiles/tm_net.dir/codec.cpp.o" "gcc" "src/net/CMakeFiles/tm_net.dir/codec.cpp.o.d"
+  "/root/repo/src/net/frame.cpp" "src/net/CMakeFiles/tm_net.dir/frame.cpp.o" "gcc" "src/net/CMakeFiles/tm_net.dir/frame.cpp.o.d"
+  "/root/repo/src/net/ping.cpp" "src/net/CMakeFiles/tm_net.dir/ping.cpp.o" "gcc" "src/net/CMakeFiles/tm_net.dir/ping.cpp.o.d"
+  "/root/repo/src/net/transport.cpp" "src/net/CMakeFiles/tm_net.dir/transport.cpp.o" "gcc" "src/net/CMakeFiles/tm_net.dir/transport.cpp.o.d"
+  "/root/repo/src/net/udp_transport.cpp" "src/net/CMakeFiles/tm_net.dir/udp_transport.cpp.o" "gcc" "src/net/CMakeFiles/tm_net.dir/udp_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/giraf/CMakeFiles/tm_giraf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

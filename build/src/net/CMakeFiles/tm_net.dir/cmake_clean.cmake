@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_net.dir/codec.cpp.o"
+  "CMakeFiles/tm_net.dir/codec.cpp.o.d"
+  "CMakeFiles/tm_net.dir/frame.cpp.o"
+  "CMakeFiles/tm_net.dir/frame.cpp.o.d"
+  "CMakeFiles/tm_net.dir/ping.cpp.o"
+  "CMakeFiles/tm_net.dir/ping.cpp.o.d"
+  "CMakeFiles/tm_net.dir/transport.cpp.o"
+  "CMakeFiles/tm_net.dir/transport.cpp.o.d"
+  "CMakeFiles/tm_net.dir/udp_transport.cpp.o"
+  "CMakeFiles/tm_net.dir/udp_transport.cpp.o.d"
+  "libtm_net.a"
+  "libtm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oracles/omega.cpp" "src/oracles/CMakeFiles/tm_oracles.dir/omega.cpp.o" "gcc" "src/oracles/CMakeFiles/tm_oracles.dir/omega.cpp.o.d"
+  "/root/repo/src/oracles/omega_election.cpp" "src/oracles/CMakeFiles/tm_oracles.dir/omega_election.cpp.o" "gcc" "src/oracles/CMakeFiles/tm_oracles.dir/omega_election.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/giraf/CMakeFiles/tm_giraf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

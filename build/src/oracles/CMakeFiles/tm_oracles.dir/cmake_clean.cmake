@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_oracles.dir/omega.cpp.o"
+  "CMakeFiles/tm_oracles.dir/omega.cpp.o.d"
+  "CMakeFiles/tm_oracles.dir/omega_election.cpp.o"
+  "CMakeFiles/tm_oracles.dir/omega_election.cpp.o.d"
+  "libtm_oracles.a"
+  "libtm_oracles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_oracles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

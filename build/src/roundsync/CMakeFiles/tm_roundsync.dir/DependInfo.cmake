@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/roundsync/adaptive_timeout.cpp" "src/roundsync/CMakeFiles/tm_roundsync.dir/adaptive_timeout.cpp.o" "gcc" "src/roundsync/CMakeFiles/tm_roundsync.dir/adaptive_timeout.cpp.o.d"
+  "/root/repo/src/roundsync/roundsync.cpp" "src/roundsync/CMakeFiles/tm_roundsync.dir/roundsync.cpp.o" "gcc" "src/roundsync/CMakeFiles/tm_roundsync.dir/roundsync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/giraf/CMakeFiles/tm_giraf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

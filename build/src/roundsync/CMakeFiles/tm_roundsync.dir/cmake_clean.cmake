@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_roundsync.dir/adaptive_timeout.cpp.o"
+  "CMakeFiles/tm_roundsync.dir/adaptive_timeout.cpp.o.d"
+  "CMakeFiles/tm_roundsync.dir/roundsync.cpp.o"
+  "CMakeFiles/tm_roundsync.dir/roundsync.cpp.o.d"
+  "libtm_roundsync.a"
+  "libtm_roundsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_roundsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/latency_model.cpp" "src/sim/CMakeFiles/tm_sim.dir/latency_model.cpp.o" "gcc" "src/sim/CMakeFiles/tm_sim.dir/latency_model.cpp.o.d"
+  "/root/repo/src/sim/sampler.cpp" "src/sim/CMakeFiles/tm_sim.dir/sampler.cpp.o" "gcc" "src/sim/CMakeFiles/tm_sim.dir/sampler.cpp.o.d"
+  "/root/repo/src/sim/trace_model.cpp" "src/sim/CMakeFiles/tm_sim.dir/trace_model.cpp.o" "gcc" "src/sim/CMakeFiles/tm_sim.dir/trace_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_sim.dir/latency_model.cpp.o"
+  "CMakeFiles/tm_sim.dir/latency_model.cpp.o.d"
+  "CMakeFiles/tm_sim.dir/sampler.cpp.o"
+  "CMakeFiles/tm_sim.dir/sampler.cpp.o.d"
+  "CMakeFiles/tm_sim.dir/trace_model.cpp.o"
+  "CMakeFiles/tm_sim.dir/trace_model.cpp.o.d"
+  "libtm_sim.a"
+  "libtm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

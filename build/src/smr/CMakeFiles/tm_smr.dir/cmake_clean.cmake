@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tm_smr.dir/smr.cpp.o"
+  "CMakeFiles/tm_smr.dir/smr.cpp.o.d"
+  "CMakeFiles/tm_smr.dir/state_machine.cpp.o"
+  "CMakeFiles/tm_smr.dir/state_machine.cpp.o.d"
+  "libtm_smr.a"
+  "libtm_smr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tm_smr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

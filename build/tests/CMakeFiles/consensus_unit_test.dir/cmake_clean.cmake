@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consensus_unit_test.dir/consensus_unit_test.cpp.o"
+  "CMakeFiles/consensus_unit_test.dir/consensus_unit_test.cpp.o.d"
+  "consensus_unit_test"
+  "consensus_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consensus_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/giraf_test.dir/giraf_test.cpp.o"
+  "CMakeFiles/giraf_test.dir/giraf_test.cpp.o.d"
+  "giraf_test"
+  "giraf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/giraf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracles_test.dir/oracles_test.cpp.o"
+  "CMakeFiles/oracles_test.dir/oracles_test.cpp.o.d"
+  "oracles_test"
+  "oracles_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roundsync_test.dir/roundsync_test.cpp.o"
+  "CMakeFiles/roundsync_test.dir/roundsync_test.cpp.o.d"
+  "roundsync_test"
+  "roundsync_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roundsync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smr_test.dir/smr_test.cpp.o"
+  "CMakeFiles/smr_test.dir/smr_test.cpp.o.d"
+  "smr_test"
+  "smr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
