@@ -10,6 +10,7 @@
 #include <iostream>
 #include <memory>
 
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "consensus/factory.hpp"
@@ -28,24 +29,38 @@ struct Row {
   int failures = 0;
 };
 
+struct Instance {
+  Round decided = -1;
+  long long msgs = 0;
+};
+
 Row run_algo(AlgorithmKind kind, double timeout_ms, int instances) {
+  // Each instance is seeded by its index alone, so the parallel fan-out
+  // returns the same per-instance results for any TIMING_THREADS.
+  const auto outs = run_trials<Instance>(
+      static_cast<std::size_t>(instances), [&](std::size_t inst) {
+        WanProfile prof;
+        WanLatencyModel model(prof,
+                              0x1234 + static_cast<std::uint64_t>(inst) * 7919);
+        LatencyTimelinessSampler sampler(model, timeout_ms);
+        std::vector<Value> proposals;
+        for (int i = 0; i < 8; ++i) proposals.push_back(100 + i);
+        auto oracle = std::make_shared<DesignatedOracle>(WanLatencyModel::kUk);
+        RoundEngine engine(make_group(kind, proposals), oracle);
+        Instance out;
+        out.decided = engine.run(sampler, 400);
+        out.msgs = engine.stats().messages_sent;
+        return out;
+      });
   RunningStats rounds, msgs;
   int failures = 0;
-  for (int inst = 0; inst < instances; ++inst) {
-    WanProfile prof;
-    WanLatencyModel model(prof, 0x1234 + static_cast<std::uint64_t>(inst) * 7919);
-    LatencyTimelinessSampler sampler(model, timeout_ms);
-    std::vector<Value> proposals;
-    for (int i = 0; i < 8; ++i) proposals.push_back(100 + i);
-    auto oracle = std::make_shared<DesignatedOracle>(WanLatencyModel::kUk);
-    RoundEngine engine(make_group(kind, proposals), oracle);
-    const Round decided = engine.run(sampler, 400);
-    if (decided < 0) {
+  for (const Instance& inst : outs) {
+    if (inst.decided < 0) {
       ++failures;
       continue;
     }
-    rounds.add(static_cast<double>(decided));
-    msgs.add(static_cast<double>(engine.stats().messages_sent));
+    rounds.add(static_cast<double>(inst.decided));
+    msgs.add(static_cast<double>(inst.msgs));
   }
   return {rounds.mean(), msgs.mean(), failures};
 }

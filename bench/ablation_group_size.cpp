@@ -8,7 +8,9 @@
 // leader models degrade like p^n, <>AFM IMPROVES with n (majorities
 // concentrate).
 #include <iostream>
+#include <vector>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "harness/measurement.hpp"
@@ -22,9 +24,18 @@ int main() {
   const int rounds = 4000;
   Table t({"n", "P_ES", "P_AFM", "P_LM", "P_WLM", "rounds ES(3)",
            "AFM(5)", "LM(3)", "WLM(4)"});
-  for (int n : {4, 6, 8, 12, 16, 24, 32, 48}) {
-    IidTimelinessSampler sampler(n, p, 0xabc + n);
-    RunMeasurement m = measure_run(sampler, rounds, /*leader=*/0);
+  const std::vector<int> ns = {4, 6, 8, 12, 16, 24, 32, 48};
+  // One measurement run per group size, fanned over the pool; sampler
+  // seeds depend only on n, so the sweep is thread-count-invariant.
+  const auto runs = measure_runs(
+      static_cast<int>(ns.size()),
+      [&](int i) -> std::unique_ptr<TimelinessSampler> {
+        const int n = ns[static_cast<std::size_t>(i)];
+        return std::make_unique<IidTimelinessSampler>(n, p, 0xabc + n);
+      },
+      rounds, /*leader=*/0);
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const RunMeasurement& m = runs[i];
     Rng rng(7);
     auto window = [&](TimingModel model, int needed) {
       const auto ds = decision_stats(
@@ -32,7 +43,7 @@ int main() {
       return (ds.censored_fraction > 0.5 ? ">=" : "") +
              Table::num(ds.mean_rounds, 1);
     };
-    t.add_row({Table::integer(n),
+    t.add_row({Table::integer(ns[i]),
                Table::num(m.incidence(TimingModel::kEs), 3),
                Table::num(m.incidence(TimingModel::kAfm), 3),
                Table::num(m.incidence(TimingModel::kLm), 3),

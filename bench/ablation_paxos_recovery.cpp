@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "consensus/paxos.hpp"
 #include "consensus/wlm.hpp"
@@ -91,12 +92,18 @@ RunResult run_wlm(int n) {
 
 int main() {
   Table t({"n", "Paxos rounds", "Paxos ballots", "Algorithm 2 rounds"});
-  for (int n : {5, 7, 9, 11, 13, 15, 21, 31}) {
-    const RunResult paxos = run_paxos(n);
-    const RunResult wlm = run_wlm(n);
-    t.add_row({Table::integer(n), Table::integer(paxos.decision_round),
-               Table::integer(paxos.ballots),
-               Table::integer(wlm.decision_round)});
+  const std::vector<int> ns = {5, 7, 9, 11, 13, 15, 21, 31};
+  struct Point {
+    RunResult paxos, wlm;
+  };
+  const auto points = run_trials<Point>(ns.size(), [&](std::size_t i) {
+    return Point{run_paxos(ns[i]), run_wlm(ns[i])};
+  });
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    t.add_row({Table::integer(ns[i]),
+               Table::integer(points[i].paxos.decision_round),
+               Table::integer(points[i].paxos.ballots),
+               Table::integer(points[i].wlm.decision_round)});
   }
   t.print(std::cout,
           "Ablation ([13] / Section 3): global decision under an "

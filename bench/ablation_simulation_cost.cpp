@@ -18,7 +18,9 @@
 #include <algorithm>
 #include <iostream>
 #include <memory>
+#include <vector>
 
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "consensus/factory.hpp"
 #include "giraf/engine.hpp"
@@ -131,12 +133,25 @@ Cost run(AlgorithmKind kind, TimingModel network, int n) {
 }  // namespace
 
 int main() {
-  for (int n : {8, 16, 32}) {
+  const std::vector<int> ns = {8, 16, 32};
+  // The 3x3 (group size x protocol option) grid runs as independent
+  // trials on the thread pool; rows are emitted in grid order below.
+  struct Cell {
+    Cost direct, simulated, native;
+  };
+  const auto cells = run_trials<Cell>(ns.size(), [&](std::size_t i) {
+    const int n = ns[i];
+    return Cell{run(AlgorithmKind::kWlm, TimingModel::kWlm, n),
+                run(AlgorithmKind::kLmOverWlm, TimingModel::kWlm, n),
+                run(AlgorithmKind::kLm3, TimingModel::kLm, n)};
+  });
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const int n = ns[i];
     Table t({"protocol", "network", "decision round", "msgs/round",
              "bytes/round"});
-    const Cost direct = run(AlgorithmKind::kWlm, TimingModel::kWlm, n);
-    const Cost simulated = run(AlgorithmKind::kLmOverWlm, TimingModel::kWlm, n);
-    const Cost native = run(AlgorithmKind::kLm3, TimingModel::kLm, n);
+    const Cost& direct = cells[i].direct;
+    const Cost& simulated = cells[i].simulated;
+    const Cost& native = cells[i].native;
     t.add_row({"Algorithm 2 (direct)", "<>WLM",
                Table::integer(direct.decision_round),
                Table::integer(direct.stable_msgs),

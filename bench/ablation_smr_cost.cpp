@@ -10,7 +10,9 @@
 // compounds across the log.
 #include <iostream>
 #include <memory>
+#include <vector>
 
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "models/schedule.hpp"
 #include "smr/smr.hpp"
@@ -73,10 +75,18 @@ int main() {
   constexpr int kCommands = 50;
   Table t({"n", "Alg2 rounds/cmd", "Alg2 msgs/cmd", "LM-3 rounds/cmd",
            "LM-3 msgs/cmd", "msg ratio"});
-  for (int n : {4, 8, 16, 32, 64}) {
-    const PerCommand wlm = run_sequence(AlgorithmKind::kWlm, n, kCommands);
-    const PerCommand lm = run_sequence(AlgorithmKind::kLm3, n, kCommands);
-    t.add_row({Table::integer(n), Table::num(wlm.rounds, 2),
+  const std::vector<int> ns = {4, 8, 16, 32, 64};
+  struct Point {
+    PerCommand wlm, lm;
+  };
+  const auto points = run_trials<Point>(ns.size(), [&](std::size_t i) {
+    return Point{run_sequence(AlgorithmKind::kWlm, ns[i], kCommands),
+                 run_sequence(AlgorithmKind::kLm3, ns[i], kCommands)};
+  });
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    const PerCommand& wlm = points[i].wlm;
+    const PerCommand& lm = points[i].lm;
+    t.add_row({Table::integer(ns[i]), Table::num(wlm.rounds, 2),
                Table::num(wlm.messages, 0), Table::num(lm.rounds, 2),
                Table::num(lm.messages, 0),
                Table::num(lm.messages / wlm.messages, 1)});

@@ -1,8 +1,15 @@
 // Shared helpers for the figure benches: canonical experiment
 // configurations (the paper's 33 runs x 300 rounds x 15 start points) and
 // the standard WAN timeout sweep used by Figures 1(d)-(h).
+//
+// The sweeps execute on the shared thread pool (common/parallel.hpp);
+// TIMING_THREADS picks the parallelism and TIMING_RUNS optionally raises
+// the per-timeout run count beyond the paper's defaults for tighter
+// confidence intervals — both without changing any per-run result, since
+// run k's randomness is a pure function of (seed, k).
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <vector>
@@ -12,12 +19,23 @@
 
 namespace timing::bench {
 
+/// The paper's repetition count unless TIMING_RUNS (>= 1) says otherwise.
+/// Raising it appends runs 33, 34, ... — existing runs keep their seeds,
+/// so curves only tighten, they don't resample.
+inline int runs_or_default(int paper_default) {
+  if (const char* env = std::getenv("TIMING_RUNS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<int>(v > 100000 ? 100000 : v);
+  }
+  return paper_default;
+}
+
 inline ExperimentConfig wan_config() {
   ExperimentConfig cfg;
   cfg.testbed = Testbed::kWan;
   cfg.timeouts_ms = {140, 150, 160, 170, 180, 190, 200,
                      210, 230, 260, 300, 350};
-  cfg.runs = 33;           // the paper's repetition count
+  cfg.runs = runs_or_default(33);  // the paper's repetition count
   cfg.rounds_per_run = 300;  // the paper's run length
   cfg.start_points = 15;   // the paper's random starting points
   cfg.seed = 42;
@@ -28,7 +46,7 @@ inline ExperimentConfig lan_config() {
   ExperimentConfig cfg;
   cfg.testbed = Testbed::kLan;
   cfg.timeouts_ms = {0.1, 0.15, 0.2, 0.25, 0.35, 0.5, 0.7, 0.9, 1.2, 1.6};
-  cfg.runs = 25;
+  cfg.runs = runs_or_default(25);
   cfg.rounds_per_run = 300;
   cfg.seed = 7;
   return cfg;

@@ -1,0 +1,187 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace timing {
+
+namespace {
+
+std::atomic<int> g_override{0};
+/// True while this thread executes inside a parallel_for — as a pool
+/// worker or as the submitting caller. Nested parallel_for calls then
+/// run inline: re-entering the pool from its own job would deadlock on
+/// the submission lock (and oversubscribe anyway).
+thread_local bool tl_in_parallel = false;
+
+struct InParallelGuard {
+  InParallelGuard() noexcept { tl_in_parallel = true; }
+  ~InParallelGuard() { tl_in_parallel = false; }
+};
+
+struct Job {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t n = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  std::atomic<int> helper_slots{0};  ///< workers still allowed to join
+  int in_flight = 0;                 ///< participants inside work() (guarded)
+  std::exception_ptr error;          ///< first failure (guarded)
+};
+
+/// Lazily grown pool of detachedly-waiting workers. One job runs at a
+/// time; parallel_for serializes submitters. Workers claim indices from
+/// the shared counter, so load-balancing is automatic and the mapping of
+/// trials to threads is irrelevant to the results.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void run(std::size_t n, int threads,
+           const std::function<void(std::size_t)>& body) {
+    std::unique_lock<std::mutex> submit(submit_mutex_);
+    Job job;
+    job.body = &body;
+    job.n = n;
+    const int helpers =
+        static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(threads - 1), n - 1));
+    job.helper_slots.store(helpers, std::memory_order_relaxed);
+    ensure_workers(helpers);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &job;
+      ++epoch_;
+      job.in_flight = 1;  // the caller
+    }
+    cv_.notify_all();
+    {
+      InParallelGuard guard;
+      work(job);
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    --job.in_flight;
+    done_cv_.wait(lock, [&] { return job.in_flight == 0; });
+    job_ = nullptr;
+    const std::exception_ptr err = job.error;
+    lock.unlock();
+    if (err) std::rethrow_exception(err);
+  }
+
+ private:
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  void ensure_workers(int wanted) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (static_cast<int>(workers_.size()) < wanted) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  void worker_loop() {
+    tl_in_parallel = true;
+    std::uint64_t seen = 0;
+    for (;;) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] {
+          return shutdown_ || (job_ != nullptr && epoch_ != seen);
+        });
+        if (shutdown_) return;
+        seen = epoch_;
+        if (job_->helper_slots.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+          continue;  // enough hands on this job already
+        }
+        job = job_;
+        ++job->in_flight;
+      }
+      work(*job);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --job->in_flight;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  static void work(Job& job) {
+    for (;;) {
+      if (job.cancelled.load(std::memory_order_relaxed)) return;
+      const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.n) return;
+      try {
+        (*job.body)(i);
+      } catch (...) {
+        job.cancelled.store(true, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(instance().mutex_);
+        if (!job.error) job.error = std::current_exception();
+      }
+    }
+  }
+
+  std::mutex submit_mutex_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace
+
+int hardware_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int configured_threads() noexcept {
+  static const int cached = [] {
+    if (const char* env = std::getenv("TIMING_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v >= 1) return static_cast<int>(std::min(v, 256L));
+    }
+    return hardware_threads();
+  }();
+  return cached;
+}
+
+int effective_threads() noexcept {
+  const int o = g_override.load(std::memory_order_relaxed);
+  return o > 0 ? o : configured_threads();
+}
+
+ScopedThreads::ScopedThreads(int threads) noexcept
+    : prev_(g_override.exchange(threads > 0 ? threads : 0)) {}
+
+ScopedThreads::~ScopedThreads() { g_override.store(prev_); }
+
+void parallel_for(std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const int threads = effective_threads();
+  if (threads <= 1 || n == 1 || tl_in_parallel) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  Pool::instance().run(n, threads, body);
+}
+
+}  // namespace timing

@@ -97,4 +97,13 @@ double Rng::pareto(double x_m, double alpha) noexcept {
 
 Rng Rng::split() noexcept { return Rng(next() ^ 0xa0761d6478bd642fULL); }
 
+std::uint64_t substream_seed(std::uint64_t root, std::uint64_t index) noexcept {
+  std::uint64_t s = root ^ (0x51ed2701a2b9d4e3ULL * (index + 1));
+  return splitmix64(s);
+}
+
+Rng substream(std::uint64_t root, std::uint64_t index) noexcept {
+  return Rng(substream_seed(root, index));
+}
+
 }  // namespace timing

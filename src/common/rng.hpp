@@ -54,6 +54,8 @@ class Rng {
   double pareto(double x_m, double alpha) noexcept;
 
   /// Derive an independent stream (e.g. one per link or per run).
+  /// Stateful: advances this generator, so the result depends on how many
+  /// splits happened before. For parallel trials prefer substream().
   Rng split() noexcept;
 
  private:
@@ -61,5 +63,16 @@ class Rng {
   double spare_ = 0.0;
   bool has_spare_ = false;
 };
+
+/// Counter-based sub-stream seed for trial `index` of a root seed: a pure
+/// function of (root, index), so trial k draws the same values no matter
+/// which thread runs it, in what order sub-streams are created, or how
+/// many trials exist. This is the seed derivation the experiment harness
+/// has always used per run; exposed here so every parallel consumer
+/// shares it.
+std::uint64_t substream_seed(std::uint64_t root, std::uint64_t index) noexcept;
+
+/// The generator for trial `index` of root seed `root`.
+Rng substream(std::uint64_t root, std::uint64_t index) noexcept;
 
 }  // namespace timing

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hpp"
+
 namespace timing {
 
 void RunningStats::add(double x) noexcept {
@@ -16,6 +18,30 @@ void RunningStats::add(double x) noexcept {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.n_ == 1) {
+    // A single observation merges through the exact add() arithmetic, so
+    // folding per-trial accumulators in trial order reproduces the serial
+    // loop bit for bit.
+    add(other.mean_);
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double nab = na + nb;
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * (nb / nab);
+  m2_ += other.m2_ + delta * delta * (na * nb / nab);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
 }
 
 double RunningStats::variance() const noexcept {
@@ -63,6 +89,61 @@ double variance_of(const std::vector<double>& xs) noexcept {
   double s = 0.0;
   for (double x : xs) s += (x - m) * (x - m);
   return s / static_cast<double>(xs.size() - 1);
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  TM_CHECK(bins > 0, "histogram needs at least one bin");
+  TM_CHECK(hi > lo, "histogram range must be non-empty");
+}
+
+void Histogram::add(double x) noexcept {
+  TM_CHECK(configured(), "add() on an unconfigured histogram");
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_ || std::isnan(x)) {
+    ++overflow_;
+    return;
+  }
+  const double span = hi_ - lo_;
+  auto bin = static_cast<std::size_t>((x - lo_) / span *
+                                      static_cast<double>(counts_.size()));
+  if (bin >= counts_.size()) bin = counts_.size() - 1;  // x just below hi
+  ++counts_[bin];
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (!other.configured()) return;
+  if (!configured()) {
+    *this = other;
+    return;
+  }
+  TM_CHECK(lo_ == other.lo_ && hi_ == other.hi_ &&
+               counts_.size() == other.counts_.size(),
+           "merging histograms of different shapes");
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+}
+
+std::uint64_t Histogram::total() const noexcept {
+  std::uint64_t t = underflow_ + overflow_;
+  for (std::uint64_t c : counts_) t += c;
+  return t;
+}
+
+double Histogram::bin_lo(std::size_t bin) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t bin) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin + 1) /
+                   static_cast<double>(counts_.size());
 }
 
 double quantile_of(std::vector<double> xs, double p) noexcept {

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "giraf/engine.hpp"
 #include "oracles/omega.hpp"
 
@@ -59,6 +60,12 @@ AlgorithmRunResult run_algorithm(const AlgorithmRunConfig& cfg) {
     }
   }
   return out;
+}
+
+std::vector<AlgorithmRunResult> run_algorithms(
+    const std::vector<AlgorithmRunConfig>& cfgs) {
+  return run_trials<AlgorithmRunResult>(
+      cfgs.size(), [&](std::size_t i) { return run_algorithm(cfgs[i]); });
 }
 
 }  // namespace timing

@@ -39,4 +39,11 @@ struct AlgorithmRunResult {
 
 AlgorithmRunResult run_algorithm(const AlgorithmRunConfig& cfg);
 
+/// Runs every configuration as an independent trial on the shared thread
+/// pool (common/parallel.hpp). Results are indexed like the input; since
+/// each run's randomness lives in its config seeds, the output is
+/// identical for every TIMING_THREADS value.
+std::vector<AlgorithmRunResult> run_algorithms(
+    const std::vector<AlgorithmRunConfig>& cfgs);
+
 }  // namespace timing

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "oracles/omega.hpp"
 
@@ -19,10 +20,14 @@ std::unique_ptr<LatencyModel> make_model(const ExperimentConfig& cfg,
   return std::make_unique<WanLatencyModel>(cfg.wan, seed);
 }
 
-std::uint64_t run_seed(std::uint64_t base, int run) {
-  std::uint64_t s = base ^ (0x51ed2701a2b9d4e3ULL * (run + 1));
-  return splitmix64(s);
-}
+/// Everything one (timeout, run) trial contributes to the sweep's
+/// statistics. Plain values, folded later in run order.
+struct TrialOut {
+  double p = 0.0;
+  std::array<double, kNumModels> pm{};
+  std::array<double, kNumModels> rounds{};
+  std::array<double, kNumModels> censored{};
+};
 
 }  // namespace
 
@@ -65,10 +70,41 @@ std::vector<TimeoutResult> run_experiment(const ExperimentConfig& cfg) {
   TM_CHECK(cfg.runs > 0 && cfg.rounds_per_run > 1, "bad run shape");
   const ProcessId leader = resolve_leader(cfg);
 
+  // Fan every (timeout, run) cell out as an independent trial. A trial's
+  // randomness depends only on (cfg.seed, run) — the paired design: the
+  // same latency stream for every timeout — so the executing thread and
+  // the thread count are irrelevant to its output.
+  const auto runs = static_cast<std::size_t>(cfg.runs);
+  const std::size_t cells = cfg.timeouts_ms.size() * runs;
+  const std::vector<TrialOut> trials =
+      run_trials<TrialOut>(cells, [&](std::size_t cell) {
+        const double timeout = cfg.timeouts_ms[cell / runs];
+        const std::uint64_t run = cell % runs;
+        TrialOut out;
+        auto model = make_model(cfg, substream_seed(cfg.seed, run));
+        LatencyTimelinessSampler sampler(*model, timeout);
+        RunMeasurement m = measure_run(sampler, cfg.rounds_per_run, leader);
+        out.p = m.timely_fraction();
+
+        Rng start_rng = substream(cfg.seed ^ 0xabcdef, run);
+        for (TimingModel tm : kAllModels) {
+          const auto idx = static_cast<std::size_t>(model_index(tm));
+          out.pm[idx] = m.incidence(tm);
+          const DecisionStats ds =
+              decision_stats(m.sat[idx], cfg.decision_rounds[idx],
+                             cfg.start_points, start_rng);
+          out.rounds[idx] = ds.mean_rounds;
+          out.censored[idx] = ds.censored_fraction;
+        }
+        return out;
+      });
+
+  // Fold per timeout in run order — the exact order of the historical
+  // serial loop, so the sweep's statistics are bit-identical to it.
   std::vector<TimeoutResult> results;
   results.reserve(cfg.timeouts_ms.size());
-
-  for (double timeout : cfg.timeouts_ms) {
+  for (std::size_t ti = 0; ti < cfg.timeouts_ms.size(); ++ti) {
+    const double timeout = cfg.timeouts_ms[ti];
     TimeoutResult tr;
     tr.timeout_ms = timeout;
 
@@ -76,25 +112,21 @@ std::vector<TimeoutResult> run_experiment(const ExperimentConfig& cfg) {
     std::array<RunningStats, kNumModels> pm_stats;
     std::array<RunningStats, kNumModels> rounds_stats;
     std::array<RunningStats, kNumModels> censored_stats;
+    std::array<Histogram, kNumModels> rounds_hist;
+    for (auto& h : rounds_hist) {
+      h = Histogram(0.0, static_cast<double>(cfg.rounds_per_run) + 1.0,
+                    kRoundsHistBins);
+    }
 
-    for (int run = 0; run < cfg.runs; ++run) {
-      // Paired seeds: the same latency stream for every timeout.
-      const std::uint64_t seed = run_seed(cfg.seed, run);
-      auto model = make_model(cfg, seed);
-      LatencyTimelinessSampler sampler(*model, timeout);
-      RunMeasurement m = measure_run(sampler, cfg.rounds_per_run, leader);
-      p_stats.add(m.timely_fraction());
-
-      Rng start_rng(run_seed(cfg.seed ^ 0xabcdef, run));
-      for (TimingModel tm : kAllModels) {
-        const int idx = model_index(tm);
-        pm_stats[idx].add(m.incidence(tm));
-        const DecisionStats ds =
-            decision_stats(m.sat[static_cast<std::size_t>(idx)],
-                           cfg.decision_rounds[static_cast<std::size_t>(idx)],
-                           cfg.start_points, start_rng);
-        rounds_stats[idx].add(ds.mean_rounds);
-        censored_stats[idx].add(ds.censored_fraction);
+    for (std::size_t run = 0; run < runs; ++run) {
+      const TrialOut& t = trials[ti * runs + run];
+      p_stats.add(t.p);
+      for (int idx = 0; idx < kNumModels; ++idx) {
+        const auto i = static_cast<std::size_t>(idx);
+        pm_stats[i].add(t.pm[i]);
+        rounds_stats[i].add(t.rounds[i]);
+        censored_stats[i].add(t.censored[i]);
+        rounds_hist[i].add(t.rounds[i]);
       }
     }
 
@@ -107,6 +139,7 @@ std::vector<TimeoutResult> run_experiment(const ExperimentConfig& cfg) {
       ms.mean_rounds = rounds_stats[idx].mean();
       ms.mean_time_ms = ms.mean_rounds * timeout;
       ms.censored_fraction = censored_stats[idx].mean();
+      ms.rounds_hist = rounds_hist[idx];
     }
     results.push_back(tr);
   }

@@ -16,12 +16,20 @@
 //    mapping (Figure 1(d));
 //  * the same latency seeds are reused across timeouts (paired design),
 //    so curves vary with the timeout, not with resampling noise.
+//
+// Execution: every (timeout, run) cell is an independent trial fanned out
+// over the shared thread pool (common/parallel.hpp, TIMING_THREADS env).
+// Trial randomness is a pure function of (cfg.seed, run index), and the
+// per-timeout statistics are folded in run order on the calling thread,
+// so results are bit-identical for every thread count — TIMING_THREADS=1
+// reproduces the historical serial loop exactly.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "harness/measurement.hpp"
 #include "sim/latency_model.hpp"
 
@@ -47,6 +55,9 @@ struct ExperimentConfig {
   std::array<int, kNumModels> decision_rounds{3, 3, 4, 5};
 };
 
+/// Bin count of ModelTimeoutStats::rounds_hist.
+inline constexpr std::size_t kRoundsHistBins = 32;
+
 struct ModelTimeoutStats {
   double mean_pm = 0.0;   ///< mean incidence across runs
   double ci95_pm = 0.0;   ///< 95% CI half-width of the mean
@@ -54,6 +65,9 @@ struct ModelTimeoutStats {
   double mean_rounds = 0.0;   ///< rounds to decision conditions
   double mean_time_ms = 0.0;  ///< rounds x timeout
   double censored_fraction = 0.0;
+  /// Across-run distribution of the per-run mean decision rounds
+  /// (integer bin counts, so exactly thread-count-invariant).
+  Histogram rounds_hist;
 };
 
 struct TimeoutResult {

@@ -1,6 +1,7 @@
 #include "harness/measurement.hpp"
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 
 namespace timing {
 
@@ -35,6 +36,18 @@ RunMeasurement measure_run(TimelinessSampler& sampler, int rounds,
     }
   }
   return out;
+}
+
+std::vector<RunMeasurement> measure_runs(int num_runs,
+                                         const SamplerFactory& make_sampler,
+                                         int rounds, ProcessId leader) {
+  TM_CHECK(num_runs > 0, "need at least one run");
+  return run_trials<RunMeasurement>(
+      static_cast<std::size_t>(num_runs), [&](std::size_t run) {
+        auto sampler = make_sampler(static_cast<int>(run));
+        TM_CHECK(sampler != nullptr, "sampler factory returned null");
+        return measure_run(*sampler, rounds, leader);
+      });
 }
 
 DecisionWindow rounds_until_conditions(const std::vector<std::uint8_t>& sat,

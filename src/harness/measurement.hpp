@@ -8,6 +8,8 @@
 #pragma once
 
 #include <array>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -45,6 +47,19 @@ struct RunMeasurement {
 /// in the paper's measurement runs.
 RunMeasurement measure_run(TimelinessSampler& sampler, int rounds,
                            ProcessId leader);
+
+/// Builds the self-contained sampler for one run. Must seed it from the
+/// run index alone (e.g. via substream_seed) — factories are invoked
+/// concurrently from pool threads.
+using SamplerFactory =
+    std::function<std::unique_ptr<TimelinessSampler>(int run)>;
+
+/// Fans `num_runs` independent measurement runs out over the thread pool
+/// (common/parallel.hpp). Results are indexed by run and — given a
+/// thread-agnostic factory — identical for every TIMING_THREADS value.
+std::vector<RunMeasurement> measure_runs(int num_runs,
+                                         const SamplerFactory& make_sampler,
+                                         int rounds, ProcessId leader);
 
 struct DecisionWindow {
   double rounds = 0.0;   ///< rounds from the start point until conditions held

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -114,6 +116,45 @@ TEST(Rng, SplitStreamsDiffer) {
   EXPECT_TRUE(differs);
 }
 
+TEST(Rng, SubstreamsForDistinctTrialsAreDecorrelated) {
+  // Draw the first 1000 values of the sub-streams for several trial
+  // indices of the same root: no value may appear in two streams (64-bit
+  // outputs collide with probability ~2^-44 per pair, so any overlap
+  // means the streams entered the same xoshiro orbit segment).
+  constexpr int kStreams = 8;
+  constexpr int kDraws = 1000;
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t trial = 0; trial < kStreams; ++trial) {
+    Rng r = substream(12345, trial);
+    for (int i = 0; i < kDraws; ++i) {
+      const auto [it, inserted] = seen.insert(r.next());
+      EXPECT_TRUE(inserted) << "streams " << trial << " overlap near draw "
+                            << i;
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kStreams) * kDraws);
+}
+
+TEST(Rng, SubstreamIsStableAcrossSplitOrder) {
+  // substream is a pure function of (root, index): materializing stream 5
+  // first, last, or twice never changes its draws — unlike split(),
+  // which depends on how often the parent was advanced.
+  std::vector<std::uint64_t> first;
+  {
+    Rng r = substream(777, 5);
+    for (int i = 0; i < 64; ++i) first.push_back(r.next());
+  }
+  (void)substream(777, 0);
+  (void)substream(777, 9);
+  Rng again = substream(777, 5);
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_EQ(again.next(), first[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_EQ(substream_seed(777, 5), substream_seed(777, 5));
+  EXPECT_NE(substream_seed(777, 5), substream_seed(777, 6));
+  EXPECT_NE(substream_seed(777, 5), substream_seed(778, 5));
+}
+
 TEST(Stats, WelfordMatchesDirect) {
   RunningStats s;
   const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
@@ -142,6 +183,172 @@ TEST(Stats, Ci95ShrinksWithN) {
   for (int i = 0; i < 5; ++i) small.add(r.normal());
   for (int i = 0; i < 500; ++i) large.add(r.normal());
   EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+namespace {
+bool same_bits(double a, double b) {
+  std::uint64_t ba = 0, bb = 0;
+  std::memcpy(&ba, &a, sizeof(a));
+  std::memcpy(&bb, &b, sizeof(b));
+  return ba == bb;
+}
+
+/// |a - b| within `ulps` units-in-the-last-place of the larger magnitude.
+void expect_ulp_close(double a, double b, double ulps) {
+  const double scale =
+      std::max({std::abs(a), std::abs(b), 1e-300});
+  EXPECT_NEAR(a, b, ulps * scale * std::numeric_limits<double>::epsilon())
+      << a << " vs " << b;
+}
+}  // namespace
+
+TEST(Stats, MergeOfRandomShardsMatchesSinglePass) {
+  // Property: splitting a sample into arbitrary contiguous shards,
+  // accumulating each shard independently and merging, agrees with the
+  // single-pass accumulation within ulp-scale tolerance, and exactly for
+  // count/min/max.
+  Rng rng(0x57a75);
+  for (int rep = 0; rep < 50; ++rep) {
+    const int len = 2 + static_cast<int>(rng.uniform_int(200));
+    std::vector<double> xs;
+    RunningStats single;
+    for (int i = 0; i < len; ++i) {
+      const double x = rng.lognormal(rng.uniform(-2.0, 2.0), 1.0);
+      xs.push_back(x);
+      single.add(x);
+    }
+    RunningStats merged;
+    std::size_t pos = 0;
+    while (pos < xs.size()) {
+      const std::size_t shard_len =
+          1 + rng.uniform_int(xs.size() - pos);
+      RunningStats shard;
+      for (std::size_t i = 0; i < shard_len; ++i) shard.add(xs[pos + i]);
+      merged.merge(shard);
+      pos += shard_len;
+    }
+    ASSERT_EQ(merged.count(), single.count());
+    EXPECT_TRUE(same_bits(merged.min(), single.min()));
+    EXPECT_TRUE(same_bits(merged.max(), single.max()));
+    expect_ulp_close(merged.mean(), single.mean(), 16.0);
+    expect_ulp_close(merged.variance(), single.variance(), 64.0);
+  }
+}
+
+TEST(Stats, MergeIsAssociativeAndCommutative) {
+  Rng rng(0xa550c);
+  for (int rep = 0; rep < 50; ++rep) {
+    RunningStats a, b, c;
+    for (int i = 0; i < 1 + static_cast<int>(rng.uniform_int(40)); ++i)
+      a.add(rng.normal(3.0, 2.0));
+    for (int i = 0; i < 1 + static_cast<int>(rng.uniform_int(40)); ++i)
+      b.add(rng.exponential(5.0));
+    for (int i = 0; i < 1 + static_cast<int>(rng.uniform_int(40)); ++i)
+      c.add(rng.uniform(-10.0, 10.0));
+
+    RunningStats ab_c = a;   // (a + b) + c
+    ab_c.merge(b);
+    ab_c.merge(c);
+    RunningStats bc = b;     // a + (b + c)
+    bc.merge(c);
+    RunningStats a_bc = a;
+    a_bc.merge(bc);
+    ASSERT_EQ(ab_c.count(), a_bc.count());
+    EXPECT_TRUE(same_bits(ab_c.min(), a_bc.min()));
+    EXPECT_TRUE(same_bits(ab_c.max(), a_bc.max()));
+    expect_ulp_close(ab_c.mean(), a_bc.mean(), 16.0);
+    expect_ulp_close(ab_c.variance(), a_bc.variance(), 64.0);
+
+    RunningStats ab = a;     // a + b vs b + a
+    ab.merge(b);
+    RunningStats ba = b;
+    ba.merge(a);
+    ASSERT_EQ(ab.count(), ba.count());
+    expect_ulp_close(ab.mean(), ba.mean(), 16.0);
+    expect_ulp_close(ab.variance(), ba.variance(), 64.0);
+  }
+}
+
+TEST(Stats, MergingSingletonsReproducesAddBitForBit) {
+  // The harness folds per-trial accumulators in trial order; for
+  // single-observation accumulators this must be THE SAME floating-point
+  // arithmetic as the serial add() loop, not merely close.
+  Rng rng(0xb17);
+  RunningStats serial, folded;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.pareto(1.0, 1.3);
+    serial.add(x);
+    RunningStats one;
+    one.add(x);
+    folded.merge(one);
+    ASSERT_TRUE(same_bits(serial.mean(), folded.mean()));
+    ASSERT_TRUE(same_bits(serial.variance(), folded.variance()));
+  }
+}
+
+TEST(Stats, MergeWithEmptyIsIdentity) {
+  RunningStats empty, s;
+  s.add(1.0);
+  s.add(2.0);
+  const double mean = s.mean();
+  s.merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_TRUE(same_bits(s.mean(), mean));
+  RunningStats t;
+  t.merge(s);
+  EXPECT_EQ(t.count(), 2u);
+  EXPECT_TRUE(same_bits(t.mean(), mean));
+  EXPECT_EQ(t.min(), 1.0);
+  EXPECT_EQ(t.max(), 2.0);
+}
+
+TEST(Stats, HistogramBinsAndEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-0.5);   // underflow
+  h.add(0.0);    // bin 0
+  h.add(9.999);  // bin 9
+  h.add(10.0);   // overflow (half-open range)
+  h.add(4.5);    // bin 4
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 5.0);
+}
+
+TEST(Stats, HistogramMergeIsExactlyAssociative) {
+  // Integer bin counts: any merge tree over the same shards yields the
+  // same histogram, bit for bit — the property the parallel harness
+  // relies on for distribution outputs.
+  Rng rng(0x415);
+  std::vector<Histogram> shards(8, Histogram(0.0, 1.0, 25));
+  Histogram serial(0.0, 1.0, 25);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = rng.uniform(-0.1, 1.1);
+    shards[static_cast<std::size_t>(rng.uniform_int(shards.size()))].add(x);
+    serial.add(x);
+  }
+  Histogram left(0.0, 1.0, 25);   // ((s0 + s1) + s2) + ...
+  for (const auto& s : shards) left.merge(s);
+  Histogram right(0.0, 1.0, 25);  // s7 + (s6 + (...))
+  for (auto it = shards.rbegin(); it != shards.rend(); ++it) right.merge(*it);
+  EXPECT_EQ(left, right);
+  EXPECT_EQ(left, serial);
+}
+
+TEST(Stats, HistogramMergeFromUnconfigured) {
+  Histogram h;
+  EXPECT_FALSE(h.configured());
+  Histogram other(0.0, 4.0, 4);
+  other.add(1.0);
+  h.merge(other);
+  ASSERT_TRUE(h.configured());
+  EXPECT_EQ(h.count(1), 1u);
+  h.merge(Histogram{});  // merging an unconfigured histogram is a no-op
+  EXPECT_EQ(h.total(), 1u);
 }
 
 TEST(Stats, StudentTTable) {

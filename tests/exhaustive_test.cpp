@@ -19,6 +19,12 @@
 // Adversarial oracles are included: all processes trusting a fixed
 // leader, everyone trusting themselves (split brain), and a leader
 // rotating every round.
+//
+// The search trees are embarrassingly parallel: the 64 first-level
+// branches (and the randomized prefixes) fan out over the shared thread
+// pool (common/parallel.hpp, TIMING_THREADS). Each branch keeps its own
+// checker and the visited-state counts are integers summed in branch
+// order, so the test's verdict and counts are thread-count-invariant.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -29,6 +35,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "consensus/factory.hpp"
 
@@ -158,6 +165,27 @@ void dfs(const SysState& s, int depth, const OracleFn& oracle,
   }
 }
 
+/// dfs() with the 64 first-level branches spread over the thread pool.
+/// Returns the number of states checked below (and including) level 1.
+long long parallel_dfs(const SysState& root, int depth, const OracleFn& oracle,
+                       const std::vector<Value>& proposals, bool lemma1) {
+  const auto counts =
+      run_trials<long long>(kMaskCount, [&](std::size_t mask) -> long long {
+        Checker checker{proposals, lemma1};
+        if (::testing::Test::HasFatalFailure()) return checker.states_checked;
+        SysState child = root.clone();
+        step(child, static_cast<unsigned>(mask), oracle);
+        checker.check(child);
+        if (!::testing::Test::HasFatalFailure()) {
+          dfs(child, depth - 1, oracle, checker);
+        }
+        return checker.states_checked;
+      });
+  long long total = 0;
+  for (long long c : counts) total += c;
+  return total;
+}
+
 struct ExhaustiveCase {
   AlgorithmKind kind;
   int oracle_variant;  // 0 fixed, 1 split (self), 2 rotating
@@ -184,34 +212,44 @@ class Exhaustive : public ::testing::TestWithParam<ExhaustiveCase> {};
 TEST_P(Exhaustive, DepthThreeFromInitialState) {
   const auto [kind, variant] = GetParam();
   const std::vector<Value> props{10, 20, 30};
+  const bool lemma1 = kind != AlgorithmKind::kPaxos;
   const OracleFn oracle = make_oracle(variant);
-  Checker checker{props, kind != AlgorithmKind::kPaxos};
+  Checker checker{props, lemma1};
   SysState init = initial_state(kind, props, oracle);
   checker.check(init);
-  dfs(init, /*depth=*/3, oracle, checker);
+  const long long below =
+      parallel_dfs(init, /*depth=*/3, oracle, props, lemma1);
   // 64 + 64^2 + 64^3 nodes, plus the root.
-  EXPECT_EQ(checker.states_checked, 1 + 64 + 64 * 64 + 64 * 64 * 64);
+  EXPECT_EQ(checker.states_checked + below, 1 + 64 + 64 * 64 + 64 * 64 * 64);
 }
 
 TEST_P(Exhaustive, DepthTwoFromRandomizedDeepStates) {
   const auto [kind, variant] = GetParam();
   const std::vector<Value> props{10, 20, 30};
+  const bool lemma1 = kind != AlgorithmKind::kPaxos;
   const OracleFn oracle = make_oracle(variant);
-  Checker checker{props, kind != AlgorithmKind::kPaxos};
-  Rng rng(0x5eed ^ static_cast<std::uint64_t>(variant) << 8 ^
-          static_cast<std::uint64_t>(kind));
-  for (int prefix = 0; prefix < 12; ++prefix) {
-    SysState s = initial_state(kind, props, oracle);
-    const int len = 3 + static_cast<int>(rng.uniform_int(6));
-    for (int r = 0; r < len; ++r) {
-      step(s, static_cast<unsigned>(rng.uniform_int(kMaskCount)), oracle);
-      checker.check(s);
-      if (::testing::Test::HasFatalFailure()) return;
-    }
-    dfs(s, /*depth=*/2, oracle, checker);
-    if (::testing::Test::HasFatalFailure()) return;
-  }
-  EXPECT_GT(checker.states_checked, 12 * (64 + 64 * 64));
+  const std::uint64_t root_seed = 0x5eed ^
+                                  static_cast<std::uint64_t>(variant) << 8 ^
+                                  static_cast<std::uint64_t>(kind);
+  // One sub-stream per prefix: each parallel branch draws its own random
+  // walk reproducibly, independent of scheduling.
+  const auto counts =
+      run_trials<long long>(12, [&](std::size_t prefix) -> long long {
+        Checker checker{props, lemma1};
+        Rng rng = substream(root_seed, prefix);
+        SysState s = initial_state(kind, props, oracle);
+        const int len = 3 + static_cast<int>(rng.uniform_int(6));
+        for (int r = 0; r < len; ++r) {
+          step(s, static_cast<unsigned>(rng.uniform_int(kMaskCount)), oracle);
+          checker.check(s);
+          if (::testing::Test::HasFatalFailure()) return checker.states_checked;
+        }
+        dfs(s, /*depth=*/2, oracle, checker);
+        return checker.states_checked;
+      });
+  long long total = 0;
+  for (long long c : counts) total += c;
+  EXPECT_GT(total, 12 * (64 + 64 * 64));
 }
 
 std::vector<ExhaustiveCase> cases() {
