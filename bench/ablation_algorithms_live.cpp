@@ -26,12 +26,15 @@ namespace {
 struct Row {
   double mean_rounds = 0.0;
   double mean_msgs = 0.0;
+  double timely_pct = 0.0;
+  double late_pct = 0.0;
+  double lost_pct = 0.0;
   int failures = 0;
 };
 
 struct Instance {
   Round decided = -1;
-  long long msgs = 0;
+  EngineStats stats;
 };
 
 Row run_algo(AlgorithmKind kind, double timeout_ms, int instances) {
@@ -49,20 +52,33 @@ Row run_algo(AlgorithmKind kind, double timeout_ms, int instances) {
         RoundEngine engine(make_group(kind, proposals), oracle);
         Instance out;
         out.decided = engine.run(sampler, 400);
-        out.msgs = engine.stats().messages_sent;
+        out.stats = engine.stats();
         return out;
       });
   RunningStats rounds, msgs;
+  // Engine-side message-fate totals: the engine's own view of the
+  // simulated network quality, cross-checkable against the sampler's p.
+  long long sent = 0, timely = 0, late = 0, lost = 0;
   int failures = 0;
   for (const Instance& inst : outs) {
+    sent += inst.stats.messages_sent;
+    timely += inst.stats.timely_deliveries;
+    late += inst.stats.late_messages;
+    lost += inst.stats.lost_messages;
     if (inst.decided < 0) {
       ++failures;
       continue;
     }
     rounds.add(static_cast<double>(inst.decided));
-    msgs.add(static_cast<double>(inst.msgs));
+    msgs.add(static_cast<double>(inst.stats.messages_sent));
   }
-  return {rounds.mean(), msgs.mean(), failures};
+  const auto share = [&](long long part) {
+    return sent > 0 ? 100.0 * static_cast<double>(part) /
+                          static_cast<double>(sent)
+                    : 0.0;
+  };
+  return {rounds.mean(), msgs.mean(), share(timely), share(late),
+          share(lost), failures};
 }
 
 }  // namespace
@@ -75,11 +91,13 @@ int main() {
                                  AlgorithmKind::kPaxos};
   for (double timeout : {160.0, 200.0, 260.0}) {
     Table t({"algorithm", "mean rounds to global decision", "mean messages",
-             "undecided@400r"});
+             "timely%", "late%", "lost%", "undecided@400r"});
     for (AlgorithmKind k : kinds) {
       const Row r = run_algo(k, timeout, kInstances);
       t.add_row({to_string(k), Table::num(r.mean_rounds, 2),
-                 Table::num(r.mean_msgs, 0), Table::integer(r.failures)});
+                 Table::num(r.mean_msgs, 0), Table::num(r.timely_pct, 1),
+                 Table::num(r.late_pct, 1), Table::num(r.lost_pct, 1),
+                 Table::integer(r.failures)});
     }
     t.print(std::cout, "Actual algorithm executions over the simulated WAN, "
                        "timeout = " +

@@ -66,6 +66,7 @@ SendSpec Lm3Consensus::compute(Round k, const RoundMsgs& received,
       dec_ = est_ = m->est;
       msg_type_ = MsgType::kDecide;
       heard_maj_ = heard_maj_now;
+      trace_decide(k, self_, dec_, decide_rule::kForwarded);
       return make_send();
     }
   }
@@ -83,6 +84,7 @@ SendSpec Lm3Consensus::compute(Round k, const RoundMsgs& received,
       dec_ = est_ = own.est;
       msg_type_ = MsgType::kDecide;
       heard_maj_ = heard_maj_now;
+      trace_decide(k, self_, dec_, decide_rule::kCommitQuorum);
       return make_send();
     }
   }

@@ -60,7 +60,13 @@ SendSpec LmOverWlmSimulation::compute(Round k, const RoundMsgs& received,
   if (!fixed[self_]) fixed[self_] = pending_inner_msg_;
 
   inner_round_ = k / 2;
+  const bool was_decided = inner_->has_decided();
   SendSpec inner_spec = inner_->compute(inner_round_, fixed, leader_hint);
+  if (!was_decided && inner_->has_decided()) {
+    // Re-emit the inner decide with the OUTER round number so the trace
+    // stays consistent (see the header note).
+    trace_decide(k, self_, inner_->decision(), decide_rule::kSimulated);
+  }
   pending_inner_msg_ = inner_spec.msg;
   return SendSpec{inner_spec.msg, SendSpec::all(n_)};
 }

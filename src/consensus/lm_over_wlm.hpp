@@ -39,6 +39,12 @@ class LmOverWlmSimulation final : public Protocol {
   /// Inner rounds completed so far (test introspection).
   Round inner_rounds() const noexcept { return inner_round_; }
 
+  // NOTE: the sink is deliberately NOT forwarded to the inner protocol.
+  // The inner algorithm runs with simulated round numbers (k/2), so its
+  // decide events would carry rounds inconsistent with the outer trace;
+  // the wrapper re-emits decides itself with the outer round (see
+  // compute()).
+
   std::unique_ptr<Protocol> clone() const override {
     auto inner_copy = inner_->clone();
     if (!inner_copy) return nullptr;

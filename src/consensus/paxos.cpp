@@ -67,6 +67,9 @@ SendSpec PaxosConsensus::compute(Round k, const RoundMsgs& received,
   // ---- Learning: any DECIDE ends the protocol for us.
   for (const auto& m : received) {
     if (m && m->type == MsgType::kDecide) {
+      if (dec_ == kNoValue) {
+        trace_decide(k, self_, m->est, decide_rule::kPaxosLearn);
+      }
       dec_ = m->est;
     }
   }
@@ -203,6 +206,7 @@ SendSpec PaxosConsensus::compute(Round k, const RoundMsgs& received,
       }
       if (count >= majority_size(n_)) {
         dec_ = cur_value_;
+        trace_decide(k, self_, dec_, decide_rule::kPaxosChosen);
         Message m;
         m.type = MsgType::kDecide;
         m.est = dec_;

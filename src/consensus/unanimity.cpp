@@ -36,6 +36,7 @@ SendSpec UnanimityConsensus::compute(Round k, const RoundMsgs& received,
     if (m && m->type == MsgType::kDecide) {
       dec_ = est_ = m->est;
       msg_type_ = MsgType::kDecide;
+      trace_decide(k, self_, dec_, decide_rule::kForwarded);
       return make_send();
     }
   }
@@ -52,6 +53,7 @@ SendSpec UnanimityConsensus::compute(Round k, const RoundMsgs& received,
     if (fresh_commits > n_ / 2) {
       dec_ = est_ = own.est;
       msg_type_ = MsgType::kDecide;
+      trace_decide(k, self_, dec_, decide_rule::kCommitQuorum);
       return make_send();
     }
   }

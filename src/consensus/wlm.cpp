@@ -86,6 +86,7 @@ SendSpec WlmConsensus::compute(Round k, const RoundMsgs& received,
       // Rule decide-1 (lines 23-24).
       dec_ = est_ = decide_msg->est;
       msg_type_ = MsgType::kDecide;
+      trace_decide(k, self_, dec_, decide_rule::kForwarded);
     } else if (commit_count > n_ / 2 && own.type == MsgType::kCommit &&
                own.maj_approved) {
       // Rules decide-2 and decide-3 (lines 25-26): a majority of COMMITs
@@ -93,6 +94,7 @@ SendSpec WlmConsensus::compute(Round k, const RoundMsgs& received,
       // majApproved = true.
       dec_ = est_;
       msg_type_ = MsgType::kDecide;
+      trace_decide(k, self_, dec_, decide_rule::kCommitQuorum);
     } else if (prev_ld_ != kNoProcess && received[prev_ld_] &&
                received[prev_ld_]->maj_approved) {
       // Rule commit (lines 27-28): trust the leader indicated in my own

@@ -23,6 +23,11 @@ RoundEngine::RoundEngine(std::vector<std::unique_ptr<Protocol>> processes,
   decision_round_.assign(n, -1);
 }
 
+void RoundEngine::set_trace_sink(TraceSink* sink) noexcept {
+  trace_ = sink;
+  for (auto& p : procs_) p->set_trace_sink(sink);
+}
+
 void RoundEngine::crash_at(ProcessId i, Round at_round) {
   TM_CHECK(i >= 0 && i < n(), "crash target out of range");
   TM_CHECK(at_round > k_, "cannot crash in the past");
@@ -49,6 +54,12 @@ Round RoundEngine::step(const LinkMatrix& fates) {
   TM_CHECK(fates.n() == n(), "matrix size mismatch");
   lazy_initialize();
   ++k_;
+  trace_emit(trace_, TraceEvent::round_start(k_));
+  if (trace_ != nullptr) {
+    for (ProcessId i = 0; i < n(); ++i) {
+      if (crash_round_[i] == k_) trace_->record(TraceEvent::crash(k_, i));
+    }
+  }
 
   // Start of round k_: clear rows, place own messages, dispatch sends.
   for (ProcessId i = 0; i < n(); ++i) {
@@ -64,13 +75,22 @@ Round RoundEngine::step(const LinkMatrix& fates) {
       ++stats_.messages_sent;
       ++msgs_last_round_;
       const Delay fate = fates.at(d, i);
+      trace_emit(trace_, TraceEvent::msg(EventKind::kMsgSent, k_, i, d));
       if (fate == kLost) {
         ++stats_.lost_messages;
+        trace_emit(trace_, TraceEvent::msg(EventKind::kMsgLost, k_, i, d));
       } else if (fate == 0) {
         ++stats_.timely_deliveries;
         if (k_ < crash_round_[d]) rows_[d][i] = outbox_[i].msg;
+        trace_emit(trace_, TraceEvent::msg(EventKind::kMsgTimely, k_, i, d));
       } else {
+        ++stats_.late_messages;
         in_flight_.push_back(InFlight{k_ + fate, d, i});
+        // The message's fate is known at sampling time; record it in the
+        // round it belongs to (by the time it arrives, that round's
+        // computation is over and it can no longer matter).
+        trace_emit(trace_,
+                   TraceEvent::msg(EventKind::kMsgLate, k_, i, d, fate));
       }
     }
   }
@@ -87,11 +107,16 @@ Round RoundEngine::step(const LinkMatrix& fates) {
   for (ProcessId i = 0; i < n(); ++i) {
     if (!alive(i)) continue;
     const bool was_decided = procs_[i]->has_decided();
-    outbox_[i] = procs_[i]->compute(k_, rows_[i], hint(i, k_));
+    const ProcessId ld = hint(i, k_);
+    if (oracle_ != nullptr) {
+      trace_emit(trace_, TraceEvent::oracle(k_, i, ld));
+    }
+    outbox_[i] = procs_[i]->compute(k_, rows_[i], ld);
     if (!was_decided && procs_[i]->has_decided()) {
       decision_round_[i] = k_;
     }
   }
+  trace_emit(trace_, TraceEvent::round_end(k_));
   return k_;
 }
 

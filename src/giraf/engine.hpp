@@ -24,6 +24,7 @@
 
 #include "giraf/oracle.hpp"
 #include "giraf/protocol.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/link_matrix.hpp"
 #include "sim/sampler.hpp"
 
@@ -32,7 +33,12 @@ namespace timing {
 struct EngineStats {
   long long messages_sent = 0;     ///< total point-to-point sends
   long long timely_deliveries = 0;
-  long long late_arrivals = 0;     ///< arrived after their round ended
+  /// Messages whose sampled fate was "late", counted at send time (the
+  /// trace's view): messages_sent == timely + late_messages + lost.
+  long long late_messages = 0;
+  /// Of those, the ones that actually arrived before the run ended
+  /// (<= late_messages; the rest were still in flight).
+  long long late_arrivals = 0;
   long long lost_messages = 0;
 };
 
@@ -76,6 +82,22 @@ class RoundEngine {
   /// complexity measurements).
   long long messages_last_round() const noexcept { return msgs_last_round_; }
 
+  /// Fraction of sent messages that were delivered timely; the engine's
+  /// own view of the paper's p, cross-checkable against the sampler-side
+  /// RunMeasurement::timely_fraction().
+  double timely_fraction() const noexcept {
+    return stats_.messages_sent
+               ? static_cast<double>(stats_.timely_deliveries) /
+                     static_cast<double>(stats_.messages_sent)
+               : 0.0;
+  }
+
+  /// Install a trace sink (null disables). The engine emits
+  /// RoundStart/RoundEnd, per-link Msg* fates, per-process OracleOutput
+  /// and Crash events; Decide events come from the protocols' own decide
+  /// paths, so the sink is forwarded to every process.
+  void set_trace_sink(TraceSink* sink) noexcept;
+
   /// The row each process saw last round (test introspection).
   const RoundMsgs& last_row(ProcessId i) const { return rows_[i]; }
 
@@ -94,6 +116,7 @@ class RoundEngine {
   std::vector<Round> decision_round_;
   std::vector<InFlight> in_flight_;
   EngineStats stats_;
+  TraceSink* trace_ = nullptr;
   long long msgs_last_round_ = 0;
   Round k_ = 0;
   bool initialized_ = false;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "giraf/message.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace timing {
 
@@ -52,8 +53,26 @@ class Protocol {
 
   /// Deep copy of the protocol state, for state-space search (the
   /// exhaustive model-checking tests). Protocols that do not support it
-  /// return nullptr (the default).
+  /// return nullptr (the default). Clones do not inherit the trace sink
+  /// (search states are not observed runs).
   virtual std::unique_ptr<Protocol> clone() const { return nullptr; }
+
+  /// Install a trace sink (null disables, the default). Virtual so
+  /// wrappers (OmegaElection, LmOverWlm) can forward it to their inner
+  /// protocol.
+  virtual void set_trace_sink(TraceSink* sink) noexcept {
+    trace_sink_ = sink;
+  }
+
+ protected:
+  /// Decide-path instrumentation: protocols call this exactly where a
+  /// decide rule fires (see obs/trace_event.hpp for the rule tags).
+  void trace_decide(Round k, ProcessId self, Value v,
+                    std::uint8_t rule) const {
+    trace_emit(trace_sink_, TraceEvent::decide(k, self, v, rule));
+  }
+
+  TraceSink* trace_sink_ = nullptr;
 };
 
 }  // namespace timing

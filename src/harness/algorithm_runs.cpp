@@ -22,6 +22,7 @@ AlgorithmRunResult run_algorithm(const AlgorithmRunConfig& cfg) {
       n, cfg.schedule.leader, stable_from, cfg.schedule.seed ^ 0x9e37);
 
   RoundEngine engine(std::move(protocols), oracle);
+  if (cfg.trace != nullptr) engine.set_trace_sink(cfg.trace);
   ScheduleConfig sched = cfg.schedule;
   if (!cfg.crashes.empty()) {
     TM_CHECK(static_cast<int>(cfg.crashes.size()) == n,
@@ -44,6 +45,7 @@ AlgorithmRunResult run_algorithm(const AlgorithmRunConfig& cfg) {
   out.global_decision_round = decided_at;
   out.stable_round_messages = engine.messages_last_round();
   out.total_messages = engine.stats().messages_sent;
+  out.engine = engine.stats();
 
   for (ProcessId i = 0; i < n; ++i) {
     const Protocol& p = engine.process(i);

@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "consensus/factory.hpp"
+#include "giraf/engine.hpp"
 #include "models/schedule.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace timing {
 
@@ -24,6 +26,10 @@ struct AlgorithmRunConfig {
   /// Crash process i at round crashes[i] (0/negative = never). Must keep
   /// a correct majority and a correct leader.
   std::vector<Round> crashes;
+  /// Optional trace sink (null = no tracing). Owned by the caller; for
+  /// run_algorithms each config needs its own sink (trials run
+  /// concurrently).
+  TraceSink* trace = nullptr;
 };
 
 struct AlgorithmRunResult {
@@ -35,6 +41,11 @@ struct AlgorithmRunResult {
   /// Messages sent in the final round (stable-state message complexity).
   long long stable_round_messages = 0;
   long long total_messages = 0;
+  /// The engine's full delivery accounting (sent/timely/late/lost) —
+  /// previously write-only inside the engine; exposed so bench summaries
+  /// and tests can cross-check the run's timely fraction against the
+  /// sampler-side view. total_messages == engine.messages_sent.
+  EngineStats engine;
 };
 
 AlgorithmRunResult run_algorithm(const AlgorithmRunConfig& cfg);

@@ -1,7 +1,12 @@
 #include "harness/measurement.hpp"
 
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "obs/jsonl.hpp"
 
 namespace timing {
 
@@ -14,7 +19,8 @@ double RunMeasurement::incidence(TimingModel m) const noexcept {
 }
 
 RunMeasurement measure_run(TimelinessSampler& sampler, int rounds,
-                           ProcessId leader) {
+                           ProcessId leader, TraceSink* trace,
+                           MetricsRegistry* metrics) {
   TM_CHECK(rounds > 0, "need at least one round");
   RunMeasurement out;
   out.rounds = rounds;
@@ -22,32 +28,125 @@ RunMeasurement measure_run(TimelinessSampler& sampler, int rounds,
   const int n = sampler.n();
   LinkMatrix a(n);
   for (int r = 1; r <= rounds; ++r) {
-    sampler.sample_round(r, a);
-    for (TimingModel m : kAllModels) {
-      out.sat[static_cast<std::size_t>(model_index(m))].push_back(
-          satisfies(m, a, leader) ? 1 : 0);
+    trace_emit(trace, TraceEvent::round_start(r));
+    {
+      PhaseTimer t(metrics, "phase.sample");
+      sampler.sample_round(r, a);
     }
+    // Message fates of the round's (virtual) all-to-all traffic. Self
+    // links are excluded, matching the paper's p ("each process sent ...
+    // to all others").
     for (ProcessId d = 0; d < n; ++d) {
       for (ProcessId s = 0; s < n; ++s) {
         if (s == d) continue;
         ++out.messages_total;
-        if (a.timely(d, s)) ++out.messages_timely;
+        const Delay fate = a.at(d, s);
+        if (fate == 0) {
+          ++out.messages_timely;
+          trace_emit(trace, TraceEvent::msg(EventKind::kMsgTimely, r, s, d));
+        } else if (fate == kLost) {
+          ++out.messages_lost;
+          trace_emit(trace, TraceEvent::msg(EventKind::kMsgLost, r, s, d));
+        } else {
+          ++out.messages_late;
+          trace_emit(trace,
+                     TraceEvent::msg(EventKind::kMsgLate, r, s, d, fate));
+        }
       }
     }
+    std::uint8_t mask = 0;
+    {
+      PhaseTimer t(metrics, "phase.predicates");
+      mask = evaluate_all(a, leader, nullptr, trace, r);
+    }
+    for (TimingModel m : kAllModels) {
+      const int idx = model_index(m);
+      out.sat[static_cast<std::size_t>(idx)].push_back(
+          (mask & (1u << idx)) ? 1 : 0);
+    }
+    trace_emit(trace, TraceEvent::round_end(r));
+  }
+  if (metrics != nullptr) {
+    metrics->inc("rounds", rounds);
+    metrics->inc("messages.total", out.messages_total);
+    metrics->inc("messages.timely", out.messages_timely);
+    metrics->inc("messages.late", out.messages_late);
+    metrics->inc("messages.lost", out.messages_lost);
+    for (TimingModel m : kAllModels) {
+      const auto idx = static_cast<std::size_t>(model_index(m));
+      long long sat = 0;
+      for (auto b : out.sat[idx]) sat += b ? 1 : 0;
+      metrics->inc(std::string("rounds.sat.") + to_string(m), sat);
+    }
+    metrics->observe("run.timely_fraction", out.timely_fraction());
   }
   return out;
 }
 
 std::vector<RunMeasurement> measure_runs(int num_runs,
                                          const SamplerFactory& make_sampler,
-                                         int rounds, ProcessId leader) {
+                                         int rounds, ProcessId leader,
+                                         const MeasureObs& obs) {
   TM_CHECK(num_runs > 0, "need at least one run");
-  return run_trials<RunMeasurement>(
+
+  // Resolve the trace destination: an explicit stream wins, otherwise
+  // TIMING_TRACE=<path> (the off-by-default env knob).
+  const TraceConfig env = TraceConfig::from_env();
+  std::ofstream env_file;
+  std::ostream* trace_out = obs.trace_out;
+  std::size_t max_events = obs.max_events_per_trial;
+  if (trace_out == nullptr && env.enabled()) {
+    env_file.open(env.path, std::ios::trunc);
+    TM_CHECK(env_file.good(), "cannot open TIMING_TRACE output file");
+    trace_out = &env_file;
+    if (max_events == 0) max_events = env.max_events_per_trial;
+  }
+  const bool tracing = trace_out != nullptr;
+  const bool metering = obs.metrics != nullptr;
+
+  // Per-trial private sinks/registries; pool threads never share one.
+  std::vector<BufferSink> sinks;
+  std::vector<MetricsRegistry> registries;
+  if (tracing) {
+    sinks.reserve(static_cast<std::size_t>(num_runs));
+    for (int i = 0; i < num_runs; ++i) sinks.emplace_back(max_events);
+  }
+  if (metering) registries.resize(static_cast<std::size_t>(num_runs));
+
+  // Each slot is written by exactly one trial, so the pool threads never
+  // contend; read only after run_trials returns.
+  std::vector<int> trial_n(static_cast<std::size_t>(num_runs), 0);
+
+  auto result = run_trials<RunMeasurement>(
       static_cast<std::size_t>(num_runs), [&](std::size_t run) {
         auto sampler = make_sampler(static_cast<int>(run));
         TM_CHECK(sampler != nullptr, "sampler factory returned null");
-        return measure_run(*sampler, rounds, leader);
+        trial_n[run] = sampler->n();
+        return measure_run(*sampler, rounds, leader,
+                           tracing ? &sinks[run] : nullptr,
+                           metering ? &registries[run] : nullptr);
       });
+
+  // Drain in trial-index order on this thread: deterministic bytes and
+  // deterministic metric folds regardless of the thread count. The header
+  // carries the max n; trials that differ (e.g. a group-size sweep)
+  // record their own n on the trial marker.
+  if (tracing) {
+    int max_n = 0;
+    for (int n : trial_n) max_n = std::max(max_n, n);
+    write_trace_header(*trace_out, max_n);
+    for (int run = 0; run < num_runs; ++run) {
+      const int n = trial_n[static_cast<std::size_t>(run)];
+      write_trial(*trace_out, run,
+                  sinks[static_cast<std::size_t>(run)].events(),
+                  n == max_n ? 0 : n);
+    }
+    trace_out->flush();
+  }
+  if (metering) {
+    for (const MetricsRegistry& r : registries) obs.metrics->merge(r);
+  }
+  return result;
 }
 
 DecisionWindow rounds_until_conditions(const std::vector<std::uint8_t>& sat,

@@ -105,4 +105,17 @@ bool satisfies(TimingModel m, const LinkMatrix& a, ProcessId leader,
   return false;
 }
 
+std::uint8_t evaluate_all(const LinkMatrix& a, ProcessId leader,
+                          const CorrectMask* correct, TraceSink* sink,
+                          Round k) {
+  std::uint8_t mask = 0;
+  for (TimingModel m : kAllModels) {
+    if (satisfies(m, a, leader, correct)) {
+      mask |= static_cast<std::uint8_t>(1u << static_cast<int>(m));
+    }
+  }
+  trace_emit(sink, TraceEvent::predicates(k, mask));
+  return mask;
+}
+
 }  // namespace timing

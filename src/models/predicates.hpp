@@ -10,9 +10,11 @@
 //    the measurement sections run failure-free experiments, like the paper.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "models/timing_model.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/link_matrix.hpp"
 
 namespace timing {
@@ -41,5 +43,14 @@ bool satisfies_afm(const LinkMatrix& a, const CorrectMask* correct = nullptr);
 /// Dispatch on the model. `leader` is ignored for ES and <>AFM.
 bool satisfies(TimingModel m, const LinkMatrix& a, ProcessId leader,
                const CorrectMask* correct = nullptr);
+
+/// Evaluate all four predicates at once; bit static_cast<int>(m) of the
+/// result is set iff model m held (the canonical ES/LM/WLM/AFM bit order
+/// of obs/trace_event.hpp). When `sink` is non-null, one PredicateEval
+/// event for round `k` is emitted — this is the instrumentation point the
+/// measurement harness records P_M incidence through.
+std::uint8_t evaluate_all(const LinkMatrix& a, ProcessId leader,
+                          const CorrectMask* correct = nullptr,
+                          TraceSink* sink = nullptr, Round k = 0);
 
 }  // namespace timing

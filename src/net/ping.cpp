@@ -60,7 +60,13 @@ PingReport measure_peer_rtts(Transport& transport, int n,
     ProcessId from = kNoProcess;
     if (!transport.recv(buf, from, std::min(deadline, next_probe))) continue;
     auto frame = parse_frame(buf);
-    if (!frame) continue;
+    if (!frame) {
+      // Malformed frame - dropped here, visible through the transport's
+      // sink (round 0 = below the round abstraction).
+      trace_emit(transport.trace_sink(),
+                 TraceEvent::msg(EventKind::kMsgLost, 0, from, self));
+      continue;
+    }
     if (const auto* ping = std::get_if<PingFrame>(&*frame)) {
       Bytes out;
       frame_pong(PongFrame{ping->nonce}, out);
@@ -76,9 +82,12 @@ PingReport measure_peer_rtts(Transport& transport, int n,
         ++report.replies[from];
         outstanding.erase(it);
       }
+    } else {
+      // Envelopes arriving early (a peer already past the ping phase) are
+      // dropped here; round synchronization resynchronizes regardless.
+      trace_emit(transport.trace_sink(),
+                 TraceEvent::msg(EventKind::kMsgLost, 0, from, self));
     }
-    // Envelopes arriving early (a peer already past the ping phase) are
-    // dropped here; round synchronization resynchronizes regardless.
   }
 
   for (ProcessId j = 0; j < n; ++j) {

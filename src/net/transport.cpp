@@ -39,14 +39,14 @@ void InProcHub::advance_model_locked() {
   model_round_ = std::max(model_round_, target);
 }
 
-void InProcHub::post(ProcessId src, ProcessId dst, const Bytes& bytes) {
+bool InProcHub::post(ProcessId src, ProcessId dst, const Bytes& bytes) {
   TM_CHECK(dst >= 0 && dst < n_, "destination out of range");
   std::lock_guard lk(mu_);
   auto due = Clock::now();
   if (model_) {
     advance_model_locked();
     const double ms = model_->sample_ms(src, dst);
-    if (!std::isfinite(ms)) return;  // lost
+    if (!std::isfinite(ms)) return false;  // lost
     due += std::chrono::microseconds(static_cast<long long>(ms * 1000.0));
   }
   auto& q = queues_[static_cast<std::size_t>(dst)];
@@ -58,6 +58,7 @@ void InProcHub::post(ProcessId src, ProcessId dst, const Bytes& bytes) {
       [](const Packet& a, const Packet& b) { return a.due < b.due; });
   q.insert(it, std::move(p));
   cv_[static_cast<std::size_t>(dst)].notify_all();
+  return true;
 }
 
 bool InProcHub::take(ProcessId dst, Bytes& out, ProcessId& from,

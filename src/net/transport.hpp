@@ -22,6 +22,7 @@
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "obs/trace_sink.hpp"
 #include "sim/latency_model.hpp"
 
 namespace timing {
@@ -41,6 +42,16 @@ class Transport {
   virtual bool recv(Bytes& out, ProcessId& from, Clock::time_point deadline) = 0;
 
   virtual ProcessId self() const noexcept = 0;
+
+  /// Observe transport-level drops (MsgLost with round 0, since these
+  /// happen below the round abstraction). Sink is caller-owned; null
+  /// disables. Transports whose drop source is unattributable (e.g. a
+  /// stray datagram from an unknown port) report src == self.
+  void set_trace_sink(TraceSink* sink) noexcept { trace_sink_ = sink; }
+  TraceSink* trace_sink() const noexcept { return trace_sink_; }
+
+ protected:
+  TraceSink* trace_sink_ = nullptr;
 };
 
 /// Shared switch for InProcTransport endpoints. Thread-safe. If a latency
@@ -59,7 +70,9 @@ class InProcHub {
 
   int n() const noexcept { return n_; }
 
-  void post(ProcessId src, ProcessId dst, const Bytes& bytes);
+  /// Returns false when the latency model sampled a loss (the datagram
+  /// was dropped at the "wire"); senders may surface that to a sink.
+  bool post(ProcessId src, ProcessId dst, const Bytes& bytes);
   bool take(ProcessId dst, Bytes& out, ProcessId& from,
             Clock::time_point deadline);
 
@@ -88,8 +101,12 @@ class InProcTransport final : public Transport {
       : hub_(std::move(hub)), self_(self) {}
 
   bool send(ProcessId dst, const Bytes& bytes) override {
-    hub_->post(self_, dst, bytes);
-    return true;
+    if (!hub_->post(self_, dst, bytes)) {
+      // Wire-level loss sampled by the hub's latency model.
+      trace_emit(trace_sink_, TraceEvent::msg(EventKind::kMsgLost, 0,
+                                              self_, dst));
+    }
+    return true;  // local send succeeded; the "network" ate it
   }
   bool recv(Bytes& out, ProcessId& from, Clock::time_point deadline) override {
     return hub_->take(self_, out, from, deadline);

@@ -54,7 +54,14 @@ bool UdpTransport::send(ProcessId dst, const Bytes& bytes) {
   const ssize_t sent =
       ::sendto(fd_, bytes.data(), bytes.size(), 0,
                reinterpret_cast<sockaddr*>(&addr), sizeof addr);
-  return sent == static_cast<ssize_t>(bytes.size());
+  if (sent != static_cast<ssize_t>(bytes.size())) {
+    // Local send failure (full socket buffer, etc.) - the datagram never
+    // left this host.
+    trace_emit(trace_sink_, TraceEvent::msg(EventKind::kMsgLost, 0,
+                                            self_, dst));
+    return false;
+  }
+  return true;
 }
 
 bool UdpTransport::recv(Bytes& out, ProcessId& from,
@@ -86,7 +93,14 @@ bool UdpTransport::recv(Bytes& out, ProcessId& from,
     out.resize(static_cast<std::size_t>(got));
     const int port = ntohs(src.sin_port);
     from = static_cast<ProcessId>(port - base_port_);
-    if (from < 0 || from >= n_) continue;  // stray datagram - ignore
+    if (from < 0 || from >= n_) {
+      // Stray datagram from an unknown port - dropped. The true source
+      // has no ProcessId, so the event reports src == self (see
+      // Transport::set_trace_sink).
+      trace_emit(trace_sink_, TraceEvent::msg(EventKind::kMsgLost, 0,
+                                              self_, self_));
+      continue;
+    }
     return true;
   }
 }

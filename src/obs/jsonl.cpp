@@ -1,0 +1,271 @@
+#include "obs/jsonl.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace timing {
+
+const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kRoundStart: return "round_start";
+    case EventKind::kRoundEnd: return "round_end";
+    case EventKind::kMsgSent: return "sent";
+    case EventKind::kMsgTimely: return "timely";
+    case EventKind::kMsgLate: return "late";
+    case EventKind::kMsgLost: return "lost";
+    case EventKind::kOracleOutput: return "oracle";
+    case EventKind::kPredicateEval: return "pred";
+    case EventKind::kDecide: return "decide";
+    case EventKind::kCrash: return "crash";
+  }
+  return "unknown";
+}
+
+const char* decide_rule_name(std::uint8_t rule) noexcept {
+  switch (rule) {
+    case decide_rule::kForwarded: return "decide-forwarded";
+    case decide_rule::kCommitQuorum: return "decide-commit-quorum";
+    case decide_rule::kPaxosLearn: return "paxos-learn";
+    case decide_rule::kPaxosChosen: return "paxos-chosen";
+    case decide_rule::kSimulated: return "simulated-lm";
+    default: return "none";
+  }
+}
+
+namespace {
+
+void append_field(std::string& s, const char* key, long long v) {
+  s += ",\"";
+  s += key;
+  s += "\":";
+  s += std::to_string(v);
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error("trace line " + std::to_string(line_no) + ": " +
+                           why);
+}
+
+/// Extract an integer field `"key":<int>` from a flat one-line JSON
+/// object. Returns nullopt when absent.
+std::optional<long long> find_int(const std::string& line,
+                                  const std::string& key, std::size_t line_no) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(start, &end, 10);
+  if (end == start || errno != 0) fail(line_no, "bad integer for '" + key + "'");
+  return v;
+}
+
+long long require_int(const std::string& line, const std::string& key,
+                      std::size_t line_no) {
+  const auto v = find_int(line, key, line_no);
+  if (!v) fail(line_no, "missing field '" + key + "'");
+  return *v;
+}
+
+/// Extract a string field `"key":"<value>"`.
+std::optional<std::string> find_str(const std::string& line,
+                                    const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  const auto start = pos + needle.size();
+  const auto close = line.find('"', start);
+  if (close == std::string::npos) return std::nullopt;
+  return line.substr(start, close - start);
+}
+
+std::optional<EventKind> kind_from_string(const std::string& s) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kCrash); ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    if (s == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+ProcessId check_pid(long long v, int n, const char* what,
+                    std::size_t line_no) {
+  if (v < 0 || v >= n) fail(line_no, std::string(what) + " out of range");
+  return static_cast<ProcessId>(v);
+}
+
+}  // namespace
+
+std::string to_jsonl(const TraceEvent& e) {
+  std::string s = "{\"e\":\"";
+  s += to_string(e.kind);
+  s += "\"";
+  append_field(s, "k", e.round);
+  switch (e.kind) {
+    case EventKind::kRoundStart:
+    case EventKind::kRoundEnd:
+      break;
+    case EventKind::kMsgSent:
+    case EventKind::kMsgTimely:
+    case EventKind::kMsgLost:
+      append_field(s, "s", e.src);
+      append_field(s, "d", e.dst);
+      break;
+    case EventKind::kMsgLate:
+      append_field(s, "s", e.src);
+      append_field(s, "d", e.dst);
+      append_field(s, "delay", e.delay);
+      break;
+    case EventKind::kOracleOutput:
+      append_field(s, "p", e.proc);
+      append_field(s, "ld", e.leader);
+      break;
+    case EventKind::kPredicateEval:
+      append_field(s, "sat", e.sat);
+      break;
+    case EventKind::kDecide:
+      append_field(s, "p", e.proc);
+      append_field(s, "v", e.value);
+      append_field(s, "rule", e.rule);
+      break;
+    case EventKind::kCrash:
+      append_field(s, "p", e.proc);
+      break;
+  }
+  s += "}";
+  return s;
+}
+
+void write_trace_header(std::ostream& out, int n) {
+  out << "{\"schema\":\"timing-trace\",\"v\":" << kTraceSchemaVersion
+      << ",\"n\":" << n << "}\n";
+}
+
+void write_trial(std::ostream& out, int trial_id,
+                 const std::vector<TraceEvent>& events, int n) {
+  out << "{\"e\":\"trial\",\"id\":" << trial_id;
+  if (n > 0) out << ",\"n\":" << n;
+  out << "}\n";
+  for (const TraceEvent& e : events) out << to_jsonl(e) << "\n";
+}
+
+ParsedTrace parse_trace(std::istream& in) {
+  ParsedTrace trace;
+  bool have_header = false;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (line.front() != '{' || line.back() != '}') {
+      fail(line_no, "not a JSON object");
+    }
+
+    if (const auto schema = find_str(line, "schema")) {
+      if (*schema != "timing-trace") fail(line_no, "unknown schema");
+      if (have_header) fail(line_no, "duplicate header");
+      const long long v = require_int(line, "v", line_no);
+      if (v != kTraceSchemaVersion) {
+        fail(line_no, "unsupported schema version " + std::to_string(v));
+      }
+      const long long n = require_int(line, "n", line_no);
+      if (n < 2 || n > 100000) fail(line_no, "implausible n");
+      trace.version = static_cast<int>(v);
+      trace.n = static_cast<int>(n);
+      have_header = true;
+      continue;
+    }
+    if (!have_header) fail(line_no, "event before header");
+
+    const auto name = find_str(line, "e");
+    if (!name) fail(line_no, "missing event name");
+    if (*name == "trial") {
+      TrialTrace t;
+      t.id = static_cast<int>(require_int(line, "id", line_no));
+      if (const auto tn = find_int(line, "n", line_no)) {
+        if (*tn < 2 || *tn > trace.n) {
+          fail(line_no, "per-trial n out of range");
+        }
+        t.n = static_cast<int>(*tn);
+      }
+      trace.trials.push_back(std::move(t));
+      continue;
+    }
+    const auto kind = kind_from_string(*name);
+    if (!kind) fail(line_no, "unknown event '" + *name + "'");
+    if (trace.trials.empty()) fail(line_no, "event before first trial marker");
+    const int cur_n =
+        trace.trials.back().n > 0 ? trace.trials.back().n : trace.n;
+
+    TraceEvent e;
+    e.kind = *kind;
+    e.round = static_cast<Round>(require_int(line, "k", line_no));
+    if (e.round < 0) fail(line_no, "negative round");
+    switch (*kind) {
+      case EventKind::kRoundStart:
+      case EventKind::kRoundEnd:
+        break;
+      case EventKind::kMsgSent:
+      case EventKind::kMsgTimely:
+      case EventKind::kMsgLost:
+        e.src = check_pid(require_int(line, "s", line_no), cur_n, "src",
+                          line_no);
+        e.dst = check_pid(require_int(line, "d", line_no), cur_n, "dst",
+                          line_no);
+        break;
+      case EventKind::kMsgLate:
+        e.src = check_pid(require_int(line, "s", line_no), cur_n, "src",
+                          line_no);
+        e.dst = check_pid(require_int(line, "d", line_no), cur_n, "dst",
+                          line_no);
+        e.delay = static_cast<int>(require_int(line, "delay", line_no));
+        if (e.delay < 1) fail(line_no, "late delay must be >= 1");
+        break;
+      case EventKind::kOracleOutput:
+        e.proc = check_pid(require_int(line, "p", line_no), cur_n, "proc",
+                           line_no);
+        e.leader = check_pid(require_int(line, "ld", line_no), cur_n,
+                             "leader", line_no);
+        break;
+      case EventKind::kPredicateEval: {
+        const long long sat = require_int(line, "sat", line_no);
+        if (sat < 0 || sat >= (1 << kTraceNumModels)) {
+          fail(line_no, "sat mask out of range");
+        }
+        e.sat = static_cast<std::uint8_t>(sat);
+        break;
+      }
+      case EventKind::kDecide: {
+        e.proc = check_pid(require_int(line, "p", line_no), cur_n, "proc",
+                           line_no);
+        e.value = require_int(line, "v", line_no);
+        const long long rule = require_int(line, "rule", line_no);
+        if (rule < 0 || rule > 255) fail(line_no, "rule out of range");
+        e.rule = static_cast<std::uint8_t>(rule);
+        break;
+      }
+      case EventKind::kCrash:
+        e.proc = check_pid(require_int(line, "p", line_no), cur_n, "proc",
+                           line_no);
+        break;
+    }
+    trace.trials.back().events.push_back(e);
+  }
+  if (!have_header) throw std::runtime_error("trace: missing header line");
+  if (trace.trials.empty()) throw std::runtime_error("trace: no trials");
+  return trace;
+}
+
+ParsedTrace parse_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return parse_trace(in);
+}
+
+}  // namespace timing

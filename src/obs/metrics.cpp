@@ -1,0 +1,61 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace timing {
+
+long long MetricsRegistry::counter(const std::string& name) const noexcept {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, std::size_t bins) {
+  auto [it, inserted] = histograms_.try_emplace(name);
+  if (inserted) {
+    it->second = Histogram(lo, hi, bins);
+  } else {
+    TM_CHECK(it->second.lo() == lo && it->second.hi() == hi &&
+                 it->second.bins() == bins,
+             "histogram re-requested with a different shape");
+  }
+  return it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, v] : other.counters_) counters_[name] += v;
+  for (const auto& [name, s] : other.stats_) stats_[name].merge(s);
+  for (const auto& [name, h] : other.histograms_) {
+    auto [it, inserted] = histograms_.try_emplace(name, h);
+    if (!inserted) it->second.merge(h);
+  }
+  for (const auto& [name, t] : other.timers_) {
+    auto& mine = timers_[name];
+    mine.ns += t.ns;
+    mine.count += t.count;
+  }
+}
+
+std::string MetricsRegistry::to_string() const {
+  std::ostringstream out;
+  for (const auto& [name, v] : counters_) {
+    out << name << " = " << v << "\n";
+  }
+  for (const auto& [name, s] : stats_) {
+    out << name << " = mean " << s.mean() << " sd " << s.stddev() << " n "
+        << s.count() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    out << name << " = histogram[" << h.lo() << ", " << h.hi() << ") total "
+        << h.total() << "\n";
+  }
+  for (const auto& [name, t] : timers_) {
+    out << name << " = " << t.ms() << " ms over " << t.count
+        << " intervals\n";
+  }
+  return out.str();
+}
+
+}  // namespace timing

@@ -1,0 +1,120 @@
+// MetricsRegistry: named counters, running statistics and histograms with
+// deterministic merging, plus wall-clock phase timers for profiling.
+//
+// Determinism contract (the same one common/parallel.hpp establishes):
+// each trial owns a private registry, filled on whatever pool thread runs
+// the trial; the harness then merges registries in trial-index order on
+// the calling thread. Counters and histogram bins are integers (exactly
+// associative); RunningStats merging in a fixed order is bit-reproducible
+// for a fixed thread-count-independent fill order. Hence every counter,
+// stat and histogram a sweep reports is identical for TIMING_THREADS=1
+// and 8 — asserted in tests/obs_test.cpp.
+//
+// Phase timers are the one deliberate exception: they measure real
+// wall-clock time (sample/step/compute phase profiling) and are kept in a
+// separate namespace (`timers()`), excluded from the determinism
+// guarantee. Merging still sums them exactly.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace timing {
+
+struct TimerTotal {
+  long long ns = 0;     ///< accumulated wall-clock nanoseconds
+  long long count = 0;  ///< number of timed intervals
+
+  double ms() const noexcept { return static_cast<double>(ns) / 1e6; }
+  bool operator==(const TimerTotal&) const = default;
+};
+
+class MetricsRegistry {
+ public:
+  /// Add `delta` to the named counter (created at 0 on first use).
+  void inc(const std::string& name, long long delta = 1) {
+    counters_[name] += delta;
+  }
+  /// Current value; 0 for unknown names.
+  long long counter(const std::string& name) const noexcept;
+
+  /// Observe a sample in the named running statistic.
+  void observe(const std::string& name, double x) { stats_[name].add(x); }
+
+  /// Get-or-create a histogram. The shape is fixed on first use; a
+  /// mismatched re-request is a checked error.
+  Histogram& histogram(const std::string& name, double lo, double hi,
+                       std::size_t bins);
+
+  /// Accumulate a timed interval into the named phase timer.
+  void add_time(const std::string& phase, std::chrono::nanoseconds dt) {
+    auto& t = timers_[phase];
+    t.ns += dt.count();
+    ++t.count;
+  }
+
+  /// Fold `other` into this registry. Deterministic when applied in a
+  /// fixed order (names are iterated sorted; counters/histograms are
+  /// exactly associative, RunningStats merges in call order).
+  void merge(const MetricsRegistry& other);
+
+  const std::map<std::string, long long>& counters() const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, RunningStats>& stats() const noexcept {
+    return stats_;
+  }
+  const std::map<std::string, Histogram>& histograms() const noexcept {
+    return histograms_;
+  }
+  const std::map<std::string, TimerTotal>& timers() const noexcept {
+    return timers_;
+  }
+
+  bool empty() const noexcept {
+    return counters_.empty() && stats_.empty() && histograms_.empty() &&
+           timers_.empty();
+  }
+  void clear() noexcept {
+    counters_.clear();
+    stats_.clear();
+    histograms_.clear();
+    timers_.clear();
+  }
+
+  /// Human-readable dump, sorted by name (bench/debug output).
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, long long> counters_;
+  std::map<std::string, RunningStats> stats_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, TimerTotal> timers_;
+};
+
+/// RAII wall-clock phase timer; null registry disables it entirely.
+class PhaseTimer {
+ public:
+  PhaseTimer(MetricsRegistry* reg, const char* phase) noexcept
+      : reg_(reg), phase_(phase) {
+    if (reg_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseTimer() {
+    if (reg_ != nullptr) {
+      reg_->add_time(phase_, std::chrono::steady_clock::now() - start_);
+    }
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  MetricsRegistry* reg_;
+  const char* phase_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace timing

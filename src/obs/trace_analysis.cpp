@@ -1,0 +1,306 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace timing {
+
+namespace {
+
+/// Within-round emission phase; validate_trace requires phases to be
+/// non-decreasing between RoundStart and RoundEnd.
+int phase_rank(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kRoundStart: return 0;
+    case EventKind::kCrash: return 1;
+    case EventKind::kMsgSent:
+    case EventKind::kMsgTimely:
+    case EventKind::kMsgLate:
+    case EventKind::kMsgLost: return 2;
+    case EventKind::kOracleOutput:
+    case EventKind::kPredicateEval:
+    case EventKind::kDecide: return 3;
+    case EventKind::kRoundEnd: return 4;
+  }
+  return 5;
+}
+
+bool is_msg(EventKind k) noexcept {
+  return k == EventKind::kMsgSent || k == EventKind::kMsgTimely ||
+         k == EventKind::kMsgLate || k == EventKind::kMsgLost;
+}
+
+}  // namespace
+
+TrialSummary summarize_trial(const TrialTrace& trial, int n,
+                             const std::array<int, kTraceNumModels>& needed) {
+  TrialSummary out;
+  out.trial_id = trial.id;
+  out.n = n;
+  out.links.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                   LinkCounts{});
+  out.first_window.fill(-1);
+
+  std::array<int, kTraceNumModels> streak{};
+  // Leader agreement per round: outputs keyed by process, folded into
+  // spans once the round is complete.
+  std::map<ProcessId, ProcessId> oracle_out;
+  Round oracle_round = 0;
+  auto close_oracle_round = [&]() {
+    if (oracle_out.empty()) return;
+    ProcessId agreed = oracle_out.begin()->second;
+    for (const auto& [proc, ld] : oracle_out) {
+      if (ld != agreed) {
+        agreed = kNoProcess;
+        break;
+      }
+    }
+    if (agreed != kNoProcess) {
+      if (!out.leader_spans.empty() &&
+          out.leader_spans.back().leader == agreed &&
+          out.leader_spans.back().last == oracle_round - 1) {
+        out.leader_spans.back().last = oracle_round;
+      } else {
+        out.leader_spans.push_back(LeaderSpan{oracle_round, oracle_round,
+                                              agreed});
+      }
+    }
+    oracle_out.clear();
+  };
+
+  for (const TraceEvent& e : trial.events) {
+    out.rounds = std::max(out.rounds, e.round);
+    switch (e.kind) {
+      case EventKind::kMsgSent:
+        ++out.totals.sent;
+        ++out.links[static_cast<std::size_t>(e.src) * n + e.dst].sent;
+        break;
+      case EventKind::kMsgTimely:
+        ++out.totals.timely;
+        ++out.links[static_cast<std::size_t>(e.src) * n + e.dst].timely;
+        break;
+      case EventKind::kMsgLate:
+        ++out.totals.late;
+        ++out.links[static_cast<std::size_t>(e.src) * n + e.dst].late;
+        break;
+      case EventKind::kMsgLost:
+        ++out.totals.lost;
+        ++out.links[static_cast<std::size_t>(e.src) * n + e.dst].lost;
+        break;
+      case EventKind::kPredicateEval:
+        ++out.pred_rounds;
+        for (int m = 0; m < kTraceNumModels; ++m) {
+          const auto mi = static_cast<std::size_t>(m);
+          if (e.sat & (1u << m)) {
+            ++out.sat_rounds[mi];
+            ++streak[mi];
+            if (out.first_window[mi] < 0 && streak[mi] >= needed[mi]) {
+              out.first_window[mi] = e.round;
+            }
+          } else {
+            streak[mi] = 0;
+          }
+        }
+        break;
+      case EventKind::kOracleOutput:
+        if (e.round != oracle_round) {
+          close_oracle_round();
+          oracle_round = e.round;
+        }
+        oracle_out[e.proc] = e.leader;
+        break;
+      case EventKind::kDecide:
+        out.decides.push_back(e);
+        out.global_decision_round =
+            std::max(out.global_decision_round, e.round);
+        break;
+      case EventKind::kCrash:
+        out.crashes.push_back(e);
+        break;
+      case EventKind::kRoundStart:
+      case EventKind::kRoundEnd:
+        break;
+    }
+  }
+  close_oracle_round();
+  return out;
+}
+
+double TraceSummary::mean_incidence(int model) const noexcept {
+  double sum = 0.0;
+  int count = 0;
+  for (const TrialSummary& t : trials) {
+    if (t.pred_rounds == 0) continue;
+    sum += t.incidence(model);
+    ++count;
+  }
+  return count ? sum / count : 0.0;
+}
+
+double TraceSummary::mean_first_window(int model,
+                                       int* completed) const noexcept {
+  double sum = 0.0;
+  int count = 0;
+  for (const TrialSummary& t : trials) {
+    const Round w = t.first_window[static_cast<std::size_t>(model)];
+    if (w < 0) continue;
+    sum += static_cast<double>(w);
+    ++count;
+  }
+  if (completed != nullptr) *completed = count;
+  return count ? sum / count : 0.0;
+}
+
+TraceSummary summarize_trace(const ParsedTrace& trace,
+                             const std::array<int, kTraceNumModels>& needed) {
+  TraceSummary out;
+  out.n = trace.n;
+  out.trials.reserve(trace.trials.size());
+  for (const TrialTrace& t : trace.trials) {
+    out.trials.push_back(
+        summarize_trial(t, t.n > 0 ? t.n : trace.n, needed));
+  }
+  return out;
+}
+
+std::string validate_trace(const ParsedTrace& trace) {
+  std::ostringstream err;
+  for (const TrialTrace& trial : trace.trials) {
+    Round open_round = -1;   // round between RoundStart and RoundEnd
+    Round last_started = 0;
+    int last_rank = -1;
+    bool trial_has_sends = false;
+    for (const TraceEvent& e : trial.events) {
+      if (e.kind == EventKind::kMsgSent) {
+        trial_has_sends = true;
+        break;
+      }
+    }
+    std::set<std::pair<ProcessId, ProcessId>> sent_this_round;
+    std::set<ProcessId> decided, crashed;
+
+    for (std::size_t i = 0; i < trial.events.size(); ++i) {
+      const TraceEvent& e = trial.events[i];
+      auto fail = [&](const std::string& why) {
+        err << "trial " << trial.id << " event " << i << " ("
+            << to_string(e.kind) << ", round " << e.round << "): " << why;
+        return err.str();
+      };
+
+      if (e.kind == EventKind::kRoundStart) {
+        if (open_round >= 0) return fail("previous round never ended");
+        if (e.round <= last_started) {
+          return fail("round numbers must strictly increase");
+        }
+        open_round = e.round;
+        last_started = e.round;
+        last_rank = 0;
+        sent_this_round.clear();
+        continue;
+      }
+      if (open_round < 0) return fail("event outside any round");
+      if (e.round != open_round) {
+        return fail("round does not match the open round " +
+                    std::to_string(open_round));
+      }
+      const int rank = phase_rank(e.kind);
+      if (rank < last_rank) {
+        return fail("out-of-order phase (rank " + std::to_string(rank) +
+                    " after " + std::to_string(last_rank) + ")");
+      }
+      last_rank = rank;
+
+      if (e.kind == EventKind::kMsgSent) {
+        sent_this_round.insert({e.src, e.dst});
+      } else if (trial_has_sends && is_msg(e.kind)) {
+        if (sent_this_round.count({e.src, e.dst}) == 0) {
+          return fail("delivery/loss without a preceding send on the link");
+        }
+      }
+      if (e.kind == EventKind::kDecide && !decided.insert(e.proc).second) {
+        return fail("process decided twice");
+      }
+      if (e.kind == EventKind::kCrash && !crashed.insert(e.proc).second) {
+        return fail("process crashed twice");
+      }
+      if (e.kind == EventKind::kRoundEnd) open_round = -1;
+    }
+    if (open_round >= 0) {
+      err << "trial " << trial.id << ": round " << open_round
+          << " never ended";
+      return err.str();
+    }
+  }
+  return "";
+}
+
+TraceDiff diff_traces(const ParsedTrace& a, const ParsedTrace& b) {
+  TraceDiff out;
+  std::ostringstream rep;
+  if (a.n != b.n) {
+    rep << "group size differs: " << a.n << " vs " << b.n << "\n";
+    out.identical = false;
+  }
+  if (a.trials.size() != b.trials.size()) {
+    rep << "trial count differs: " << a.trials.size() << " vs "
+        << b.trials.size() << "\n";
+    out.identical = false;
+  }
+  const std::size_t trials = std::min(a.trials.size(), b.trials.size());
+  const std::array<int, kTraceNumModels> needed{3, 3, 4, 5};
+  for (std::size_t t = 0; t < trials; ++t) {
+    const TrialTrace& ta = a.trials[t];
+    const TrialTrace& tb = b.trials[t];
+    if (ta.events == tb.events) continue;
+    out.identical = false;
+    // First divergent event.
+    const std::size_t len = std::min(ta.events.size(), tb.events.size());
+    std::size_t div = len;
+    for (std::size_t i = 0; i < len; ++i) {
+      if (!(ta.events[i] == tb.events[i])) {
+        div = i;
+        break;
+      }
+    }
+    rep << "trial " << ta.id << ": ";
+    if (div < len) {
+      rep << "first divergence at event " << div << ": " << to_jsonl(
+          ta.events[div]) << " vs " << to_jsonl(tb.events[div]) << "\n";
+    } else {
+      rep << "event counts differ: " << ta.events.size() << " vs "
+          << tb.events.size() << "\n";
+    }
+    // Summary-level deltas help explain what the divergence means.
+    const int na = ta.n > 0 ? ta.n : a.n;
+    const int nb = tb.n > 0 ? tb.n : b.n;
+    const int n = std::min(na, nb);
+    const TrialSummary sa = summarize_trial(ta, n, needed);
+    const TrialSummary sb = summarize_trial(tb, n, needed);
+    for (int m = 0; m < kTraceNumModels; ++m) {
+      const auto mi = static_cast<std::size_t>(m);
+      if (sa.sat_rounds[mi] != sb.sat_rounds[mi]) {
+        rep << "  " << kTraceModelNames[m] << " conforming rounds: "
+            << sa.sat_rounds[mi] << " vs " << sb.sat_rounds[mi] << "\n";
+      }
+    }
+    if (sa.global_decision_round != sb.global_decision_round) {
+      rep << "  global decision round: " << sa.global_decision_round
+          << " vs " << sb.global_decision_round << "\n";
+    }
+    if (!(sa.totals == sb.totals)) {
+      rep << "  message fates (timely/late/lost): " << sa.totals.timely
+          << "/" << sa.totals.late << "/" << sa.totals.lost << " vs "
+          << sb.totals.timely << "/" << sb.totals.late << "/"
+          << sb.totals.lost << "\n";
+    }
+  }
+  out.report = rep.str();
+  if (out.identical) out.report = "traces are identical\n";
+  return out;
+}
+
+}  // namespace timing

@@ -1,0 +1,19 @@
+#include "obs/trace_config.hpp"
+
+#include <cstdlib>
+
+namespace timing {
+
+TraceConfig TraceConfig::from_env() {
+  TraceConfig cfg;
+  if (const char* path = std::getenv("TIMING_TRACE")) {
+    cfg.path = path;
+  }
+  if (const char* cap = std::getenv("TIMING_TRACE_MAX_EVENTS")) {
+    const long v = std::strtol(cap, nullptr, 10);
+    if (v > 0) cfg.max_events_per_trial = static_cast<std::size_t>(v);
+  }
+  return cfg;
+}
+
+}  // namespace timing

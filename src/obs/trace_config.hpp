@@ -1,0 +1,27 @@
+// Runtime trace switches. Tracing is OFF by default; setting
+// TIMING_TRACE=<path> makes the observability-aware entry points
+// (measure_runs and the figure benches built on it) record every trial
+// and write one JSONL trace file at <path>. The env is read per call —
+// unlike TIMING_THREADS there is no process-wide cache, so tests can
+// toggle it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace timing {
+
+struct TraceConfig {
+  /// JSONL output path; empty disables tracing.
+  std::string path;
+  /// Cap on buffered events per trial (0 = unbounded). Guards sweeps that
+  /// would otherwise buffer gigabytes; drops are counted, never silent.
+  std::size_t max_events_per_trial = 0;
+
+  bool enabled() const noexcept { return !path.empty(); }
+
+  /// TIMING_TRACE=<path> (and optional TIMING_TRACE_MAX_EVENTS).
+  static TraceConfig from_env();
+};
+
+}  // namespace timing

@@ -1,0 +1,135 @@
+// Typed round-trace events: the structured record of WHY a run behaved
+// the way it did, mirroring the quantities Section 5 measures. One event
+// is one observable fact about a round — a message's fate on a link, the
+// oracle's output at a process, which model predicates the round's
+// communication matrix satisfied, a decision, a crash.
+//
+// The schema is deliberately flat (no nesting, fixed fields) so events
+// serialize to one JSONL line each and compare bitwise for the
+// determinism tests. Unused fields keep their sentinel defaults and are
+// omitted from the JSONL encoding.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace timing {
+
+/// Bumped whenever the JSONL encoding or event semantics change;
+/// trace_tool refuses traces from a different major version.
+inline constexpr int kTraceSchemaVersion = 1;
+
+/// Number of timing models a PredicateEval event covers. Bit i of
+/// TraceEvent::sat corresponds to model index i in the canonical order
+/// ES, <>LM, <>WLM, <>AFM (matching models/timing_model.hpp and
+/// harness/measurement.hpp's model_index). Kept as a local constant so
+/// tm_obs stays below tm_models in the dependency order.
+inline constexpr int kTraceNumModels = 4;
+
+/// Canonical short names for the sat-mask bits, index = model index.
+inline constexpr const char* kTraceModelNames[kTraceNumModels] = {
+    "ES", "LM", "WLM", "AFM"};
+
+enum class EventKind : std::uint8_t {
+  kRoundStart,    ///< round k began
+  kRoundEnd,      ///< round k's compute phase finished
+  kMsgSent,       ///< src dispatched its round-k message to dst
+  kMsgTimely,     ///< the (src,dst) round-k message arrived within the round
+  kMsgLate,       ///< ... arrived `delay` rounds after round k ended
+  kMsgLost,       ///< ... never arrived (or was dropped by a transport)
+  kOracleOutput,  ///< proc's oracle answered `leader` at end of round k
+  kPredicateEval, ///< which model predicates round k's matrix satisfied
+  kDecide,        ///< proc decided `value` in round k (rule = protocol tag)
+  kCrash,         ///< proc stopped taking steps from round k on
+};
+
+/// Stable wire names (the "e" field of the JSONL encoding).
+const char* to_string(EventKind k) noexcept;
+
+struct TraceEvent {
+  EventKind kind = EventKind::kRoundStart;
+  Round round = 0;
+  ProcessId src = kNoProcess;   ///< sender (Msg* events)
+  ProcessId dst = kNoProcess;   ///< recipient (Msg* events)
+  ProcessId proc = kNoProcess;  ///< subject process (oracle/decide/crash)
+  ProcessId leader = kNoProcess;///< oracle output
+  int delay = 0;                ///< MsgLate: rounds of extra delay
+  std::uint8_t sat = 0;         ///< PredicateEval: bit per model
+  std::uint8_t rule = 0;        ///< Decide: protocol-specific rule tag
+  Value value = kNoValue;       ///< Decide: the decided value
+
+  bool operator==(const TraceEvent&) const = default;
+
+  // Factories for the common shapes; keep call sites one line.
+  static TraceEvent round_start(Round k) {
+    TraceEvent e;
+    e.kind = EventKind::kRoundStart;
+    e.round = k;
+    return e;
+  }
+  static TraceEvent round_end(Round k) {
+    TraceEvent e;
+    e.kind = EventKind::kRoundEnd;
+    e.round = k;
+    return e;
+  }
+  static TraceEvent msg(EventKind kind, Round k, ProcessId src, ProcessId dst,
+                        int delay = 0) {
+    TraceEvent e;
+    e.kind = kind;
+    e.round = k;
+    e.src = src;
+    e.dst = dst;
+    e.delay = delay;
+    return e;
+  }
+  static TraceEvent oracle(Round k, ProcessId proc, ProcessId leader) {
+    TraceEvent e;
+    e.kind = EventKind::kOracleOutput;
+    e.round = k;
+    e.proc = proc;
+    e.leader = leader;
+    return e;
+  }
+  static TraceEvent predicates(Round k, std::uint8_t sat_mask) {
+    TraceEvent e;
+    e.kind = EventKind::kPredicateEval;
+    e.round = k;
+    e.sat = sat_mask;
+    return e;
+  }
+  static TraceEvent decide(Round k, ProcessId proc, Value v,
+                           std::uint8_t rule) {
+    TraceEvent e;
+    e.kind = EventKind::kDecide;
+    e.round = k;
+    e.proc = proc;
+    e.value = v;
+    e.rule = rule;
+    return e;
+  }
+  static TraceEvent crash(Round k, ProcessId proc) {
+    TraceEvent e;
+    e.kind = EventKind::kCrash;
+    e.round = k;
+    e.proc = proc;
+    return e;
+  }
+};
+
+/// Decide-rule tags (TraceEvent::rule). One namespace for all protocols;
+/// the tag names the rule that fired, per the pseudocode comments in
+/// src/consensus/.
+namespace decide_rule {
+inline constexpr std::uint8_t kNone = 0;
+inline constexpr std::uint8_t kForwarded = 1;   ///< decide-1: saw a DECIDE
+inline constexpr std::uint8_t kCommitQuorum = 2;///< decide-2/3: commit majority
+inline constexpr std::uint8_t kPaxosLearn = 3;  ///< Paxos: learned from leader
+inline constexpr std::uint8_t kPaxosChosen = 4; ///< Paxos leader: value chosen
+inline constexpr std::uint8_t kSimulated = 5;   ///< via Algorithm 3 simulation
+}  // namespace decide_rule
+
+const char* decide_rule_name(std::uint8_t rule) noexcept;
+
+}  // namespace timing

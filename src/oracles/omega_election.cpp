@@ -62,6 +62,9 @@ SendSpec OmegaElection::compute(Round k, const RoundMsgs& received,
     leader_ = new_leader;
     missed_ = 0;
   }
+  // This is the process's Omega output for round k — exactly what the
+  // inner protocol receives as its oracle hint below.
+  trace_emit(trace_sink_, TraceEvent::oracle(k, self_, leader_));
 
   SendSpec spec = inner_->compute(k, received, leader_);
   spec.msg.punish = punish_;

@@ -63,6 +63,13 @@ class OmegaElection final : public Protocol {
   }
   Value current_est() const noexcept override { return inner_->current_est(); }
 
+  /// Tracing covers both layers: the election's OracleOutput events and
+  /// the inner protocol's decide events share one sink.
+  void set_trace_sink(TraceSink* sink) noexcept override {
+    Protocol::set_trace_sink(sink);
+    inner_->set_trace_sink(sink);
+  }
+
   /// The leader this process currently trusts (its Omega output).
   ProcessId trusted_leader() const noexcept { return leader_; }
   /// Current punishment counter of process j (test introspection).

@@ -1,0 +1,675 @@
+// Tests for the observability layer (src/obs): trace event ordering
+// invariants, lossless JSONL round-trips, deterministic metric merging,
+// a golden trace for a tiny deterministic run, and the acceptance
+// property that offline trace analysis reproduces the online harness's
+// numbers exactly.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "consensus/factory.hpp"
+#include "giraf/engine.hpp"
+#include "harness/algorithm_runs.hpp"
+#include "harness/measurement.hpp"
+#include "models/schedule.hpp"
+#include "net/ping.hpp"
+#include "net/transport.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_analysis.hpp"
+#include "obs/trace_config.hpp"
+#include "obs/trace_sink.hpp"
+#include "oracles/omega.hpp"
+#include "sim/sampler.hpp"
+
+namespace timing {
+namespace {
+
+::testing::AssertionResult bits_equal(double a, double b) {
+  std::uint64_t ba = 0, bb = 0;
+  std::memcpy(&ba, &a, sizeof(a));
+  std::memcpy(&bb, &b, sizeof(b));
+  if (ba == bb) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " and " << b << " differ in bits";
+}
+
+// ---------------------------------------------------------------------
+// Sinks.
+
+TEST(TraceSink, NullSinkIsANoOp) {
+  // trace_emit on a null sink must be safe (the off-by-default path).
+  trace_emit(nullptr, TraceEvent::round_start(1));
+}
+
+TEST(TraceSink, BufferSinkCapCountsDrops) {
+  BufferSink sink(/*max_events=*/5);
+  for (Round k = 1; k <= 10; ++k) sink.record(TraceEvent::round_start(k));
+  EXPECT_EQ(sink.events().size(), 5u);
+  EXPECT_EQ(sink.dropped(), 5u);
+  sink.clear();
+  EXPECT_TRUE(sink.events().empty());
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// JSONL encoding.
+
+std::vector<TraceEvent> one_of_each(int n) {
+  return {
+      TraceEvent::round_start(1),
+      TraceEvent::crash(1, n - 1),
+      TraceEvent::msg(EventKind::kMsgSent, 1, 0, 1),
+      TraceEvent::msg(EventKind::kMsgTimely, 1, 0, 1),
+      TraceEvent::msg(EventKind::kMsgLate, 1, 1, 0, /*delay=*/3),
+      TraceEvent::msg(EventKind::kMsgLost, 1, 1, 2),
+      TraceEvent::oracle(1, 0, 2),
+      TraceEvent::predicates(1, 0b1010),
+      TraceEvent::decide(1, 0, 42, decide_rule::kCommitQuorum),
+      TraceEvent::round_end(1),
+  };
+}
+
+TEST(Jsonl, RoundTripIsLossless) {
+  const std::vector<TraceEvent> events = one_of_each(4);
+  const std::vector<TraceEvent> small = one_of_each(3);
+  std::ostringstream out;
+  write_trace_header(out, 4);
+  write_trial(out, 0, events);
+  write_trial(out, 1, small, /*n=*/3);  // per-trial n survives too
+
+  std::istringstream in(out.str());
+  const ParsedTrace trace = parse_trace(in);
+  EXPECT_EQ(trace.version, kTraceSchemaVersion);
+  EXPECT_EQ(trace.n, 4);
+  ASSERT_EQ(trace.trials.size(), 2u);
+  EXPECT_EQ(trace.trials[0].id, 0);
+  EXPECT_EQ(trace.trials[0].n, 0);
+  EXPECT_EQ(trace.trials[1].n, 3);
+  // Defaulted operator== on the flat struct: every field round-trips.
+  EXPECT_EQ(trace.trials[0].events, events);
+  EXPECT_EQ(trace.trials[1].events, small);
+}
+
+TEST(Jsonl, ReencodingIsByteIdentical) {
+  const std::vector<TraceEvent> events = one_of_each(4);
+  std::ostringstream a;
+  write_trace_header(a, 4);
+  write_trial(a, 0, events);
+  std::istringstream in(a.str());
+  const ParsedTrace trace = parse_trace(in);
+  std::ostringstream b;
+  write_trace_header(b, trace.n);
+  write_trial(b, trace.trials[0].id, trace.trials[0].events);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Jsonl, ParserRejectsMalformedInput) {
+  auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return parse_trace(in);
+  };
+  const std::string header = "{\"schema\":\"timing-trace\",\"v\":1,\"n\":3}\n";
+  const std::string trial = "{\"e\":\"trial\",\"id\":0}\n";
+
+  EXPECT_THROW(parse(""), std::runtime_error);  // no header
+  EXPECT_THROW(parse("{\"schema\":\"other\",\"v\":1,\"n\":3}\n" + trial),
+               std::runtime_error);  // unknown schema
+  EXPECT_THROW(parse("{\"schema\":\"timing-trace\",\"v\":99,\"n\":3}\n" +
+                     trial),
+               std::runtime_error);  // future version
+  EXPECT_THROW(parse(header), std::runtime_error);  // no trials
+  EXPECT_THROW(parse(header + "{\"e\":\"round_start\",\"k\":1}\n"),
+               std::runtime_error);  // event before first trial marker
+  EXPECT_THROW(parse(header + trial + "{\"e\":\"warp\",\"k\":1}\n"),
+               std::runtime_error);  // unknown event
+  EXPECT_THROW(parse(header + trial + "{\"e\":\"crash\",\"k\":1}\n"),
+               std::runtime_error);  // missing field
+  EXPECT_THROW(
+      parse(header + trial + "{\"e\":\"sent\",\"k\":1,\"s\":7,\"d\":0}\n"),
+      std::runtime_error);  // pid out of range
+  EXPECT_THROW(parse(header + trial +
+                     "{\"e\":\"late\",\"k\":1,\"s\":0,\"d\":1,\"delay\":0}\n"),
+               std::runtime_error);  // late with no delay
+  EXPECT_THROW(parse(header + trial +
+                     "{\"e\":\"pred\",\"k\":1,\"sat\":16}\n"),
+               std::runtime_error);  // sat mask beyond 4 models
+  EXPECT_THROW(parse(header + "{\"e\":\"trial\",\"id\":1,\"n\":9}\n"),
+               std::runtime_error);  // per-trial n above header n
+}
+
+// ---------------------------------------------------------------------
+// Structural validation.
+
+ParsedTrace wrap(std::vector<TraceEvent> events, int n = 3) {
+  ParsedTrace trace;
+  trace.version = kTraceSchemaVersion;
+  trace.n = n;
+  TrialTrace t;
+  t.id = 0;
+  t.events = std::move(events);
+  trace.trials.push_back(std::move(t));
+  return trace;
+}
+
+TEST(ValidateTrace, AcceptsAWellFormedTrial) {
+  EXPECT_EQ(validate_trace(wrap({
+                TraceEvent::round_start(1),
+                TraceEvent::msg(EventKind::kMsgSent, 1, 0, 1),
+                TraceEvent::msg(EventKind::kMsgTimely, 1, 0, 1),
+                TraceEvent::predicates(1, 0b0001),
+                TraceEvent::round_end(1),
+                TraceEvent::round_start(2),
+                TraceEvent::decide(2, 0, 7, decide_rule::kForwarded),
+                TraceEvent::round_end(2),
+            })),
+            "");
+}
+
+TEST(ValidateTrace, CatchesOrderingViolations) {
+  // Round numbers must strictly increase.
+  EXPECT_NE(validate_trace(wrap({
+                TraceEvent::round_start(2),
+                TraceEvent::round_end(2),
+                TraceEvent::round_start(2),
+                TraceEvent::round_end(2),
+            })),
+            "");
+  // Events outside any round.
+  EXPECT_NE(validate_trace(wrap({TraceEvent::predicates(1, 1)})), "");
+  // Event round must match the open round.
+  EXPECT_NE(validate_trace(wrap({
+                TraceEvent::round_start(1),
+                TraceEvent::predicates(2, 1),
+                TraceEvent::round_end(1),
+            })),
+            "");
+  // Phases may not go backwards (a send after the predicate eval).
+  EXPECT_NE(validate_trace(wrap({
+                TraceEvent::round_start(1),
+                TraceEvent::predicates(1, 1),
+                TraceEvent::msg(EventKind::kMsgSent, 1, 0, 1),
+                TraceEvent::round_end(1),
+            })),
+            "");
+  // In a trial that records sends, a delivery needs a preceding send.
+  EXPECT_NE(validate_trace(wrap({
+                TraceEvent::round_start(1),
+                TraceEvent::msg(EventKind::kMsgSent, 1, 0, 1),
+                TraceEvent::msg(EventKind::kMsgTimely, 1, 0, 1),
+                TraceEvent::msg(EventKind::kMsgTimely, 1, 2, 1),
+                TraceEvent::round_end(1),
+            })),
+            "");
+  // A process decides at most once.
+  EXPECT_NE(validate_trace(wrap({
+                TraceEvent::round_start(1),
+                TraceEvent::decide(1, 0, 7, decide_rule::kForwarded),
+                TraceEvent::decide(1, 0, 7, decide_rule::kForwarded),
+                TraceEvent::round_end(1),
+            })),
+            "");
+  // An open round must be closed.
+  EXPECT_NE(validate_trace(wrap({TraceEvent::round_start(1)})), "");
+}
+
+// ---------------------------------------------------------------------
+// Engine + protocol wiring, and the golden trace.
+
+struct WlmRun {
+  BufferSink sink;
+  EngineStats stats;
+  Round decided = -1;
+  Round engine_global = -1;
+};
+
+WlmRun tiny_wlm_run() {
+  ScheduleConfig sched;
+  sched.n = 3;
+  sched.model = TimingModel::kWlm;
+  sched.leader = 0;
+  sched.gsr = 1;
+  sched.seed = 2026;
+  ScheduleSampler sampler(sched);
+
+  auto protocols = make_group(AlgorithmKind::kWlm, {10, 20, 30});
+  auto oracle = std::make_shared<DesignatedOracle>(0);
+  RoundEngine engine(std::move(protocols), oracle);
+  WlmRun out;
+  engine.set_trace_sink(&out.sink);
+  out.decided = engine.run(sampler, 50);
+  out.stats = engine.stats();
+  out.engine_global = engine.global_decision_round();
+  return out;
+}
+
+// The full expected trace of the deterministic 3-process <>WLM run
+// above: Algorithm 2 with a stable leader from round 1. The leader
+// (process 0) decides in round 3 by commit quorum; the others decide in
+// round 4 on the forwarded DECIDE. Any change to engine emission order,
+// protocol decide paths or the JSONL encoding shows up here.
+constexpr const char* kGoldenWlmTrace =
+    R"({"schema":"timing-trace","v":1,"n":3}
+{"e":"trial","id":0}
+{"e":"round_start","k":1}
+{"e":"sent","k":1,"s":0,"d":1}
+{"e":"timely","k":1,"s":0,"d":1}
+{"e":"sent","k":1,"s":0,"d":2}
+{"e":"timely","k":1,"s":0,"d":2}
+{"e":"sent","k":1,"s":1,"d":0}
+{"e":"timely","k":1,"s":1,"d":0}
+{"e":"sent","k":1,"s":2,"d":0}
+{"e":"late","k":1,"s":2,"d":0,"delay":1}
+{"e":"oracle","k":1,"p":0,"ld":0}
+{"e":"oracle","k":1,"p":1,"ld":0}
+{"e":"oracle","k":1,"p":2,"ld":0}
+{"e":"round_end","k":1}
+{"e":"round_start","k":2}
+{"e":"sent","k":2,"s":0,"d":1}
+{"e":"timely","k":2,"s":0,"d":1}
+{"e":"sent","k":2,"s":0,"d":2}
+{"e":"timely","k":2,"s":0,"d":2}
+{"e":"sent","k":2,"s":1,"d":0}
+{"e":"timely","k":2,"s":1,"d":0}
+{"e":"sent","k":2,"s":2,"d":0}
+{"e":"timely","k":2,"s":2,"d":0}
+{"e":"oracle","k":2,"p":0,"ld":0}
+{"e":"oracle","k":2,"p":1,"ld":0}
+{"e":"oracle","k":2,"p":2,"ld":0}
+{"e":"round_end","k":2}
+{"e":"round_start","k":3}
+{"e":"sent","k":3,"s":0,"d":1}
+{"e":"timely","k":3,"s":0,"d":1}
+{"e":"sent","k":3,"s":0,"d":2}
+{"e":"timely","k":3,"s":0,"d":2}
+{"e":"sent","k":3,"s":1,"d":0}
+{"e":"timely","k":3,"s":1,"d":0}
+{"e":"sent","k":3,"s":2,"d":0}
+{"e":"late","k":3,"s":2,"d":0,"delay":1}
+{"e":"oracle","k":3,"p":0,"ld":0}
+{"e":"decide","k":3,"p":0,"v":20,"rule":2}
+{"e":"oracle","k":3,"p":1,"ld":0}
+{"e":"oracle","k":3,"p":2,"ld":0}
+{"e":"round_end","k":3}
+{"e":"round_start","k":4}
+{"e":"sent","k":4,"s":0,"d":1}
+{"e":"timely","k":4,"s":0,"d":1}
+{"e":"sent","k":4,"s":0,"d":2}
+{"e":"timely","k":4,"s":0,"d":2}
+{"e":"sent","k":4,"s":1,"d":0}
+{"e":"timely","k":4,"s":1,"d":0}
+{"e":"sent","k":4,"s":2,"d":0}
+{"e":"late","k":4,"s":2,"d":0,"delay":1}
+{"e":"oracle","k":4,"p":0,"ld":0}
+{"e":"oracle","k":4,"p":1,"ld":0}
+{"e":"decide","k":4,"p":1,"v":20,"rule":1}
+{"e":"oracle","k":4,"p":2,"ld":0}
+{"e":"decide","k":4,"p":2,"v":20,"rule":1}
+{"e":"round_end","k":4}
+)";
+
+TEST(EngineTrace, GoldenTinyWlmRun) {
+  WlmRun run = tiny_wlm_run();
+  EXPECT_EQ(run.decided, 4);
+  std::ostringstream out;
+  write_trace_header(out, 3);
+  write_trial(out, 0, run.sink.events());
+  EXPECT_EQ(out.str(), kGoldenWlmTrace);
+}
+
+TEST(EngineTrace, IsStructurallyValidAndMatchesEngineStats) {
+  WlmRun run = tiny_wlm_run();
+  ParsedTrace trace = wrap(run.sink.events());
+  EXPECT_EQ(validate_trace(trace), "");
+
+  // Satellite cross-check: the engine's (previously write-only) stats
+  // are exposed and agree with the trace event counts exactly.
+  const TrialSummary s =
+      summarize_trial(trace.trials[0], 3, {3, 3, 4, 5});
+  EXPECT_EQ(s.totals.sent, run.stats.messages_sent);
+  EXPECT_EQ(s.totals.timely, run.stats.timely_deliveries);
+  EXPECT_EQ(s.totals.late, run.stats.late_messages);
+  EXPECT_EQ(s.totals.lost, run.stats.lost_messages);
+  EXPECT_EQ(s.totals.sent, s.totals.timely + s.totals.late + s.totals.lost);
+  // Realized arrivals can lag the sampled fates (messages still in
+  // flight when the run ends) but never exceed them.
+  EXPECT_LE(run.stats.late_arrivals, run.stats.late_messages);
+
+  // Decide events mirror the engine's decision accounting.
+  ASSERT_EQ(s.decides.size(), 3u);
+  for (const TraceEvent& d : s.decides) EXPECT_EQ(d.value, 20);
+  EXPECT_EQ(s.global_decision_round, run.engine_global);
+  EXPECT_EQ(s.global_decision_round, run.decided);
+
+  // The stable leader yields one unbroken leader-stability interval.
+  ASSERT_EQ(s.leader_spans.size(), 1u);
+  EXPECT_EQ(s.leader_spans[0], (LeaderSpan{1, 4, 0}));
+}
+
+TEST(EngineTrace, CrashesAreRecorded) {
+  ScheduleConfig sched;
+  sched.n = 5;
+  sched.model = TimingModel::kWlm;
+  sched.leader = 0;
+  sched.gsr = 6;
+  sched.seed = 11;
+  sched.crash_rounds = {0, 0, 3, 0, 0};
+  ScheduleSampler sampler(sched);
+
+  auto protocols = make_group(AlgorithmKind::kWlm, {1, 2, 3, 4, 5});
+  auto oracle = std::make_shared<DesignatedOracle>(0);
+  RoundEngine engine(std::move(protocols), oracle);
+  engine.crash_at(2, 3);
+  BufferSink sink;
+  engine.set_trace_sink(&sink);
+  engine.run(sampler, 60);
+
+  ParsedTrace trace = wrap(sink.events(), 5);
+  EXPECT_EQ(validate_trace(trace), "");
+  const TrialSummary s =
+      summarize_trial(trace.trials[0], 5, {3, 3, 4, 5});
+  ASSERT_EQ(s.crashes.size(), 1u);
+  EXPECT_EQ(s.crashes[0].proc, 2);
+  EXPECT_EQ(s.crashes[0].round, 3);
+  // The crashed process neither sends nor decides from round 3 on.
+  for (const TraceEvent& e : trace.trials[0].events) {
+    if (e.kind == EventKind::kMsgSent && e.src == 2) {
+      EXPECT_LT(e.round, 3);
+    }
+    if (e.kind == EventKind::kDecide) {
+      EXPECT_NE(e.proc, 2);
+    }
+  }
+}
+
+TEST(AlgorithmRuns, EngineStatsAccessorCrossChecks) {
+  AlgorithmRunConfig cfg;
+  cfg.kind = AlgorithmKind::kWlm;
+  cfg.schedule.n = 4;
+  cfg.schedule.model = TimingModel::kWlm;
+  cfg.schedule.leader = 1;
+  cfg.schedule.gsr = 3;
+  cfg.schedule.seed = 77;
+  cfg.proposals = {1, 2, 3, 4};
+  CountingSink sink;
+  cfg.trace = &sink;
+  const AlgorithmRunResult res = run_algorithm(cfg);
+  EXPECT_TRUE(res.all_decided);
+  // The new accessor agrees with the legacy total and balances exactly.
+  EXPECT_EQ(res.engine.messages_sent, res.total_messages);
+  EXPECT_EQ(res.engine.messages_sent,
+            res.engine.timely_deliveries + res.engine.late_messages +
+                res.engine.lost_messages);
+  EXPECT_LE(res.engine.late_arrivals, res.engine.late_messages);
+  EXPECT_GT(sink.count(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// measure_runs: offline analysis reproduces the online numbers.
+
+constexpr std::array<int, kTraceNumModels> kNeeded{3, 3, 4, 5};
+
+std::vector<RunMeasurement> traced_sweep(std::ostream* trace_out,
+                                         MetricsRegistry* metrics, int n,
+                                         int num_runs, int rounds) {
+  MeasureObs obs;
+  obs.trace_out = trace_out;
+  obs.metrics = metrics;
+  return measure_runs(
+      num_runs,
+      [&](int run) -> std::unique_ptr<TimelinessSampler> {
+        return std::make_unique<IidTimelinessSampler>(
+            n, 0.85, substream_seed(505, static_cast<std::uint64_t>(run)));
+      },
+      rounds, /*leader=*/0, obs);
+}
+
+TEST(MeasureRunsTrace, OfflineSummaryMatchesOnlineHarnessExactly) {
+  const int n = 5, num_runs = 6, rounds = 120;
+  std::ostringstream out;
+  const auto ms = traced_sweep(&out, nullptr, n, num_runs, rounds);
+
+  std::istringstream in(out.str());
+  const ParsedTrace trace = parse_trace(in);
+  EXPECT_EQ(validate_trace(trace), "");
+  const TraceSummary summary = summarize_trace(trace, kNeeded);
+  ASSERT_EQ(summary.trials.size(), static_cast<std::size_t>(num_runs));
+
+  for (int run = 0; run < num_runs; ++run) {
+    const RunMeasurement& online = ms[static_cast<std::size_t>(run)];
+    const TrialSummary& offline =
+        summary.trials[static_cast<std::size_t>(run)];
+    EXPECT_EQ(offline.pred_rounds, rounds);
+    EXPECT_EQ(offline.totals.timely, online.messages_timely);
+    EXPECT_EQ(offline.totals.late, online.messages_late);
+    EXPECT_EQ(offline.totals.lost, online.messages_lost);
+    for (int m = 0; m < kTraceNumModels; ++m) {
+      const auto mi = static_cast<std::size_t>(m);
+      // P_M incidence: exact, down to the last bit.
+      EXPECT_TRUE(bits_equal(offline.incidence(m),
+                             online.incidence(static_cast<TimingModel>(m))));
+      // Rounds until the global-decision conditions hold: the offline
+      // first_window must equal the online rounds_until_conditions.
+      const DecisionWindow w =
+          rounds_until_conditions(online.sat[mi], 0, kNeeded[mi]);
+      if (w.censored) {
+        EXPECT_EQ(offline.first_window[mi], -1) << "model " << m;
+      } else {
+        EXPECT_EQ(static_cast<double>(offline.first_window[mi]), w.rounds)
+            << "model " << m;
+      }
+    }
+  }
+}
+
+TEST(MeasureRunsTrace, BytesAndMetricsAreThreadCountInvariant) {
+  const int n = 4, num_runs = 8, rounds = 60;
+  std::string base_bytes;
+  MetricsRegistry base_metrics;
+  {
+    ScopedThreads serial(1);
+    std::ostringstream out;
+    traced_sweep(&out, &base_metrics, n, num_runs, rounds);
+    base_bytes = out.str();
+  }
+  for (int threads : {2, 8}) {
+    ScopedThreads st(threads);
+    std::ostringstream out;
+    MetricsRegistry metrics;
+    traced_sweep(&out, &metrics, n, num_runs, rounds);
+    EXPECT_EQ(base_bytes, out.str()) << "threads=" << threads;
+    EXPECT_EQ(base_metrics.counters(), metrics.counters());
+    ASSERT_EQ(base_metrics.stats().size(), metrics.stats().size());
+    auto it = metrics.stats().begin();
+    for (const auto& [name, stat] : base_metrics.stats()) {
+      EXPECT_EQ(name, it->first);
+      EXPECT_EQ(stat.count(), it->second.count());
+      EXPECT_TRUE(bits_equal(stat.mean(), it->second.mean()));
+      EXPECT_TRUE(bits_equal(stat.variance(), it->second.variance()));
+      ++it;
+    }
+    // Wall-clock phase timers are the documented exception: present in
+    // both, but their values are not compared.
+    EXPECT_EQ(base_metrics.timers().size(), metrics.timers().size());
+  }
+}
+
+TEST(MeasureRunsTrace, HonoursTimingTraceEnvKnob) {
+  const std::string path = "obs_test_env_trace.jsonl";
+  ::setenv("TIMING_TRACE", path.c_str(), 1);
+  traced_sweep(nullptr, nullptr, 3, 2, 20);
+  ::unsetenv("TIMING_TRACE");
+  const ParsedTrace trace = parse_trace_file(path);
+  EXPECT_EQ(trace.n, 3);
+  EXPECT_EQ(trace.trials.size(), 2u);
+  EXPECT_EQ(validate_trace(trace), "");
+  std::remove(path.c_str());
+}
+
+TEST(MeasureRunsTrace, MetricsCountersBalance) {
+  MetricsRegistry metrics;
+  const int n = 4, num_runs = 3, rounds = 50;
+  const auto ms = traced_sweep(nullptr, &metrics, n, num_runs, rounds);
+  EXPECT_EQ(metrics.counter("rounds"), num_runs * rounds);
+  long long timely = 0, late = 0, lost = 0, total = 0;
+  for (const RunMeasurement& m : ms) {
+    timely += m.messages_timely;
+    late += m.messages_late;
+    lost += m.messages_lost;
+    total += m.messages_total;
+  }
+  EXPECT_EQ(metrics.counter("messages.timely"), timely);
+  EXPECT_EQ(metrics.counter("messages.late"), late);
+  EXPECT_EQ(metrics.counter("messages.lost"), lost);
+  EXPECT_EQ(metrics.counter("messages.total"), total);
+  EXPECT_EQ(total, timely + late + lost);
+  EXPECT_EQ(metrics.stats().at("run.timely_fraction").count(), num_runs);
+  // Phase timers recorded both phases for every round.
+  EXPECT_EQ(metrics.timers().at("phase.sample").count, num_runs * rounds);
+  EXPECT_EQ(metrics.timers().at("phase.predicates").count,
+            num_runs * rounds);
+}
+
+// ---------------------------------------------------------------------
+// Metrics registry mechanics.
+
+TEST(Metrics, MergeIsExactForCountersAndHistograms) {
+  MetricsRegistry a, b;
+  a.inc("x", 2);
+  b.inc("x", 3);
+  b.inc("y");
+  a.histogram("h", 0.0, 10.0, 5).add(1.0);
+  b.histogram("h", 0.0, 10.0, 5).add(9.0);
+  a.observe("s", 1.5);
+  b.observe("s", 2.5);
+  a.merge(b);
+  EXPECT_EQ(a.counter("x"), 5);
+  EXPECT_EQ(a.counter("y"), 1);
+  EXPECT_EQ(a.counter("absent"), 0);
+  EXPECT_EQ(a.histograms().at("h").total(), 2u);
+  EXPECT_EQ(a.stats().at("s").count(), 2u);
+  EXPECT_FALSE(a.to_string().empty());
+  a.clear();
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(Metrics, PhaseTimerIsNoOpOnNullRegistry) {
+  { PhaseTimer t(nullptr, "phase.x"); }
+  MetricsRegistry reg;
+  { PhaseTimer t(&reg, "phase.x"); }
+  EXPECT_EQ(reg.timers().at("phase.x").count, 1);
+}
+
+// ---------------------------------------------------------------------
+// Diff mode.
+
+TEST(DiffTraces, ReportsFirstDivergence) {
+  WlmRun run = tiny_wlm_run();
+  ParsedTrace a = wrap(run.sink.events());
+  ParsedTrace b = a;
+  EXPECT_TRUE(diff_traces(a, b).identical);
+
+  // Flip one message fate in trial 0.
+  for (TraceEvent& e : b.trials[0].events) {
+    if (e.kind == EventKind::kMsgTimely) {
+      e.kind = EventKind::kMsgLost;
+      break;
+    }
+  }
+  const TraceDiff d = diff_traces(a, b);
+  EXPECT_FALSE(d.identical);
+  EXPECT_NE(d.report.find("first divergence"), std::string::npos);
+}
+
+// Writes a trace for the ctest-level `trace_tool validate` run (see
+// tests/CMakeLists.txt: FIXTURES_SETUP obs_trace); the CLI must accept
+// what the library emits.
+TEST(TraceToolFixture, WritesTraceForCliValidation) {
+  WlmRun run = tiny_wlm_run();
+  std::ofstream out("obs_cli_trace.jsonl", std::ios::trunc);
+  ASSERT_TRUE(out.good());
+  write_trace_header(out, 3);
+  write_trial(out, 0, run.sink.events());
+}
+
+// ---------------------------------------------------------------------
+// TraceConfig.
+
+TEST(TraceConfig, ReadsEnvironment) {
+  ::unsetenv("TIMING_TRACE");
+  EXPECT_FALSE(TraceConfig::from_env().enabled());
+  ::setenv("TIMING_TRACE", "/tmp/x.jsonl", 1);
+  ::setenv("TIMING_TRACE_MAX_EVENTS", "123", 1);
+  const TraceConfig cfg = TraceConfig::from_env();
+  EXPECT_TRUE(cfg.enabled());
+  EXPECT_EQ(cfg.path, "/tmp/x.jsonl");
+  EXPECT_EQ(cfg.max_events_per_trial, 123u);
+  ::unsetenv("TIMING_TRACE");
+  ::unsetenv("TIMING_TRACE_MAX_EVENTS");
+}
+
+// ---------------------------------------------------------------------
+// Net-layer drop paths (satellite: transports share the TraceSink).
+
+/// Latency model that loses every message.
+class BlackholeModel final : public LatencyModel {
+ public:
+  explicit BlackholeModel(int n) : n_(n) {}
+  int n() const noexcept override { return n_; }
+  void begin_round(Round) override {}
+  double sample_ms(ProcessId, ProcessId) override {
+    return std::numeric_limits<double>::infinity();
+  }
+
+ private:
+  int n_;
+};
+
+TEST(NetTrace, HubLossSurfacesAsLostEvent) {
+  auto hub = std::make_shared<InProcHub>(2);
+  hub->set_latency_model(std::make_unique<BlackholeModel>(2), 10.0);
+  InProcTransport t0(hub, 0);
+  BufferSink sink;
+  t0.set_trace_sink(&sink);
+  EXPECT_TRUE(t0.send(1, {1, 2, 3}));  // locally fine, wire eats it
+  ASSERT_EQ(sink.events().size(), 1u);
+  const TraceEvent& e = sink.events()[0];
+  EXPECT_EQ(e.kind, EventKind::kMsgLost);
+  EXPECT_EQ(e.round, 0);  // transport-level, below the round abstraction
+  EXPECT_EQ(e.src, 0);
+  EXPECT_EQ(e.dst, 1);
+}
+
+TEST(NetTrace, PingDropsMalformedFrames) {
+  auto hub = std::make_shared<InProcHub>(2);
+  InProcTransport t0(hub, 0);
+  InProcTransport t1(hub, 1);
+  BufferSink sink;
+  t0.set_trace_sink(&sink);
+  // Node 1 sends garbage; node 0's probe loop must drop (and record) it.
+  t1.send(0, {0xde, 0xad, 0xbe, 0xef});
+  PingConfig cfg;
+  cfg.pings_per_peer = 1;
+  cfg.probe_interval = std::chrono::milliseconds(2);
+  cfg.total_duration = std::chrono::milliseconds(50);
+  measure_peer_rtts(t0, 2, cfg);
+  bool saw_drop = false;
+  for (const TraceEvent& e : sink.events()) {
+    if (e.kind == EventKind::kMsgLost && e.src == 1 && e.dst == 0) {
+      saw_drop = true;
+    }
+  }
+  EXPECT_TRUE(saw_drop);
+}
+
+}  // namespace
+}  // namespace timing

@@ -1,0 +1,230 @@
+// trace_tool - offline analysis of timing-trace JSONL files (see
+// docs/OBSERVABILITY.md). Answers the paper's Section 5 questions from a
+// recorded trace instead of the live harness:
+//
+//   trace_tool summary  <trace> [--needed 3,3,4,5] [--per-trial]
+//       per-model P_M incidence and the first round where R_M
+//       consecutive conforming rounds complete
+//   trace_tool links    <trace> [--trial K] [--top N]
+//       per-link late/lost breakdowns
+//   trace_tool leader   <trace> [--trial K]
+//       leader-stability intervals from OracleOutput events
+//   trace_tool validate <trace>
+//       parse + structural event-ordering checks; exit 0 iff valid
+//   trace_tool diff     <a> <b>
+//       first divergent event and summary deltas; exit 0 iff identical
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "obs/trace_analysis.hpp"
+
+namespace {
+
+using namespace timing;
+
+constexpr std::array<int, kTraceNumModels> kDefaultNeeded{3, 3, 4, 5};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: trace_tool summary  <trace.jsonl> [--needed a,b,c,d] "
+               "[--per-trial]\n"
+               "       trace_tool links    <trace.jsonl> [--trial K] [--top N]\n"
+               "       trace_tool leader   <trace.jsonl> [--trial K]\n"
+               "       trace_tool validate <trace.jsonl>\n"
+               "       trace_tool diff     <a.jsonl> <b.jsonl>\n");
+  return 2;
+}
+
+bool parse_needed(const char* arg, std::array<int, kTraceNumModels>& out) {
+  int vals[kTraceNumModels] = {};
+  if (std::sscanf(arg, "%d,%d,%d,%d", &vals[0], &vals[1], &vals[2],
+                  &vals[3]) != kTraceNumModels) {
+    return false;
+  }
+  for (int i = 0; i < kTraceNumModels; ++i) {
+    if (vals[i] < 1) return false;
+    out[static_cast<std::size_t>(i)] = vals[i];
+  }
+  return true;
+}
+
+void print_trial_summary(const TrialSummary& t,
+                         const std::array<int, kTraceNumModels>& needed) {
+  std::printf("trial %d: rounds=%lld pred_rounds=%lld decision_round=%lld\n",
+              t.trial_id, static_cast<long long>(t.rounds), t.pred_rounds,
+              static_cast<long long>(t.global_decision_round));
+  for (int m = 0; m < kTraceNumModels; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    std::printf("  %-4s P_M=%.4f  R_M=%d  first_window_end=%lld\n",
+                kTraceModelNames[mi], t.incidence(m), needed[mi],
+                static_cast<long long>(t.first_window[mi]));
+  }
+}
+
+int cmd_summary(const ParsedTrace& trace,
+                const std::array<int, kTraceNumModels>& needed,
+                bool per_trial) {
+  const TraceSummary s = summarize_trace(trace, needed);
+  std::printf("n=%d trials=%zu\n", s.n, s.trials.size());
+  std::printf("%-4s %10s %4s %18s %10s\n", "M", "mean P_M", "R_M",
+              "mean first-window", "completed");
+  for (int m = 0; m < kTraceNumModels; ++m) {
+    int completed = 0;
+    const double fw = s.mean_first_window(m, &completed);
+    std::printf("%-4s %10.4f %4d %18.2f %6d/%zu\n",
+                kTraceModelNames[static_cast<std::size_t>(m)],
+                s.mean_incidence(m), needed[static_cast<std::size_t>(m)], fw,
+                completed, s.trials.size());
+  }
+  if (per_trial) {
+    for (const TrialSummary& t : s.trials) print_trial_summary(t, needed);
+  }
+  return 0;
+}
+
+int cmd_links(const ParsedTrace& trace, int trial, int top) {
+  const TraceSummary s = summarize_trace(trace, kDefaultNeeded);
+  // Fold link counts over the selected trials.
+  std::vector<LinkCounts> links(
+      static_cast<std::size_t>(s.n) * static_cast<std::size_t>(s.n));
+  LinkCounts totals;
+  for (const TrialSummary& t : s.trials) {
+    if (trial >= 0 && t.trial_id != trial) continue;
+    // The trial's own n may be smaller than the header's (group-size
+    // sweeps); remap (src, dst) into the header-n stride.
+    for (ProcessId src = 0; src < t.n; ++src) {
+      for (ProcessId dst = 0; dst < t.n; ++dst) {
+        const LinkCounts& l = t.link(src, dst);
+        auto& acc = links[static_cast<std::size_t>(src) *
+                              static_cast<std::size_t>(s.n) +
+                          static_cast<std::size_t>(dst)];
+        acc.sent += l.sent;
+        acc.timely += l.timely;
+        acc.late += l.late;
+        acc.lost += l.lost;
+      }
+    }
+    totals.sent += t.totals.sent;
+    totals.timely += t.totals.timely;
+    totals.late += t.totals.late;
+    totals.lost += t.totals.lost;
+  }
+  // Predicate-harness traces (measure_runs) omit MsgSent — the fate event
+  // implies the send — so derive sent from the fates when absent.
+  const auto sent_of = [](const LinkCounts& l) {
+    return std::max(l.sent, l.timely + l.late + l.lost);
+  };
+  std::printf("totals: sent=%lld timely=%lld late=%lld lost=%lld\n",
+              sent_of(totals), totals.timely, totals.late, totals.lost);
+  // Rank links by (late + lost): the ones that break timeliness.
+  std::vector<int> order;
+  for (int i = 0; i < static_cast<int>(links.size()); ++i) {
+    const auto& l = links[static_cast<std::size_t>(i)];
+    if (l.timely + l.late + l.lost + l.sent > 0) order.push_back(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const auto& la = links[static_cast<std::size_t>(a)];
+    const auto& lb = links[static_cast<std::size_t>(b)];
+    return la.late + la.lost > lb.late + lb.lost;
+  });
+  if (top > 0 && static_cast<int>(order.size()) > top) {
+    order.resize(static_cast<std::size_t>(top));
+  }
+  std::printf("%-9s %8s %8s %8s %8s\n", "link", "sent", "timely", "late",
+              "lost");
+  for (int i : order) {
+    const auto& l = links[static_cast<std::size_t>(i)];
+    std::printf("%3d->%-4d %8lld %8lld %8lld %8lld\n", i / s.n, i % s.n,
+                sent_of(l), l.timely, l.late, l.lost);
+  }
+  return 0;
+}
+
+int cmd_leader(const ParsedTrace& trace, int trial) {
+  const TraceSummary s = summarize_trace(trace, kDefaultNeeded);
+  for (const TrialSummary& t : s.trials) {
+    if (trial >= 0 && t.trial_id != trial) continue;
+    std::printf("trial %d: %zu leader interval(s)\n", t.trial_id,
+                t.leader_spans.size());
+    for (const LeaderSpan& span : t.leader_spans) {
+      std::printf("  rounds %lld..%lld leader=%d (%lld rounds)\n",
+                  static_cast<long long>(span.first),
+                  static_cast<long long>(span.last), span.leader,
+                  static_cast<long long>(span.last - span.first + 1));
+    }
+  }
+  return 0;
+}
+
+int cmd_validate(const char* path) {
+  const ParsedTrace trace = parse_trace_file(path);  // throws on bad syntax
+  const std::string err = validate_trace(trace);
+  if (!err.empty()) {
+    std::fprintf(stderr, "invalid: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("ok: schema v%d, n=%d, %zu trial(s)\n", trace.version, trace.n,
+              trace.trials.size());
+  return 0;
+}
+
+int cmd_diff(const char* a_path, const char* b_path) {
+  const ParsedTrace a = parse_trace_file(a_path);
+  const ParsedTrace b = parse_trace_file(b_path);
+  const TraceDiff d = diff_traces(a, b);
+  if (d.identical) {
+    std::printf("identical\n");
+    return 0;
+  }
+  std::printf("%s", d.report.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "validate") return cmd_validate(argv[2]);
+    if (cmd == "diff") {
+      if (argc != 4) return usage();
+      return cmd_diff(argv[2], argv[3]);
+    }
+
+    std::array<int, kTraceNumModels> needed = kDefaultNeeded;
+    bool per_trial = false;
+    int trial = -1;
+    int top = 0;
+    for (int i = 3; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--per-trial") == 0) {
+        per_trial = true;
+      } else if (std::strcmp(argv[i], "--needed") == 0 && i + 1 < argc) {
+        if (!parse_needed(argv[++i], needed)) return usage();
+      } else if (std::strcmp(argv[i], "--trial") == 0 && i + 1 < argc) {
+        trial = std::atoi(argv[++i]);
+      } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+        top = std::atoi(argv[++i]);
+      } else {
+        return usage();
+      }
+    }
+
+    if (cmd != "summary" && cmd != "links" && cmd != "leader") {
+      return usage();
+    }
+    const ParsedTrace trace = parse_trace_file(argv[2]);
+    if (cmd == "summary") return cmd_summary(trace, needed, per_trial);
+    if (cmd == "links") return cmd_links(trace, trial, top);
+    if (cmd == "leader") return cmd_leader(trace, trial);
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "trace_tool: %s\n", ex.what());
+    return 1;
+  }
+  return usage();
+}
