@@ -32,6 +32,33 @@ void BM_PredicateEvaluation(benchmark::State& state) {
 BENCHMARK(BM_PredicateEvaluation)
     ->ArgsProduct({{8, 32, 128}, {0, 1, 2, 3}});
 
+void BM_PackedPredicateEvaluation(benchmark::State& state) {
+  // All four models in one sweep over the bit plane (vs one model per
+  // call in BM_PredicateEvaluation above).
+  const int n = static_cast<int>(state.range(0));
+  IidTimelinessSampler s(n, 0.9, 1);
+  PackedLinkMatrix a(n);
+  s.sample_round(1, a);
+  ColumnDeficits cols;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packed_evaluate_mask(a, 0, cols));
+  }
+}
+BENCHMARK(BM_PackedPredicateEvaluation)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_FusedSampleEvaluate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  IidTimelinessSampler s(n, 0.95, 1);
+  PackedLinkMatrix a(n);
+  ColumnDeficits cols;
+  Round k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.sample_round_and_evaluate(++k, 0, a, cols));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_FusedSampleEvaluate)->Arg(8)->Arg(32)->Arg(128);
+
 void BM_IidSampleRound(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   IidTimelinessSampler s(n, 0.95, 1);

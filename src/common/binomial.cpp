@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <vector>
 
 namespace timing {
 
@@ -30,15 +29,31 @@ double binomial_pmf(int n, int k, double p) noexcept {
 double binomial_tail_ge(int n, int k, double p) noexcept {
   if (k <= 0) return 1.0;
   if (k > n) return 0.0;
-  // Sum descending pmf terms from the largest (near the mode) outward to
-  // limit cancellation; for the small n of this paper exact summation is
-  // plenty accurate.
+  // Ascending summation so the small tail terms are not lost, without
+  // materialising and sorting the terms: the pmf is unimodal with its
+  // peak at m = floor((n+1)p), so over [k, n] the terms form an
+  // ascending run k..m and a descending run m+1..n. Two-pointer-merging
+  // the runs (lo walks up to m, hi walks down to m+1) visits the terms
+  // in exactly the globally ascending order a sort would produce.
+  int m = static_cast<int>(std::floor((static_cast<double>(n) + 1.0) * p));
+  if (m < k) m = k;
+  if (m > n) m = n;
+  int lo = k;
+  int hi = n;
   double sum = 0.0;
-  std::vector<double> terms;
-  terms.reserve(static_cast<std::size_t>(n - k + 1));
-  for (int i = k; i <= n; ++i) terms.push_back(binomial_pmf(n, i, p));
-  std::sort(terms.begin(), terms.end());
-  for (double t : terms) sum += t;  // ascending: small terms are not lost
+  while (lo <= m && hi > m) {
+    const double a = binomial_pmf(n, lo, p);
+    const double b = binomial_pmf(n, hi, p);
+    if (a <= b) {
+      sum += a;
+      ++lo;
+    } else {
+      sum += b;
+      --hi;
+    }
+  }
+  while (lo <= m) sum += binomial_pmf(n, lo++, p);
+  while (hi > m) sum += binomial_pmf(n, hi--, p);
   return std::min(1.0, sum);
 }
 

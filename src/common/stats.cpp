@@ -146,7 +146,7 @@ double Histogram::bin_hi(std::size_t bin) const noexcept {
                    static_cast<double>(counts_.size());
 }
 
-double quantile_of(std::vector<double> xs, double p) noexcept {
+double quantile_of(std::span<double> xs, double p) noexcept {
   if (xs.empty()) return 0.0;
   std::sort(xs.begin(), xs.end());
   if (p <= 0.0) return xs.front();
@@ -156,6 +156,10 @@ double quantile_of(std::vector<double> xs, double p) noexcept {
   const double frac = pos - static_cast<double>(lo);
   if (lo + 1 >= xs.size()) return xs.back();
   return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double quantile_of(std::vector<double> xs, double p) noexcept {
+  return quantile_of(std::span<double>(xs), p);
 }
 
 }  // namespace timing

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace timing {
@@ -60,8 +61,12 @@ double mean_of(const std::vector<double>& xs) noexcept;
 /// Unbiased sample variance of a vector (0 for size < 2).
 double variance_of(const std::vector<double>& xs) noexcept;
 
-/// p-quantile (0 <= p <= 1) with linear interpolation; input copied and
-/// sorted internally.
+/// p-quantile (0 <= p <= 1) with linear interpolation, sorting `xs` in
+/// place — the allocation-free form for hot paths that own a reusable
+/// buffer (e.g. AdaptiveTimeout's sample window).
+double quantile_of(std::span<double> xs, double p) noexcept;
+
+/// Copying convenience overload (delegates to the span form).
 double quantile_of(std::vector<double> xs, double p) noexcept;
 
 /// Fixed-range histogram with integer bin counts. Values below lo land

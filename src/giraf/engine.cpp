@@ -50,7 +50,14 @@ void RoundEngine::lazy_initialize() {
   }
 }
 
-Round RoundEngine::step(const LinkMatrix& fates) {
+Round RoundEngine::step(const LinkMatrix& fates) { return step_impl(fates); }
+
+Round RoundEngine::step(const PackedLinkMatrix& fates) {
+  return step_impl(fates);
+}
+
+template <class Matrix>
+Round RoundEngine::step_impl(const Matrix& fates) {
   TM_CHECK(fates.n() == n(), "matrix size mismatch");
   lazy_initialize();
   ++k_;
@@ -120,9 +127,12 @@ Round RoundEngine::step(const LinkMatrix& fates) {
   return k_;
 }
 
+template Round RoundEngine::step_impl(const LinkMatrix&);
+template Round RoundEngine::step_impl(const PackedLinkMatrix&);
+
 Round RoundEngine::run(TimelinessSampler& sampler, int max_rounds) {
   TM_CHECK(sampler.n() == n(), "sampler size mismatch");
-  LinkMatrix fates(n());
+  PackedLinkMatrix fates(n());
   for (int r = 0; r < max_rounds; ++r) {
     sampler.sample_round(k_ + 1, fates);
     step(fates);

@@ -56,13 +56,17 @@ class RoundEngine {
   void crash_at(ProcessId i, Round at_round);
 
   /// Execute one round with the given link fates. Returns the round number
-  /// just executed (rounds are 1-based).
+  /// just executed (rounds are 1-based). The packed overload reads the bit
+  /// plane first and only touches the delay plane for late fates — run()
+  /// drives rounds through it.
   Round step(const LinkMatrix& fates);
+  Round step(const PackedLinkMatrix& fates);
 
   /// Drive rounds from the sampler until every alive process has decided
   /// or `max_rounds` have run. Returns the global decision round (the
   /// largest decision round among deciders, per the paper's definition)
-  /// or -1 when some alive process never decided.
+  /// or -1 when some alive process never decided. Samples into a single
+  /// reused PackedLinkMatrix (identical fates to the scalar path).
   Round run(TimelinessSampler& sampler, int max_rounds);
 
   Round current_round() const noexcept { return k_; }
@@ -123,6 +127,10 @@ class RoundEngine {
 
   void lazy_initialize();
   ProcessId hint(ProcessId i, Round k);
+  /// Shared round body; Matrix is LinkMatrix or PackedLinkMatrix (both
+  /// expose n() and at(dst, src)).
+  template <class Matrix>
+  Round step_impl(const Matrix& fates);
 };
 
 }  // namespace timing

@@ -83,19 +83,22 @@ std::vector<TimeoutResult> run_experiment(const ExperimentConfig& cfg) {
         TrialOut out;
         auto model = make_model(cfg, substream_seed(cfg.seed, run));
         LatencyTimelinessSampler sampler(*model, timeout);
-        RunMeasurement m = measure_run(sampler, cfg.rounds_per_run, leader);
-        out.p = m.timely_fraction();
 
+        // Streaming fast path: the fused sample-and-evaluate kernel plus
+        // incremental window trackers replace the sat-vector pipeline.
+        // The latency sub-stream and the start_rng draw order are the
+        // ones measure_run + decision_stats consumed, so every statistic
+        // below is bit-identical to the historical path (asserted by
+        // tests/harness_test.cpp).
         Rng start_rng = substream(cfg.seed ^ 0xabcdef, run);
-        for (TimingModel tm : kAllModels) {
-          const auto idx = static_cast<std::size_t>(model_index(tm));
-          out.pm[idx] = m.incidence(tm);
-          const DecisionStats ds =
-              decision_stats(m.sat[idx], cfg.decision_rounds[idx],
-                             cfg.start_points, start_rng);
-          out.rounds[idx] = ds.mean_rounds;
-          out.censored[idx] = ds.censored_fraction;
-        }
+        const StreamedRun m =
+            measure_run_streaming(sampler, cfg.rounds_per_run, leader,
+                                  cfg.decision_rounds, cfg.start_points,
+                                  start_rng);
+        out.p = m.timely_fraction();
+        out.pm = m.pm;
+        out.rounds = m.mean_rounds;
+        out.censored = m.censored;
         return out;
       });
 

@@ -26,7 +26,9 @@ RunMeasurement measure_run(TimelinessSampler& sampler, int rounds,
   out.rounds = rounds;
   for (auto& s : out.sat) s.reserve(static_cast<std::size_t>(rounds));
   const int n = sampler.n();
-  LinkMatrix a(n);
+  // One packed matrix per run, reused every round: the sample and
+  // predicate phases both run on the bit plane.
+  PackedLinkMatrix a(n);
   for (int r = 1; r <= rounds; ++r) {
     trace_emit(trace, TraceEvent::round_start(r));
     {
@@ -35,24 +37,35 @@ RunMeasurement measure_run(TimelinessSampler& sampler, int rounds,
     }
     // Message fates of the round's (virtual) all-to-all traffic. Self
     // links are excluded, matching the paper's p ("each process sent ...
-    // to all others").
-    for (ProcessId d = 0; d < n; ++d) {
-      for (ProcessId s = 0; s < n; ++s) {
-        if (s == d) continue;
-        ++out.messages_total;
-        const Delay fate = a.at(d, s);
-        if (fate == 0) {
-          ++out.messages_timely;
-          trace_emit(trace, TraceEvent::msg(EventKind::kMsgTimely, r, s, d));
-        } else if (fate == kLost) {
-          ++out.messages_lost;
-          trace_emit(trace, TraceEvent::msg(EventKind::kMsgLost, r, s, d));
-        } else {
-          ++out.messages_late;
-          trace_emit(trace,
-                     TraceEvent::msg(EventKind::kMsgLate, r, s, d, fate));
+    // to all others"). When tracing, walk cells in (dst, src) order so
+    // the event stream is byte-identical to the historical scalar path;
+    // otherwise tally from popcounts over the bit plane.
+    if (trace != nullptr) {
+      for (ProcessId d = 0; d < n; ++d) {
+        for (ProcessId s = 0; s < n; ++s) {
+          if (s == d) continue;
+          ++out.messages_total;
+          const Delay fate = a.at(d, s);
+          if (fate == 0) {
+            ++out.messages_timely;
+            trace_emit(trace, TraceEvent::msg(EventKind::kMsgTimely, r, s, d));
+          } else if (fate == kLost) {
+            ++out.messages_lost;
+            trace_emit(trace, TraceEvent::msg(EventKind::kMsgLost, r, s, d));
+          } else {
+            ++out.messages_late;
+            trace_emit(trace,
+                       TraceEvent::msg(EventKind::kMsgLate, r, s, d, fate));
+          }
         }
       }
+    } else {
+      FusedRoundEval fates;
+      tally_fates(a, fates);
+      out.messages_total += static_cast<long long>(n) * (n - 1);
+      out.messages_timely += fates.timely;
+      out.messages_late += fates.late;
+      out.messages_lost += fates.lost;
     }
     std::uint8_t mask = 0;
     {
@@ -182,6 +195,124 @@ DecisionStats decision_stats(const std::vector<std::uint8_t>& sat, int needed,
   }
   out.mean_rounds = sum / start_points;
   out.censored_fraction = static_cast<double>(censored) / start_points;
+  return out;
+}
+
+ConsecutiveWindowTracker::ConsecutiveWindowTracker(int needed,
+                                                   std::vector<int> starts,
+                                                   int total_rounds)
+    : needed_(needed), total_(total_rounds), starts_(std::move(starts)),
+      rounds_(starts_.size(), -1.0) {
+  TM_CHECK(needed_ >= 1, "window length must be positive");
+  TM_CHECK(total_ > needed_, "run shorter than the decision window");
+  by_start_.resize(starts_.size());
+  for (std::size_t j = 0; j < starts_.size(); ++j) {
+    TM_CHECK(starts_[j] >= 0 && starts_[j] < total_,
+             "start point out of range");
+    by_start_[j] = j;
+  }
+  std::sort(by_start_.begin(), by_start_.end(),
+            [this](std::size_t a, std::size_t b) {
+              return starts_[a] != starts_[b] ? starts_[a] < starts_[b]
+                                              : a < b;
+            });
+}
+
+void ConsecutiveWindowTracker::observe(bool satisfied) noexcept {
+  const int i = round_++;
+  if (!satisfied) {
+    streak_ = 0;
+    return;
+  }
+  ++sat_rounds_;
+  ++streak_;
+  if (streak_ < needed_) return;
+  // A `needed`-long satisfied window ends at round i. Every pending start
+  // point at or before the window's first round resolves here with
+  // i - start + 1 rounds — the same value rounds_until_conditions returns,
+  // because a streak that began before `start` still leaves a full window
+  // inside [start, i] whenever start <= i - needed + 1.
+  const int cutoff = i - needed_ + 1;
+  while (next_ < by_start_.size() && starts_[by_start_[next_]] <= cutoff) {
+    const std::size_t j = by_start_[next_++];
+    rounds_[j] = static_cast<double>(i - starts_[j] + 1);
+  }
+}
+
+DecisionStats ConsecutiveWindowTracker::finalize() const {
+  TM_CHECK(!starts_.empty(), "need at least one start point");
+  DecisionStats out;
+  int censored = 0;
+  double sum = 0.0;
+  // Accumulate in the original draw order so the floating-point sum is
+  // bit-identical to decision_stats over the materialised sat vector.
+  for (std::size_t j = 0; j < starts_.size(); ++j) {
+    if (rounds_[j] >= 0.0) {
+      sum += rounds_[j];
+    } else {
+      sum += static_cast<double>(total_ - starts_[j]);  // censored bound
+      ++censored;
+    }
+  }
+  const int start_points = static_cast<int>(starts_.size());
+  out.mean_rounds = sum / start_points;
+  out.censored_fraction = static_cast<double>(censored) / start_points;
+  return out;
+}
+
+StreamedRun measure_run_streaming(TimelinessSampler& sampler, int rounds,
+                                  ProcessId leader,
+                                  const std::array<int, kNumModels>& needed,
+                                  int start_points, Rng& start_rng) {
+  TM_CHECK(rounds > 0, "need at least one round");
+  TM_CHECK(start_points > 0, "need at least one start point");
+  const int n = sampler.n();
+
+  // Pre-draw the start points in exactly the order the vector-based path
+  // consumes them (model-major, kAllModels order), so the same `start_rng`
+  // sub-stream yields the same points.
+  std::vector<ConsecutiveWindowTracker> track;
+  track.reserve(kNumModels);
+  for (TimingModel m : kAllModels) {
+    const int idx = model_index(m);
+    std::vector<int> starts(static_cast<std::size_t>(start_points));
+    for (int s = 0; s < start_points; ++s) {
+      // Start anywhere in the first half so a typical window can complete.
+      starts[static_cast<std::size_t>(s)] = static_cast<int>(
+          start_rng.uniform_int(
+              static_cast<std::uint64_t>(std::max(1, rounds / 2))));
+    }
+    track.emplace_back(needed[static_cast<std::size_t>(idx)],
+                       std::move(starts), rounds);
+  }
+
+  StreamedRun out;
+  PackedLinkMatrix a(n);
+  ColumnDeficits cols;
+  for (int r = 1; r <= rounds; ++r) {
+    const FusedRoundEval e =
+        sampler.sample_round_and_evaluate(r, leader, a, cols);
+    out.messages_total += static_cast<long long>(n) * (n - 1);
+    out.messages_timely += e.timely;
+    out.messages_late += e.late;
+    out.messages_lost += e.lost;
+    for (TimingModel m : kAllModels) {
+      const int idx = model_index(m);
+      track[static_cast<std::size_t>(idx)].observe(
+          (e.mask & (1u << idx)) != 0);
+    }
+  }
+
+  for (TimingModel m : kAllModels) {
+    const int idx = model_index(m);
+    const auto& t = track[static_cast<std::size_t>(idx)];
+    const DecisionStats ds = t.finalize();
+    out.pm[static_cast<std::size_t>(idx)] =
+        static_cast<double>(t.satisfied_rounds()) /
+        static_cast<double>(rounds);
+    out.mean_rounds[static_cast<std::size_t>(idx)] = ds.mean_rounds;
+    out.censored[static_cast<std::size_t>(idx)] = ds.censored_fraction;
+  }
   return out;
 }
 

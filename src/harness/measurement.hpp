@@ -112,4 +112,70 @@ struct DecisionStats {
 DecisionStats decision_stats(const std::vector<std::uint8_t>& sat, int needed,
                              int start_points, Rng& rng);
 
+/// Streaming replacement for the sat-vector + rounds_until_conditions /
+/// decision_stats pipeline: pre-draw the random start points, then feed
+/// one satisfied/unsatisfied bit per round. A start point s resolves at
+/// the first 0-based round i with a `needed`-long satisfied streak whose
+/// window lies at or after s (i - needed + 1 >= s), yielding i - s + 1
+/// rounds — exactly rounds_until_conditions(sat, s, needed). finalize()
+/// averages in the original draw order, so the statistics are
+/// bit-identical to the vector-based path while the run itself stores
+/// nothing per round.
+class ConsecutiveWindowTracker {
+ public:
+  /// `starts` in draw order (0-based round indices).
+  ConsecutiveWindowTracker(int needed, std::vector<int> starts,
+                           int total_rounds);
+
+  /// Feed round (#prior calls, 0-based).
+  void observe(bool satisfied) noexcept;
+
+  /// Satisfied rounds seen so far (P_M numerator).
+  long long satisfied_rounds() const noexcept { return sat_rounds_; }
+
+  /// Mean/censored over the start points; unresolved points report the
+  /// remaining run length (censored), like rounds_until_conditions.
+  DecisionStats finalize() const;
+
+ private:
+  int needed_;
+  int total_;
+  int round_ = 0;
+  int streak_ = 0;
+  long long sat_rounds_ = 0;
+  std::vector<int> starts_;            ///< draw order
+  std::vector<std::size_t> by_start_;  ///< indices of starts_, ascending
+  std::size_t next_ = 0;               ///< first unresolved entry of by_start_
+  std::vector<double> rounds_;         ///< per draw-order index; -1 pending
+};
+
+/// One streamed measurement run: per-model P_M incidence and the mean
+/// rounds-until-decision-conditions over `start_points` random start
+/// points, computed without per-round vectors via the fused
+/// sample-and-evaluate kernel. Statistically (and bit-for-bit) identical
+/// to measure_run + incidence + decision_stats with the same sampler
+/// sub-stream and `start_rng`, but the hot loop is one pass per round
+/// over the packed bit plane. No tracing/metrics: this is the
+/// zero-observability fast path the figure sweeps run on.
+struct StreamedRun {
+  long long messages_total = 0;
+  long long messages_timely = 0;
+  long long messages_late = 0;
+  long long messages_lost = 0;
+  std::array<double, kNumModels> pm{};           ///< P_M per model
+  std::array<double, kNumModels> mean_rounds{};  ///< decision_stats mean
+  std::array<double, kNumModels> censored{};     ///< censored fraction
+
+  double timely_fraction() const noexcept {
+    return messages_total
+               ? static_cast<double>(messages_timely) / messages_total
+               : 0.0;
+  }
+};
+
+StreamedRun measure_run_streaming(TimelinessSampler& sampler, int rounds,
+                                  ProcessId leader,
+                                  const std::array<int, kNumModels>& needed,
+                                  int start_points, Rng& start_rng);
+
 }  // namespace timing

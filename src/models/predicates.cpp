@@ -118,4 +118,79 @@ std::uint8_t evaluate_all(const LinkMatrix& a, ProcessId leader,
   return mask;
 }
 
+// ---------------------------------------------------------------------
+// Packed fast path. The sim/packed_eval.hpp kernels use their own bit
+// constants so sim/ does not depend on the TimingModel enum; pin the two
+// orders together here, where both are visible.
+static_assert(kPackedEsBit == 1u << static_cast<int>(TimingModel::kEs));
+static_assert(kPackedLmBit == 1u << static_cast<int>(TimingModel::kLm));
+static_assert(kPackedWlmBit == 1u << static_cast<int>(TimingModel::kWlm));
+static_assert(kPackedAfmBit == 1u << static_cast<int>(TimingModel::kAfm));
+
+bool satisfies_es(const PackedLinkMatrix& a, const CorrectMask* correct) {
+  if (correct == nullptr) {
+    return (packed_evaluate_mask(a, 0) & kPackedEsBit) != 0;
+  }
+  return packed_satisfies_es(a, PackedCorrectMask(*correct, a.n()));
+}
+
+bool satisfies_lm(const PackedLinkMatrix& a, ProcessId leader,
+                  const CorrectMask* correct) {
+  TM_CHECK(leader >= 0 && leader < a.n(), "leader out of range");
+  if (correct == nullptr) {
+    return (packed_evaluate_mask(a, leader) & kPackedLmBit) != 0;
+  }
+  return packed_satisfies_lm(a, leader, PackedCorrectMask(*correct, a.n()));
+}
+
+bool satisfies_wlm(const PackedLinkMatrix& a, ProcessId leader,
+                   const CorrectMask* correct) {
+  TM_CHECK(leader >= 0 && leader < a.n(), "leader out of range");
+  if (correct == nullptr) {
+    return (packed_evaluate_mask(a, leader) & kPackedWlmBit) != 0;
+  }
+  return packed_satisfies_wlm(a, leader, PackedCorrectMask(*correct, a.n()));
+}
+
+bool satisfies_afm(const PackedLinkMatrix& a, const CorrectMask* correct) {
+  if (correct == nullptr) {
+    return (packed_evaluate_mask(a, 0) & kPackedAfmBit) != 0;
+  }
+  return packed_satisfies_afm(a, PackedCorrectMask(*correct, a.n()));
+}
+
+bool satisfies(TimingModel m, const PackedLinkMatrix& a, ProcessId leader,
+               const CorrectMask* correct) {
+  switch (m) {
+    case TimingModel::kEs: return satisfies_es(a, correct);
+    case TimingModel::kLm: return satisfies_lm(a, leader, correct);
+    case TimingModel::kWlm: return satisfies_wlm(a, leader, correct);
+    case TimingModel::kAfm: return satisfies_afm(a, correct);
+  }
+  return false;
+}
+
+std::uint8_t evaluate_all(const PackedLinkMatrix& a, ProcessId leader,
+                          const CorrectMask* correct, TraceSink* sink,
+                          Round k) {
+  TM_CHECK(leader >= 0 && leader < a.n(), "leader out of range");
+  std::uint8_t mask = 0;
+  if (correct == nullptr) {
+    // One sweep computes all four models; scratch is per-thread so the
+    // hot failure-free path never allocates.
+    thread_local ColumnDeficits cols;
+    mask = packed_evaluate_mask(a, leader, cols);
+  } else {
+    const PackedCorrectMask cm(*correct, a.n());
+    if (packed_satisfies_es(a, cm)) mask |= kPackedEsBit;
+    if (cm.test(leader)) {
+      if (packed_satisfies_lm(a, leader, cm)) mask |= kPackedLmBit;
+      if (packed_satisfies_wlm(a, leader, cm)) mask |= kPackedWlmBit;
+    }
+    if (packed_satisfies_afm(a, cm)) mask |= kPackedAfmBit;
+  }
+  trace_emit(sink, TraceEvent::predicates(k, mask));
+  return mask;
+}
+
 }  // namespace timing

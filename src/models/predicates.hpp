@@ -8,6 +8,15 @@
 //    timely;
 //  * all processes are assumed correct unless a `correct` mask is given -
 //    the measurement sections run failure-free experiments, like the paper.
+//
+// Every predicate exists in two equivalent implementations:
+//  * the scalar path over LinkMatrix (the original per-cell loops) — kept
+//    as the oracle;
+//  * the packed path over PackedLinkMatrix (sim/packed_eval.hpp):
+//    popcounts and word compares over the uint64 bit plane.
+// tests/predicate_kernel_test.cpp asserts they agree bit-for-bit on
+// randomized matrices across the one-word/two-word row boundary and under
+// crash masks.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +25,7 @@
 #include "models/timing_model.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/link_matrix.hpp"
+#include "sim/packed_eval.hpp"
 
 namespace timing {
 
@@ -24,24 +34,34 @@ using CorrectMask = std::vector<bool>;
 
 /// ES: every link between correct processes is timely.
 bool satisfies_es(const LinkMatrix& a, const CorrectMask* correct = nullptr);
+bool satisfies_es(const PackedLinkMatrix& a,
+                  const CorrectMask* correct = nullptr);
 
 /// <>LM: the leader is an n-source this round (its column is all timely)
 /// and every correct process receives timely messages from at least
 /// floor(n/2)+1 correct processes (every row has a majority of ones).
 bool satisfies_lm(const LinkMatrix& a, ProcessId leader,
                   const CorrectMask* correct = nullptr);
+bool satisfies_lm(const PackedLinkMatrix& a, ProcessId leader,
+                  const CorrectMask* correct = nullptr);
 
 /// <>WLM: the leader is an n-source this round and receives timely
 /// messages from a majority (only the leader's row needs a majority).
 bool satisfies_wlm(const LinkMatrix& a, ProcessId leader,
                    const CorrectMask* correct = nullptr);
+bool satisfies_wlm(const PackedLinkMatrix& a, ProcessId leader,
+                   const CorrectMask* correct = nullptr);
 
 /// <>AFM (simplified): every correct process is a majority-destination and
 /// a majority-source this round.
 bool satisfies_afm(const LinkMatrix& a, const CorrectMask* correct = nullptr);
+bool satisfies_afm(const PackedLinkMatrix& a,
+                   const CorrectMask* correct = nullptr);
 
 /// Dispatch on the model. `leader` is ignored for ES and <>AFM.
 bool satisfies(TimingModel m, const LinkMatrix& a, ProcessId leader,
+               const CorrectMask* correct = nullptr);
+bool satisfies(TimingModel m, const PackedLinkMatrix& a, ProcessId leader,
                const CorrectMask* correct = nullptr);
 
 /// Evaluate all four predicates at once; bit static_cast<int>(m) of the
@@ -50,6 +70,12 @@ bool satisfies(TimingModel m, const LinkMatrix& a, ProcessId leader,
 /// event for round `k` is emitted — this is the instrumentation point the
 /// measurement harness records P_M incidence through.
 std::uint8_t evaluate_all(const LinkMatrix& a, ProcessId leader,
+                          const CorrectMask* correct = nullptr,
+                          TraceSink* sink = nullptr, Round k = 0);
+
+/// Packed fast path: one sweep over the bit plane (popcounts + word
+/// compares; see sim/packed_eval.hpp). Identical mask and trace event.
+std::uint8_t evaluate_all(const PackedLinkMatrix& a, ProcessId leader,
                           const CorrectMask* correct = nullptr,
                           TraceSink* sink = nullptr, Round k = 0);
 

@@ -44,6 +44,9 @@ class ScheduleSampler final : public TimelinessSampler {
 
   int n() const noexcept override { return cfg_.n; }
   void sample_round(Round k, LinkMatrix& out) override;
+  // Keep the inherited packed overload visible (it routes through the
+  // scalar override above, so schedules pack with identical fates).
+  using TimelinessSampler::sample_round;
 
   const ScheduleConfig& config() const noexcept { return cfg_; }
 

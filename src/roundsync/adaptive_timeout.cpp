@@ -16,22 +16,31 @@ AdaptiveTimeout::AdaptiveTimeout(AdaptiveTimeoutConfig cfg)
            "bad timeout bounds");
   TM_CHECK(cfg_.window_samples >= 8, "window too small to estimate quantiles");
   TM_CHECK(cfg_.max_step_factor > 1.0, "step factor must exceed 1");
-  window_.reserve(static_cast<std::size_t>(cfg_.window_samples));
+  window_.reserve(static_cast<std::size_t>(4 * cfg_.window_samples));
 }
 
 void AdaptiveTimeout::record_offset_ms(double offset_ms) {
   if (offset_ms < 0.0) offset_ms = 0.0;
-  if (static_cast<int>(window_.size()) < 4 * cfg_.window_samples) {
+  const auto cap = static_cast<std::size_t>(4 * cfg_.window_samples);
+  if (window_.size() < cap) {
     window_.push_back(offset_ms);
+    return;
   }
+  // Ring: overwrite the oldest sample, so late bursts past the capacity
+  // still land in the window instead of being silently dropped.
+  window_[oldest_] = offset_ms;
+  oldest_ = (oldest_ + 1) % cap;
 }
 
 double AdaptiveTimeout::next_timeout_ms() {
   if (static_cast<int>(window_.size()) < cfg_.window_samples) {
     return current_ms_;
   }
-  const double q = quantile_of(window_, cfg_.target_p);
+  // In-place quantile: the window is cleared right after, so sorting it
+  // is free of both copies and allocations.
+  const double q = quantile_of(std::span<double>(window_), cfg_.target_p);
   window_.clear();
+  oldest_ = 0;
   double proposed = q * cfg_.margin_factor;
   // Never move more than max_step_factor per adjustment.
   proposed = std::min(proposed, current_ms_ * cfg_.max_step_factor);

@@ -34,7 +34,10 @@ class AdaptiveTimeout {
  public:
   explicit AdaptiveTimeout(AdaptiveTimeoutConfig cfg);
 
-  /// Record one message's arrival offset within its round (ms).
+  /// Record one message's arrival offset within its round (ms). The
+  /// window is a ring buffer of capacity 4 x window_samples: once full,
+  /// new samples overwrite the oldest instead of being dropped, so a
+  /// burst arriving long after the cap still shifts the next quantile.
   void record_offset_ms(double offset_ms);
 
   /// Current round timeout.
@@ -48,7 +51,8 @@ class AdaptiveTimeout {
 
  private:
   AdaptiveTimeoutConfig cfg_;
-  std::vector<double> window_;
+  std::vector<double> window_;  ///< ring once size reaches capacity
+  std::size_t oldest_ = 0;      ///< overwrite position when full
   double current_ms_;
   int adjustments_ = 0;
 };

@@ -1,0 +1,217 @@
+// Bit-plane predicate kernels for PackedLinkMatrix.
+//
+// These are the Section 4.1 per-round model predicates rewritten as
+// popcounts and word compares over the packed rows:
+//   ES    - every row is all-ones (row popcount == n);
+//   <>LM  - the leader column is all-ones and every row has a majority;
+//   <>WLM - the leader column is all-ones and the leader row has a
+//           majority;
+//   <>AFM - every row has a majority and every column has a majority.
+// Column counts are accumulated from the zero bits of each row (the
+// complement), so in the common high-p case the whole evaluation touches
+// ~n/64 words per row and a handful of stray zero bits.
+//
+// This header lives in sim/ so the fused sample-and-evaluate kernel of
+// sampler.cpp can use it; models/predicates.cpp wraps it behind the
+// TimingModel enum (and static_asserts the bit order matches). The mask
+// bit layout is the canonical ES/LM/WLM/AFM order of obs/trace_event.hpp.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/link_matrix.hpp"
+
+namespace timing {
+
+inline constexpr std::uint8_t kPackedEsBit = 1u << 0;
+inline constexpr std::uint8_t kPackedLmBit = 1u << 1;
+inline constexpr std::uint8_t kPackedWlmBit = 1u << 2;
+inline constexpr std::uint8_t kPackedAfmBit = 1u << 3;
+
+/// Scratch for the column (source) counts of the <>AFM predicate. Reused
+/// across rounds so the hot path never allocates; resize() is a no-op
+/// after the first round of a trial.
+class ColumnDeficits {
+ public:
+  void reset(int n) {
+    deficits_.assign(static_cast<std::size_t>(n), 0);
+  }
+  void bump(int src) noexcept { ++deficits_[static_cast<std::size_t>(src)]; }
+  int at(int src) const noexcept {
+    return deficits_[static_cast<std::size_t>(src)];
+  }
+
+ private:
+  std::vector<int> deficits_;
+};
+
+/// All four predicates of one failure-free round in a single sweep over
+/// the bit plane. `cols` is caller-provided scratch (see ColumnDeficits).
+inline std::uint8_t packed_evaluate_mask(const PackedLinkMatrix& a,
+                                         ProcessId leader,
+                                         ColumnDeficits& cols) {
+  const int n = a.n();
+  const int words = a.words_per_row();
+  const int maj = majority_size(n);
+  const int lw = leader / PackedLinkMatrix::kWordBits;
+  const std::uint64_t lbit =
+      1ULL << (static_cast<unsigned>(leader) % PackedLinkMatrix::kWordBits);
+
+  cols.reset(n);
+  bool es = true;
+  bool rows_ok = true;     // every row popcount >= maj
+  bool leader_col = true;  // leader bit set in every row
+  int leader_row_cnt = 0;
+
+  for (ProcessId dst = 0; dst < n; ++dst) {
+    const std::uint64_t* row = a.row_words(dst);
+    int cnt = 0;
+    for (int w = 0; w < words; ++w) {
+      const std::uint64_t bits = row[w];
+      cnt += std::popcount(bits);
+      // Column deficits from the complement: rare in the high-p regime.
+      std::uint64_t comp = ~bits & a.word_mask(w);
+      while (comp != 0) {
+        cols.bump(w * PackedLinkMatrix::kWordBits + std::countr_zero(comp));
+        comp &= comp - 1;
+      }
+    }
+    es &= cnt == n;
+    rows_ok &= cnt >= maj;
+    leader_col &= (row[lw] & lbit) != 0;
+    if (dst == leader) leader_row_cnt = cnt;
+  }
+
+  bool cols_ok = true;
+  for (ProcessId src = 0; src < n; ++src) {
+    cols_ok &= n - cols.at(src) >= maj;
+  }
+
+  std::uint8_t mask = 0;
+  if (es) mask |= kPackedEsBit;
+  if (leader_col && rows_ok) mask |= kPackedLmBit;
+  if (leader_col && leader_row_cnt >= maj) mask |= kPackedWlmBit;
+  if (rows_ok && cols_ok) mask |= kPackedAfmBit;
+  return mask;
+}
+
+/// Convenience overload with its own scratch (cold paths and tests).
+inline std::uint8_t packed_evaluate_mask(const PackedLinkMatrix& a,
+                                         ProcessId leader) {
+  ColumnDeficits cols;
+  return packed_evaluate_mask(a, leader, cols);
+}
+
+// ---------------------------------------------------------------------
+// Crash-mask variants. `correct` is the std::vector<bool> aliveness mask
+// of models/predicates.hpp (null means everyone correct); the kernels
+// first pack it into uint64 words, then reuse the same word arithmetic.
+
+/// Packed aliveness mask; word layout matches PackedLinkMatrix rows.
+class PackedCorrectMask {
+ public:
+  PackedCorrectMask(const std::vector<bool>& correct, int n)
+      : words_(static_cast<std::size_t>((n + 63) / 64), 0), alive_(0) {
+    for (int i = 0; i < n; ++i) {
+      if (correct[static_cast<std::size_t>(i)]) {
+        words_[static_cast<std::size_t>(i / 64)] |=
+            1ULL << (static_cast<unsigned>(i) % 64);
+        ++alive_;
+      }
+    }
+  }
+  const std::uint64_t* words() const noexcept { return words_.data(); }
+  int alive() const noexcept { return alive_; }
+  bool test(int i) const noexcept {
+    return (words_[static_cast<std::size_t>(i / 64)] >>
+            (static_cast<unsigned>(i) % 64)) &
+           1u;
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+  int alive_;
+};
+
+inline bool packed_satisfies_es(const PackedLinkMatrix& a,
+                                const PackedCorrectMask& cm) {
+  const int n = a.n();
+  const int words = a.words_per_row();
+  for (ProcessId dst = 0; dst < n; ++dst) {
+    if (!cm.test(dst)) continue;
+    const std::uint64_t* row = a.row_words(dst);
+    for (int w = 0; w < words; ++w) {
+      if ((cm.words()[w] & ~row[w]) != 0) return false;
+    }
+  }
+  return true;
+}
+
+/// Timely links into `dst` from correct sources, incl. self if correct.
+inline int packed_timely_in_from_correct(const PackedLinkMatrix& a,
+                                         ProcessId dst,
+                                         const PackedCorrectMask& cm) {
+  const std::uint64_t* row = a.row_words(dst);
+  int c = 0;
+  for (int w = 0; w < a.words_per_row(); ++w) {
+    c += std::popcount(row[w] & cm.words()[w]);
+  }
+  return c;
+}
+
+inline bool packed_leader_column_ok(const PackedLinkMatrix& a,
+                                    ProcessId leader,
+                                    const PackedCorrectMask& cm) {
+  const int lw = leader / PackedLinkMatrix::kWordBits;
+  const std::uint64_t lbit =
+      1ULL << (static_cast<unsigned>(leader) % PackedLinkMatrix::kWordBits);
+  for (ProcessId d = 0; d < a.n(); ++d) {
+    if (cm.test(d) && (a.row_words(d)[lw] & lbit) == 0) return false;
+  }
+  return true;
+}
+
+inline bool packed_satisfies_lm(const PackedLinkMatrix& a, ProcessId leader,
+                                const PackedCorrectMask& cm) {
+  if (!cm.test(leader)) return false;
+  if (!packed_leader_column_ok(a, leader, cm)) return false;
+  const int maj = majority_size(a.n());
+  for (ProcessId d = 0; d < a.n(); ++d) {
+    if (!cm.test(d)) continue;
+    if (packed_timely_in_from_correct(a, d, cm) < maj) return false;
+  }
+  return true;
+}
+
+inline bool packed_satisfies_wlm(const PackedLinkMatrix& a, ProcessId leader,
+                                 const PackedCorrectMask& cm) {
+  if (!cm.test(leader)) return false;
+  if (!packed_leader_column_ok(a, leader, cm)) return false;
+  return packed_timely_in_from_correct(a, leader, cm) >=
+         majority_size(a.n());
+}
+
+inline bool packed_satisfies_afm(const PackedLinkMatrix& a,
+                                 const PackedCorrectMask& cm) {
+  const int n = a.n();
+  const int maj = majority_size(n);
+  for (ProcessId i = 0; i < n; ++i) {
+    if (!cm.test(i)) continue;
+    if (packed_timely_in_from_correct(a, i, cm) < maj) return false;
+    // Majority-source over correct recipients (self is correct here).
+    const int iw = i / PackedLinkMatrix::kWordBits;
+    const std::uint64_t ibit =
+        1ULL << (static_cast<unsigned>(i) % PackedLinkMatrix::kWordBits);
+    int c = 0;
+    for (ProcessId d = 0; d < n; ++d) {
+      if (cm.test(d) && (a.row_words(d)[iw] & ibit) != 0) ++c;
+    }
+    if (c < maj) return false;
+  }
+  return true;
+}
+
+}  // namespace timing

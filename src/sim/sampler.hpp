@@ -8,6 +8,15 @@
 //    round if its latency is less than the timeout").
 //  * Schedule-based samplers live in src/models (they need the model
 //    definitions to construct conforming/adversarial rounds).
+//
+// Every sampler also fills the packed bit-plane representation
+// (PackedLinkMatrix); the two concrete samplers here additionally provide
+// the fused sample-and-evaluate kernel: one pass that draws the round's
+// fates AND computes the four-model predicate bitmask, without touching
+// the int16 delay plane unless a late/lost fate is actually drawn. The
+// fused path consumes the RNG in exactly the per-cell order of the scalar
+// sample_round, so for the same sub-stream it reproduces the exact same
+// matrices (asserted by tests/predicate_kernel_test.cpp).
 #pragma once
 
 #include <functional>
@@ -15,8 +24,19 @@
 #include "common/rng.hpp"
 #include "sim/latency_model.hpp"
 #include "sim/link_matrix.hpp"
+#include "sim/packed_eval.hpp"
 
 namespace timing {
+
+/// Result of one fused sample-and-evaluate round: the packed predicate
+/// bitmask (kPackedEsBit.. order, equal to models/evaluate_all) plus the
+/// off-diagonal message-fate tallies of the round.
+struct FusedRoundEval {
+  std::uint8_t mask = 0;
+  long long timely = 0;
+  long long late = 0;
+  long long lost = 0;
+};
 
 class TimelinessSampler {
  public:
@@ -25,7 +45,26 @@ class TimelinessSampler {
   /// Fill `out` (resized by caller to n x n) with the fates of the round-k
   /// messages. Must be called with strictly increasing k.
   virtual void sample_round(Round k, LinkMatrix& out) = 0;
+
+  /// Packed-plane variant. The default samples into a per-thread scratch
+  /// LinkMatrix and packs it (same RNG consumption, so same fates); the
+  /// concrete samplers below fill the bit plane directly.
+  virtual void sample_round(Round k, PackedLinkMatrix& out);
+
+  /// Fused kernel: one pass that samples round k into `out` AND evaluates
+  /// the four failure-free model predicates for `leader`, tallying the
+  /// message fates. Default = packed sample_round + packed_evaluate_mask
+  /// + a complement scan for the tallies; IID and latency samplers fuse
+  /// the evaluation into the sampling loop itself. `cols` is reusable
+  /// scratch (see ColumnDeficits).
+  virtual FusedRoundEval sample_round_and_evaluate(Round k, ProcessId leader,
+                                                   PackedLinkMatrix& out,
+                                                   ColumnDeficits& cols);
 };
+
+/// Off-diagonal fate tallies of an already-sampled packed round: timely
+/// from popcounts, late/lost from the (rare) complement bits.
+void tally_fates(const PackedLinkMatrix& a, FusedRoundEval& eval);
 
 /// Observer invoked for every sampled latency; used by the harness to
 /// measure p (the fraction of timely messages) alongside the matrices.
@@ -41,11 +80,18 @@ class LatencyTimelinessSampler final : public TimelinessSampler {
 
   int n() const noexcept override { return model_.n(); }
   void sample_round(Round k, LinkMatrix& out) override;
+  void sample_round(Round k, PackedLinkMatrix& out) override;
+  FusedRoundEval sample_round_and_evaluate(Round k, ProcessId leader,
+                                           PackedLinkMatrix& out,
+                                           ColumnDeficits& cols) override;
 
   void set_latency_sink(LatencySink sink) { sink_ = std::move(sink); }
   double timeout_ms() const noexcept { return timeout_ms_; }
 
  private:
+  /// Fate of one sampled latency (kLost / 0 / rounds late).
+  Delay classify(double ms) const noexcept;
+
   LatencyModel& model_;
   double timeout_ms_;
   int max_delay_rounds_;
@@ -62,8 +108,16 @@ class IidTimelinessSampler final : public TimelinessSampler {
 
   int n() const noexcept override { return n_; }
   void sample_round(Round k, LinkMatrix& out) override;
+  void sample_round(Round k, PackedLinkMatrix& out) override;
+  FusedRoundEval sample_round_and_evaluate(Round k, ProcessId leader,
+                                           PackedLinkMatrix& out,
+                                           ColumnDeficits& cols) override;
 
  private:
+  /// Late-or-lost fate draw shared by all three entry points (keeps the
+  /// RNG consumption identical across them).
+  Delay untimely_fate();
+
   int n_;
   double p_;
   double loss_share_;

@@ -75,6 +75,52 @@ TEST(AdaptiveTimeout, RespectsBounds) {
   EXPECT_DOUBLE_EQ(at.next_timeout_ms(), 0.5);
 }
 
+TEST(AdaptiveTimeout, LateBurstAfterWindowCapStillRaisesNextTimeout) {
+  // Regression: record_offset_ms used to silently drop every sample once
+  // the window held 4 x window_samples, so a latency burst arriving after
+  // the cap could never move the next adjustment. The ring buffer must
+  // keep absorbing: after 4 x window_samples fast samples, a burst of the
+  // same size overwrites the oldest and the next timeout goes UP.
+  AdaptiveTimeoutConfig cfg;
+  cfg.initial_ms = 10.0;
+  cfg.target_p = 0.9;
+  cfg.margin_factor = 1.0;
+  cfg.window_samples = 16;
+  cfg.max_step_factor = 1.5;
+  AdaptiveTimeout at(cfg);
+  // Fill to the cap with fast samples...
+  for (int i = 0; i < 4 * cfg.window_samples; ++i) at.record_offset_ms(1.0);
+  // ...then a late burst past the cap. With the drop-at-cap bug the
+  // window still holds only 1 ms samples and the timeout steps DOWN.
+  for (int i = 0; i < 4 * cfg.window_samples; ++i) at.record_offset_ms(50.0);
+  const double next = at.next_timeout_ms();
+  EXPECT_NEAR(next, 15.0, 1e-9) << "burst must raise the timeout "
+                                   "(one bounded step up from 10 ms)";
+  EXPECT_GT(next, cfg.initial_ms);
+}
+
+TEST(AdaptiveTimeout, RingOverwritesOldestNotNewest) {
+  // Half the capacity late, then fill the rest fast, then one more burst
+  // wave: the p50 over the final window must reflect the mix actually
+  // retained (oldest-first overwrite), not drop the new arrivals.
+  AdaptiveTimeoutConfig cfg;
+  cfg.initial_ms = 8.0;
+  cfg.target_p = 0.5;
+  cfg.margin_factor = 1.0;
+  cfg.window_samples = 8;
+  cfg.max_step_factor = 100.0;
+  AdaptiveTimeout at(cfg);
+  const int cap = 4 * cfg.window_samples;
+  for (int i = 0; i < cap; ++i) at.record_offset_ms(2.0);
+  // Overwrite exactly half the ring with late samples.
+  for (int i = 0; i < cap / 2; ++i) at.record_offset_ms(30.0);
+  // Window is now half 2 ms, half 30 ms; p50 interpolates between them,
+  // so the result must sit strictly between the two plateaus.
+  const double next = at.next_timeout_ms();
+  EXPECT_GT(next, 2.0);
+  EXPECT_LT(next, 30.0);
+}
+
 TEST(AdaptiveTimeout, NoAdjustmentWithoutAFullWindow) {
   AdaptiveTimeoutConfig cfg;
   cfg.initial_ms = 7.0;

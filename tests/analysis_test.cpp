@@ -3,8 +3,10 @@
 // paper's quoted spot values, and the Appendix C asymptotics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <tuple>
+#include <vector>
 
 #include "analysis/equations.hpp"
 #include "common/rng.hpp"
@@ -227,6 +229,34 @@ TEST(Asymptotics, Log10MatchesLinearWhereBothWork) {
       const double lin = e_rounds(a, 8, p);
       const double lg = log10_e_rounds(a, 8, p);
       EXPECT_NEAR(lg, std::log10(lin), 1e-6) << to_string(a) << " " << p;
+    }
+  }
+}
+
+/// Reference implementation of the ascending-sorted tail sum the
+/// allocation-free binomial_tail_ge replaced; the grid below pins the
+/// two-pointer merge to it.
+double tail_ge_sorted_reference(int n, int k, double p) {
+  if (k <= 0) return 1.0;
+  if (k > n) return 0.0;
+  std::vector<double> terms;
+  for (int i = k; i <= n; ++i) terms.push_back(binomial_pmf(n, i, p));
+  std::sort(terms.begin(), terms.end());
+  double sum = 0.0;
+  for (double t : terms) sum += t;
+  return std::min(1.0, sum);
+}
+
+TEST(Binomial, AllocationFreeTailMatchesSortedReferenceOnGrid) {
+  for (const int n : {1, 2, 3, 7, 8, 16, 33, 64, 101}) {
+    for (int k = 0; k <= n + 1; ++k) {
+      for (const double p :
+           {0.0, 1e-9, 0.01, 0.25, 0.5, 0.5001, 0.75, 0.9, 0.999, 1.0}) {
+        const double want = tail_ge_sorted_reference(n, k, p);
+        const double got = binomial_tail_ge(n, k, p);
+        EXPECT_NEAR(got, want, 1e-15)
+            << "n=" << n << " k=" << k << " p=" << p;
+      }
     }
   }
 }

@@ -2,10 +2,12 @@
 // statistics, and the exact binomial machinery the analysis relies on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
 #include <set>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -363,6 +365,24 @@ TEST(Stats, Quantiles) {
   EXPECT_DOUBLE_EQ(quantile_of(xs, 1.0), 5.0);
   EXPECT_DOUBLE_EQ(quantile_of(xs, 0.5), 3.0);
   EXPECT_DOUBLE_EQ(quantile_of(xs, 0.25), 2.0);
+}
+
+TEST(Stats, QuantileInPlaceSpanOverload) {
+  std::vector<double> xs = {5, 1, 3, 2, 4};
+  // Sorts the caller's buffer instead of a copy; same interpolation.
+  EXPECT_DOUBLE_EQ(quantile_of(std::span<double>(xs), 0.25), 2.0);
+  EXPECT_TRUE(std::is_sorted(xs.begin(), xs.end()));
+  // Interpolation pins: p=0 -> min, p=1 -> max, interior interpolates.
+  EXPECT_DOUBLE_EQ(quantile_of(std::span<double>(xs), 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_of(std::span<double>(xs), 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_of(std::span<double>(xs), 0.375), 2.5);
+  // Single element: every p returns it.
+  std::vector<double> one = {7.5};
+  EXPECT_DOUBLE_EQ(quantile_of(std::span<double>(one), 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(quantile_of(std::span<double>(one), 0.5), 7.5);
+  EXPECT_DOUBLE_EQ(quantile_of(std::span<double>(one), 1.0), 7.5);
+  // Empty: 0 by convention, like the by-value overload.
+  EXPECT_DOUBLE_EQ(quantile_of(std::span<double>(), 0.5), 0.0);
 }
 
 TEST(Binomial, ChooseBasics) {

@@ -2,6 +2,10 @@
 // windows, random start points, and the experiment driver's statistics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <vector>
+
 #include "harness/algorithm_runs.hpp"
 #include "harness/experiments.hpp"
 #include "oracles/omega.hpp"
@@ -170,6 +174,87 @@ TEST(AlgorithmRuns, WlmVsLm3MessageComplexityContrast) {
     const auto rl = run_algorithm(lm);
     ASSERT_TRUE(rl.all_decided);
     EXPECT_EQ(rl.stable_round_messages, static_cast<long long>(n) * (n - 1));
+  }
+}
+
+TEST(Streaming, WindowTrackerMatchesDecisionStatsBitForBit) {
+  // The incremental tracker must reproduce decision_stats (vector path)
+  // exactly: same start points, same resolution rounds, same censoring,
+  // same floating-point sums.
+  Rng bits_rng(0x7777ULL);
+  for (int rep = 0; rep < 20; ++rep) {
+    const int len = 40 + static_cast<int>(bits_rng.uniform_int(80));
+    const int needed = 2 + static_cast<int>(bits_rng.uniform_int(5));
+    const double density = 0.3 + 0.6 * rep / 20.0;
+    std::vector<std::uint8_t> sat(static_cast<std::size_t>(len));
+    for (auto& b : sat) b = bits_rng.bernoulli(density) ? 1 : 0;
+
+    // Same sub-stream for both paths -> same start points.
+    Rng rng_vec = substream(99, static_cast<std::uint64_t>(rep));
+    Rng rng_stream = substream(99, static_cast<std::uint64_t>(rep));
+    const int start_points = 15;
+    const DecisionStats want =
+        decision_stats(sat, needed, start_points, rng_vec);
+
+    std::vector<int> starts(static_cast<std::size_t>(start_points));
+    for (int s = 0; s < start_points; ++s) {
+      starts[static_cast<std::size_t>(s)] = static_cast<int>(
+          rng_stream.uniform_int(
+              static_cast<std::uint64_t>(std::max(1, len / 2))));
+    }
+    ConsecutiveWindowTracker tracker(needed, std::move(starts), len);
+    long long sat_count = 0;
+    for (const auto b : sat) {
+      tracker.observe(b != 0);
+      sat_count += b ? 1 : 0;
+    }
+    const DecisionStats got = tracker.finalize();
+    EXPECT_EQ(got.mean_rounds, want.mean_rounds) << "rep=" << rep;
+    EXPECT_EQ(got.censored_fraction, want.censored_fraction);
+    EXPECT_EQ(tracker.satisfied_rounds(), sat_count);
+  }
+}
+
+TEST(Streaming, MeasureRunStreamingMatchesVectorPipeline) {
+  // One (timeout, run) trial both ways: classic measure_run + incidence +
+  // decision_stats vs the fused streaming path, same sampler sub-stream,
+  // same start_rng. Everything must agree bit-for-bit — this is the
+  // invariant that lets run_experiment use the fast path while keeping
+  // the figure outputs byte-identical.
+  const int n = 8;
+  const int rounds = 120;
+  const int start_points = 15;
+  const std::array<int, kNumModels> needed = {3, 3, 4, 5};
+  const ProcessId leader = 2;
+
+  IidTimelinessSampler vec_sampler(n, 0.9, 0xfeedfaceULL);
+  RunMeasurement m = measure_run(vec_sampler, rounds, leader);
+  Rng vec_rng = substream(7, 3);
+  std::array<double, kNumModels> want_rounds{};
+  std::array<double, kNumModels> want_censored{};
+  for (TimingModel tm : kAllModels) {
+    const auto idx = static_cast<std::size_t>(model_index(tm));
+    const DecisionStats ds =
+        decision_stats(m.sat[idx], needed[idx], start_points, vec_rng);
+    want_rounds[idx] = ds.mean_rounds;
+    want_censored[idx] = ds.censored_fraction;
+  }
+
+  IidTimelinessSampler stream_sampler(n, 0.9, 0xfeedfaceULL);
+  Rng stream_rng = substream(7, 3);
+  const StreamedRun s = measure_run_streaming(
+      stream_sampler, rounds, leader, needed, start_points, stream_rng);
+
+  EXPECT_EQ(s.messages_total, m.messages_total);
+  EXPECT_EQ(s.messages_timely, m.messages_timely);
+  EXPECT_EQ(s.messages_late, m.messages_late);
+  EXPECT_EQ(s.messages_lost, m.messages_lost);
+  EXPECT_EQ(s.timely_fraction(), m.timely_fraction());
+  for (TimingModel tm : kAllModels) {
+    const auto idx = static_cast<std::size_t>(model_index(tm));
+    EXPECT_EQ(s.pm[idx], m.incidence(tm)) << to_string(tm);
+    EXPECT_EQ(s.mean_rounds[idx], want_rounds[idx]) << to_string(tm);
+    EXPECT_EQ(s.censored[idx], want_censored[idx]) << to_string(tm);
   }
 }
 
