@@ -7,107 +7,12 @@
 // instances over fresh WAN latency streams (stable designated leader =
 // the UK site) and we report the mean global decision round and the mean
 // per-instance message count.
-#include <iostream>
-#include <memory>
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_ablation_algorithms_live; the same run is reachable as
+// `timing_lab run ablation/algorithms_live`.
+#include "scenario/cli.hpp"
 
-#include "common/parallel.hpp"
-#include "common/stats.hpp"
-#include "common/table.hpp"
-#include "consensus/factory.hpp"
-#include "giraf/engine.hpp"
-#include "oracles/omega.hpp"
-#include "sim/latency_model.hpp"
-#include "sim/sampler.hpp"
-
-using namespace timing;
-
-namespace {
-
-struct Row {
-  double mean_rounds = 0.0;
-  double mean_msgs = 0.0;
-  double timely_pct = 0.0;
-  double late_pct = 0.0;
-  double lost_pct = 0.0;
-  int failures = 0;
-};
-
-struct Instance {
-  Round decided = -1;
-  EngineStats stats;
-};
-
-Row run_algo(AlgorithmKind kind, double timeout_ms, int instances) {
-  // Each instance is seeded by its index alone, so the parallel fan-out
-  // returns the same per-instance results for any TIMING_THREADS.
-  const auto outs = run_trials<Instance>(
-      static_cast<std::size_t>(instances), [&](std::size_t inst) {
-        WanProfile prof;
-        WanLatencyModel model(prof,
-                              0x1234 + static_cast<std::uint64_t>(inst) * 7919);
-        LatencyTimelinessSampler sampler(model, timeout_ms);
-        std::vector<Value> proposals;
-        for (int i = 0; i < 8; ++i) proposals.push_back(100 + i);
-        auto oracle = std::make_shared<DesignatedOracle>(WanLatencyModel::kUk);
-        RoundEngine engine(make_group(kind, proposals), oracle);
-        Instance out;
-        out.decided = engine.run(sampler, 400);
-        out.stats = engine.stats();
-        return out;
-      });
-  RunningStats rounds, msgs;
-  // Engine-side message-fate totals: the engine's own view of the
-  // simulated network quality, cross-checkable against the sampler's p.
-  long long sent = 0, timely = 0, late = 0, lost = 0;
-  int failures = 0;
-  for (const Instance& inst : outs) {
-    sent += inst.stats.messages_sent;
-    timely += inst.stats.timely_deliveries;
-    late += inst.stats.late_messages;
-    lost += inst.stats.lost_messages;
-    if (inst.decided < 0) {
-      ++failures;
-      continue;
-    }
-    rounds.add(static_cast<double>(inst.decided));
-    msgs.add(static_cast<double>(inst.stats.messages_sent));
-  }
-  const auto share = [&](long long part) {
-    return sent > 0 ? 100.0 * static_cast<double>(part) /
-                          static_cast<double>(sent)
-                    : 0.0;
-  };
-  return {rounds.mean(), msgs.mean(), share(timely), share(late),
-          share(lost), failures};
-}
-
-}  // namespace
-
-int main() {
-  constexpr int kInstances = 60;
-  const AlgorithmKind kinds[] = {AlgorithmKind::kWlm, AlgorithmKind::kLm3,
-                                 AlgorithmKind::kAfm5, AlgorithmKind::kEs3,
-                                 AlgorithmKind::kLmOverWlm,
-                                 AlgorithmKind::kPaxos};
-  for (double timeout : {160.0, 200.0, 260.0}) {
-    Table t({"algorithm", "mean rounds to global decision", "mean messages",
-             "timely%", "late%", "lost%", "undecided@400r"});
-    for (AlgorithmKind k : kinds) {
-      const Row r = run_algo(k, timeout, kInstances);
-      t.add_row({to_string(k), Table::num(r.mean_rounds, 2),
-                 Table::num(r.mean_msgs, 0), Table::num(r.timely_pct, 1),
-                 Table::num(r.late_pct, 1), Table::num(r.lost_pct, 1),
-                 Table::integer(r.failures)});
-    }
-    t.print(std::cout, "Actual algorithm executions over the simulated WAN, "
-                       "timeout = " +
-                           Table::num(timeout, 0) + " ms, " +
-                           std::to_string(kInstances) + " instances");
-    std::cout << "\n";
-  }
-  std::cout
-      << "Algorithm 2 (O(n) messages) decides in nearly the same number of\n"
-         "rounds as the Theta(n^2) <>LM algorithm while sending a fraction\n"
-         "of the messages - the paper's headline result, on live runs.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("ablation/algorithms_live", argc, argv);
 }

@@ -7,55 +7,12 @@
 // Appendix C asymptotics: ES collapses quadratically-exponentially, the
 // leader models degrade like p^n, <>AFM IMPROVES with n (majorities
 // concentrate).
-#include <iostream>
-#include <vector>
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_ablation_group_size; the same run is reachable as
+// `timing_lab run ablation/group_size`.
+#include "scenario/cli.hpp"
 
-#include "common/parallel.hpp"
-#include "common/rng.hpp"
-#include "common/table.hpp"
-#include "harness/measurement.hpp"
-#include "models/timing_model.hpp"
-#include "sim/sampler.hpp"
-
-using namespace timing;
-
-int main() {
-  const double p = 0.95;
-  const int rounds = 4000;
-  Table t({"n", "P_ES", "P_AFM", "P_LM", "P_WLM", "rounds ES(3)",
-           "AFM(5)", "LM(3)", "WLM(4)"});
-  const std::vector<int> ns = {4, 6, 8, 12, 16, 24, 32, 48};
-  // One measurement run per group size, fanned over the pool; sampler
-  // seeds depend only on n, so the sweep is thread-count-invariant.
-  const auto runs = measure_runs(
-      static_cast<int>(ns.size()),
-      [&](int i) -> std::unique_ptr<TimelinessSampler> {
-        const int n = ns[static_cast<std::size_t>(i)];
-        return std::make_unique<IidTimelinessSampler>(n, p, 0xabc + n);
-      },
-      rounds, /*leader=*/0);
-  for (std::size_t i = 0; i < ns.size(); ++i) {
-    const RunMeasurement& m = runs[i];
-    Rng rng(7);
-    auto window = [&](TimingModel model, int needed) {
-      const auto ds = decision_stats(
-          m.sat[static_cast<std::size_t>(model_index(model))], needed, 40, rng);
-      return (ds.censored_fraction > 0.5 ? ">=" : "") +
-             Table::num(ds.mean_rounds, 1);
-    };
-    t.add_row({Table::integer(ns[i]),
-               Table::num(m.incidence(TimingModel::kEs), 3),
-               Table::num(m.incidence(TimingModel::kAfm), 3),
-               Table::num(m.incidence(TimingModel::kLm), 3),
-               Table::num(m.incidence(TimingModel::kWlm), 3),
-               window(TimingModel::kEs, 3), window(TimingModel::kAfm, 5),
-               window(TimingModel::kLm, 3), window(TimingModel::kWlm, 4)});
-  }
-  t.print(std::cout,
-          "Group-size sweep, IID p = 0.95 (measured; compare Appendix C). "
-          "'>=' marks censored (4000-round run ended first).");
-  std::cout << "\nChoosing a timing model depends on n as much as on p: at "
-               "n = 48, <>AFM's conditions hold essentially always while "
-               "ES's never do.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("ablation/group_size", argc, argv);
 }

@@ -6,112 +6,12 @@
 // round numbers as timestamps plus the majApproved certificate and
 // decides in a constant number of rounds under the same adversary.
 //
-// Setup: acceptors are pre-seeded with staggered promised ballots
-// (emulating pre-GSR contention). From round 1 the network is
-// minimally-<>WLM-conforming and ADVERSARIAL: the leader's column is
-// timely, and the majority into the leader always consists of the
-// lowest-promised acceptors plus exactly one "fresh" high-promise
-// acceptor, revealed tier by tier.
-#include <iostream>
-#include <memory>
-#include <vector>
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body (adversarial schedule construction included) is
+// run_ablation_paxos_recovery; the same run is reachable as
+// `timing_lab run ablation/paxos_recovery`.
+#include "scenario/cli.hpp"
 
-#include "common/parallel.hpp"
-#include "common/table.hpp"
-#include "consensus/paxos.hpp"
-#include "consensus/wlm.hpp"
-#include "giraf/engine.hpp"
-#include "oracles/omega.hpp"
-
-using namespace timing;
-
-namespace {
-
-struct RunResult {
-  Round decision_round = -1;
-  int ballots = 0;
-};
-
-// Builds the adversarial <>WLM-conforming matrix for one round.
-LinkMatrix adversary_matrix(int n, ProcessId leader, int reveal_index) {
-  const int maj = majority_size(n);
-  LinkMatrix a(n, kLost);
-  for (ProcessId i = 0; i < n; ++i) a.set(i, i, 0);
-  for (ProcessId d = 0; d < n; ++d) a.set(d, leader, 0);  // leader n-source
-  // Low group: acceptors 1 .. maj-2 (seeded with the lowest promises).
-  for (ProcessId s = 1; s <= maj - 2; ++s) a.set(leader, s, 0);
-  // One rotating high-promise acceptor.
-  const ProcessId fresh = static_cast<ProcessId>(
-      std::min(n - 1, maj - 1 + reveal_index));
-  a.set(leader, fresh, 0);
-  return a;
-}
-
-RunResult run_paxos(int n) {
-  const ProcessId leader = 0;
-  std::vector<std::unique_ptr<Protocol>> group;
-  std::vector<PaxosConsensus*> raw;
-  for (ProcessId i = 0; i < n; ++i) {
-    auto p = std::make_unique<PaxosConsensus>(i, n, 100 + i);
-    raw.push_back(p.get());
-    group.push_back(std::move(p));
-  }
-  for (ProcessId i = 1; i < n; ++i) raw[i]->seed_promise(1000 * i);
-  auto oracle = std::make_shared<DesignatedOracle>(leader);
-  RoundEngine engine(std::move(group), oracle);
-  for (Round k = 1; k <= 40 * n; ++k) {
-    const int reveal = std::max(0, raw[0]->ballots_started() - 1);
-    engine.step(adversary_matrix(n, leader, reveal));
-    if (engine.all_alive_decided()) {
-      return {engine.global_decision_round(), raw[0]->ballots_started()};
-    }
-  }
-  return {-1, raw[0]->ballots_started()};
-}
-
-RunResult run_wlm(int n) {
-  const ProcessId leader = 0;
-  std::vector<std::unique_ptr<Protocol>> group;
-  for (ProcessId i = 0; i < n; ++i) {
-    group.push_back(std::make_unique<WlmConsensus>(i, n, 100 + i));
-  }
-  auto oracle = std::make_shared<DesignatedOracle>(leader);
-  RoundEngine engine(std::move(group), oracle);
-  int reveal = 0;
-  for (Round k = 1; k <= 40 * n; ++k) {
-    engine.step(adversary_matrix(n, leader, reveal));
-    ++reveal;  // rotate the "fresh" member every round: mobile majorities
-    if (engine.all_alive_decided()) {
-      return {engine.global_decision_round(), 0};
-    }
-  }
-  return {-1, 0};
-}
-
-}  // namespace
-
-int main() {
-  Table t({"n", "Paxos rounds", "Paxos ballots", "Algorithm 2 rounds"});
-  const std::vector<int> ns = {5, 7, 9, 11, 13, 15, 21, 31};
-  struct Point {
-    RunResult paxos, wlm;
-  };
-  const auto points = run_trials<Point>(ns.size(), [&](std::size_t i) {
-    return Point{run_paxos(ns[i]), run_wlm(ns[i])};
-  });
-  for (std::size_t i = 0; i < ns.size(); ++i) {
-    t.add_row({Table::integer(ns[i]),
-               Table::integer(points[i].paxos.decision_round),
-               Table::integer(points[i].paxos.ballots),
-               Table::integer(points[i].wlm.decision_round)});
-  }
-  t.print(std::cout,
-          "Ablation ([13] / Section 3): global decision under an "
-          "adversarial minimally-<>WLM schedule with staggered pre-GSR "
-          "ballots. Paxos recovery grows linearly with n; Algorithm 2 is "
-          "constant.");
-  std::cout << "\nNote: every round of the schedule satisfies <>WLM "
-               "(leader column timely + a majority into the leader), yet "
-               "Paxos's 'chase' pays ~2 rounds per hidden ballot tier.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("ablation/paxos_recovery", argc, argv);
 }

@@ -4,7 +4,7 @@
 //
 // <>LM and <>WLM are equivalent under classical (CHT) reducibility - the
 // Appendix B simulation proves one direction, the other is trivial - but
-// the REDUCTION ITSELF is expensive. This bench makes that concrete by
+// the REDUCTION ITSELF is expensive. The runner makes that concrete by
 // running the three <>WLM options over a stable network and accounting,
 // with the real wire codec, for (a) messages per stable round, (b) BYTES
 // per stable round, and (c) rounds to decision:
@@ -15,162 +15,12 @@
 //                                  simulated round;
 //   * LM-3 run natively (needs the stronger <>LM network): O(n^2) small
 //                                  messages.
-#include <algorithm>
-#include <iostream>
-#include <memory>
-#include <vector>
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_ablation_simulation_cost; the same run is reachable as
+// `timing_lab run ablation/simulation_cost`.
+#include "scenario/cli.hpp"
 
-#include "common/parallel.hpp"
-#include "common/table.hpp"
-#include "consensus/factory.hpp"
-#include "giraf/engine.hpp"
-#include "models/schedule.hpp"
-#include "net/codec.hpp"
-#include "net/transport.hpp"
-#include "oracles/omega.hpp"
-
-using namespace timing;
-
-namespace {
-
-struct Cost {
-  Round decision_round = -1;
-  long long stable_msgs = 0;
-  long long stable_bytes = 0;
-};
-
-// Byte accounting needs message contents; we intercept by wrapping each
-// protocol and encoding what it sends.
-class ByteCounter final : public Protocol {
- public:
-  ByteCounter(std::unique_ptr<Protocol> inner, long long* bytes,
-              long long* msgs)
-      : inner_(std::move(inner)), bytes_(bytes), msgs_(msgs) {}
-
-  SendSpec initialize(ProcessId hint) override {
-    return count(inner_->initialize(hint));
-  }
-  SendSpec compute(Round k, const RoundMsgs& received,
-                   ProcessId hint) override {
-    return count(inner_->compute(k, received, hint));
-  }
-  bool has_decided() const noexcept override { return inner_->has_decided(); }
-  Value decision() const noexcept override { return inner_->decision(); }
-
- private:
-  SendSpec count(SendSpec spec) {
-    Bytes wire;
-    encode(Envelope{0, 0, spec.msg}, wire);
-    long long copies = 0;
-    for (ProcessId d : spec.dests) {
-      if (d != self_counted_) ++copies;
-    }
-    // Destination lists never include duplicates in our protocols; self
-    // is skipped by the engine.
-    *bytes_ = static_cast<long long>(wire.size()) * copies;
-    *msgs_ = copies;
-    return spec;
-  }
-
-  std::unique_ptr<Protocol> inner_;
-  long long* bytes_;
-  long long* msgs_;
-  ProcessId self_counted_ = kNoProcess;  // self never in dests for our protos
-};
-
-Cost run(AlgorithmKind kind, TimingModel network, int n) {
-  std::vector<long long> bytes(static_cast<std::size_t>(n), 0);
-  std::vector<long long> msgs(static_cast<std::size_t>(n), 0);
-  std::vector<std::unique_ptr<Protocol>> group;
-  for (ProcessId i = 0; i < n; ++i) {
-    group.push_back(std::make_unique<ByteCounter>(
-        make_protocol(kind, i, n, 100 + i), &bytes[static_cast<std::size_t>(i)],
-        &msgs[static_cast<std::size_t>(i)]));
-  }
-  auto oracle = std::make_shared<DesignatedOracle>(0);
-  RoundEngine engine(std::move(group), oracle);
-
-  ScheduleConfig sched;
-  sched.n = n;
-  sched.model = network;
-  sched.leader = 0;
-  sched.gsr = 1;  // stable from the start: measure the steady state
-  sched.seed = 77;
-  ScheduleSampler sampler(sched);
-
-  Cost cost;
-  LinkMatrix a(n);
-  std::vector<long long> round_msgs, round_bytes;
-  for (Round k = 1; k <= 200; ++k) {
-    sampler.sample_round(k, a);
-    engine.step(a);
-    long long m = 0, b = 0;
-    for (ProcessId i = 0; i < n; ++i) {
-      m += msgs[static_cast<std::size_t>(i)];
-      b += bytes[static_cast<std::size_t>(i)];
-    }
-    round_msgs.push_back(m);
-    round_bytes.push_back(b);
-    if (engine.all_alive_decided()) {
-      cost.decision_round = engine.global_decision_round();
-      break;
-    }
-  }
-  // Steady-state per-round cost: average the last two rounds, so the
-  // simulation's alternating relay/inner rounds are both represented
-  // (the relay rounds carry the O(n^3) payload).
-  const std::size_t have = round_msgs.size();
-  const std::size_t take = std::min<std::size_t>(2, have);
-  for (std::size_t i = have - take; i < have; ++i) {
-    cost.stable_msgs += round_msgs[i];
-    cost.stable_bytes += round_bytes[i];
-  }
-  cost.stable_msgs /= static_cast<long long>(take);
-  cost.stable_bytes /= static_cast<long long>(take);
-  return cost;
-}
-
-}  // namespace
-
-int main() {
-  const std::vector<int> ns = {8, 16, 32};
-  // The 3x3 (group size x protocol option) grid runs as independent
-  // trials on the thread pool; rows are emitted in grid order below.
-  struct Cell {
-    Cost direct, simulated, native;
-  };
-  const auto cells = run_trials<Cell>(ns.size(), [&](std::size_t i) {
-    const int n = ns[i];
-    return Cell{run(AlgorithmKind::kWlm, TimingModel::kWlm, n),
-                run(AlgorithmKind::kLmOverWlm, TimingModel::kWlm, n),
-                run(AlgorithmKind::kLm3, TimingModel::kLm, n)};
-  });
-  for (std::size_t i = 0; i < ns.size(); ++i) {
-    const int n = ns[i];
-    Table t({"protocol", "network", "decision round", "msgs/round",
-             "bytes/round"});
-    const Cost& direct = cells[i].direct;
-    const Cost& simulated = cells[i].simulated;
-    const Cost& native = cells[i].native;
-    t.add_row({"Algorithm 2 (direct)", "<>WLM",
-               Table::integer(direct.decision_round),
-               Table::integer(direct.stable_msgs),
-               Table::integer(direct.stable_bytes)});
-    t.add_row({"LM-3 over Algorithm 3", "<>WLM",
-               Table::integer(simulated.decision_round),
-               Table::integer(simulated.stable_msgs),
-               Table::integer(simulated.stable_bytes)});
-    t.add_row({"LM-3 native", "<>LM (stronger!)",
-               Table::integer(native.decision_round),
-               Table::integer(native.stable_msgs),
-               Table::integer(native.stable_bytes)});
-    t.print(std::cout, "n = " + std::to_string(n));
-    std::cout << "\n";
-  }
-  std::cout
-      << "Classical reducibility calls <>LM and <>WLM equivalent; the wire\n"
-         "bill disagrees: the Appendix B reduction inflates both the round\n"
-         "count (x2+2) and the traffic (O(n^3) bytes/round), while the\n"
-         "paper's direct Algorithm 2 stays at O(n) small messages.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("ablation/simulation_cost", argc, argv);
 }

@@ -8,95 +8,12 @@
 // instance sequences with a stable leader and report, per algorithm,
 // rounds and messages per command - Algorithm 2's O(n) advantage
 // compounds across the log.
-#include <iostream>
-#include <memory>
-#include <vector>
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_ablation_smr_cost; the same run is reachable as
+// `timing_lab run ablation/smr_cost`.
+#include "scenario/cli.hpp"
 
-#include "common/parallel.hpp"
-#include "common/table.hpp"
-#include "models/schedule.hpp"
-#include "smr/smr.hpp"
-
-using namespace timing;
-
-namespace {
-
-struct PerCommand {
-  double rounds = 0.0;
-  double messages = 0.0;
-  int decided = 0;
-};
-
-PerCommand run_sequence(AlgorithmKind kind, int n, int commands) {
-  SmrGroupConfig cfg;
-  cfg.n = n;
-  cfg.algorithm = kind;
-  cfg.leader = 0;
-  std::vector<std::unique_ptr<StateMachine>> machines;
-  for (int i = 0; i < n; ++i) {
-    machines.push_back(std::make_unique<KvStateMachine>());
-  }
-  SmrGroup group(cfg, std::move(machines));
-
-  PerCommand out;
-  long long rounds_total = 0;
-  for (int c = 0; c < commands; ++c) {
-    std::vector<Command> proposals;
-    for (int i = 0; i < n; ++i) {
-      proposals.push_back(make_kv_command(static_cast<std::uint32_t>(c % 16),
-                                          static_cast<std::uint32_t>(c + i)));
-    }
-    ScheduleConfig sched;
-    sched.n = n;
-    sched.model = kind == AlgorithmKind::kLm3 ? TimingModel::kLm
-                                              : TimingModel::kWlm;
-    sched.leader = 0;
-    sched.gsr = 1;  // stable regime: the common case the paper optimises
-    sched.seed = 0x1000 + static_cast<std::uint64_t>(c);
-    ScheduleSampler network(sched);
-    const auto r = group.run_instance(proposals, network);
-    if (!r.decided) continue;
-    ++out.decided;
-    rounds_total += r.rounds;
-  }
-  out.rounds = out.decided ? static_cast<double>(rounds_total) / out.decided
-                           : 0.0;
-  // Messages per command: rounds x per-round complexity of the pattern.
-  const double per_round = kind == AlgorithmKind::kWlm
-                               ? 2.0 * (n - 1)
-                               : static_cast<double>(n) * (n - 1);
-  out.messages = out.rounds * per_round;
-  return out;
-}
-
-}  // namespace
-
-int main() {
-  constexpr int kCommands = 50;
-  Table t({"n", "Alg2 rounds/cmd", "Alg2 msgs/cmd", "LM-3 rounds/cmd",
-           "LM-3 msgs/cmd", "msg ratio"});
-  const std::vector<int> ns = {4, 8, 16, 32, 64};
-  struct Point {
-    PerCommand wlm, lm;
-  };
-  const auto points = run_trials<Point>(ns.size(), [&](std::size_t i) {
-    return Point{run_sequence(AlgorithmKind::kWlm, ns[i], kCommands),
-                 run_sequence(AlgorithmKind::kLm3, ns[i], kCommands)};
-  });
-  for (std::size_t i = 0; i < ns.size(); ++i) {
-    const PerCommand& wlm = points[i].wlm;
-    const PerCommand& lm = points[i].lm;
-    t.add_row({Table::integer(ns[i]), Table::num(wlm.rounds, 2),
-               Table::num(wlm.messages, 0), Table::num(lm.rounds, 2),
-               Table::num(lm.messages, 0),
-               Table::num(lm.messages / wlm.messages, 1)});
-  }
-  t.print(std::cout,
-          "Steady-state replication cost per committed command (stable "
-          "leader, stable network, 50 commands per point)");
-  std::cout << "\nAlgorithm 2 pays ~1 extra round per command and saves a\n"
-               "factor ~n/2 in messages - at n = 64 every command costs\n"
-               "hundreds of messages less. This is the paper's tradeoff\n"
-               "expressed in the unit operators care about.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("ablation/smr_cost", argc, argv);
 }

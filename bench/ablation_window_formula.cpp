@@ -7,87 +7,17 @@
 // share failures). This bench quantifies the gap against a Monte-Carlo
 // simulation of the very process the formula models.
 //
-// Conclusion printed below: the gap is a constant factor ~1/(1-P) only
-// when decisions are slow anyway; at the operating points the paper
-// cares about (P close to 1) the three values coincide, so none of the
-// paper's conclusions are affected - but quantitative users of Figure 1
-// (a)/(b) should prefer the exact column.
-#include <iostream>
-#include <vector>
+// Conclusion printed by the runner: the gap is a constant factor
+// ~1/(1-P) only when decisions are slow anyway; at the operating points
+// the paper cares about (P close to 1) the three values coincide, so
+// none of the paper's conclusions are affected - but quantitative users
+// of Figure 1(a)/(b) should prefer the exact column.
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_ablation_window_formula; the same run is reachable as
+// `timing_lab run ablation/window_formula`.
+#include "scenario/cli.hpp"
 
-#include "analysis/equations.hpp"
-#include "common/parallel.hpp"
-#include "common/rng.hpp"
-#include "common/stats.hpp"
-#include "common/table.hpp"
-
-using namespace timing;
-using namespace timing::analysis;
-
-namespace {
-
-double monte_carlo(double p_round, int needed, int trials, Rng& rng) {
-  RunningStats stats;
-  for (int t = 0; t < trials; ++t) {
-    int streak = 0;
-    int round = 0;
-    for (;;) {
-      ++round;
-      streak = rng.bernoulli(p_round) ? streak + 1 : 0;
-      if (streak >= needed) break;
-      if (round > 100000000) break;  // unreachable at these parameters
-    }
-    stats.add(round);
-  }
-  return stats.mean();
-}
-
-}  // namespace
-
-int main() {
-  Table t({"P (round ok)", "R", "paper E(D)", "exact E(D)", "Monte-Carlo",
-           "paper/exact"});
-  struct GridCell {
-    int r;
-    double p;
-  };
-  std::vector<GridCell> grid;
-  for (int r : {3, 4, 5, 7}) {
-    for (double p : {0.5, 0.7, 0.9, 0.95, 0.99}) grid.push_back({r, p});
-  }
-  // Each grid cell simulates on its own counter-based sub-stream, so the
-  // fan-out stays reproducible (the former shared Rng would have made
-  // results depend on execution order).
-  const auto mcs = run_trials<double>(grid.size(), [&](std::size_t i) {
-    Rng rng = substream(20240707, i);
-    return monte_carlo(grid[i].p, grid[i].r, 20000, rng);
-  });
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    const double paper = expected_rounds(grid[i].p, grid[i].r);
-    const double exact = exact_expected_rounds(grid[i].p, grid[i].r);
-    t.add_row({Table::num(grid[i].p, 2), Table::integer(grid[i].r),
-               Table::num(paper, 2), Table::num(exact, 2),
-               Table::num(mcs[i], 2), Table::num(paper / exact, 3)});
-  }
-  t.print(std::cout,
-          "Window-formula ablation: the paper's E(D) = P^-R + (R-1) vs "
-          "the exact run-of-R renewal expectation vs simulation");
-
-  std::cout << "\nEffect on Figure 1(b) (n=8): expected rounds, paper vs "
-               "exact formula\n";
-  Table f({"p", "<>WLM direct paper", "exact", "<>LM paper", "exact",
-           "<>AFM paper", "exact"});
-  for (double p : {0.90, 0.92, 0.95, 0.97, 0.99}) {
-    f.add_row({Table::num(p, 2),
-               Table::num(e_rounds_wlm_direct(8, p), 1),
-               Table::num(e_rounds_exact(AnalyzedAlgorithm::kWlmDirect, 8, p), 1),
-               Table::num(e_rounds_lm(8, p), 1),
-               Table::num(e_rounds_exact(AnalyzedAlgorithm::kLm3, 8, p), 1),
-               Table::num(e_rounds_afm(8, p), 1),
-               Table::num(e_rounds_exact(AnalyzedAlgorithm::kAfm5, 8, p), 1)});
-  }
-  f.print(std::cout);
-  std::cout << "\nThe model ranking at every p is unchanged; only the "
-               "absolute round counts shift where P_M is far from 1.\n";
-  return 0;
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("ablation/window_formula", argc, argv);
 }

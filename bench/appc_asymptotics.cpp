@@ -6,43 +6,12 @@
 //  * <>AFM approaches the constant 5 rounds (Lemma 13, via a Chernoff
 //    bound), i.e. for large groups the all-from-majority requirements are
 //    almost always satisfied.
-#include <cmath>
-#include <iostream>
-#include <string>
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_appc_asymptotics; the same run is reachable as
+// `timing_lab run appc`.
+#include "scenario/cli.hpp"
 
-#include "analysis/equations.hpp"
-#include "common/table.hpp"
-
-using namespace timing;
-using namespace timing::analysis;
-
-int main() {
-  const double p = 0.95;
-  Table t({"n", "log10 E(D_ES)", "log10 E(D_LM)", "log10 E(D_WLM,4r)",
-           "log10 E(D_WLM,7r)", "E(D_AFM)", "AFM Chernoff UB"});
-  for (int n : {4, 8, 16, 32, 64, 128, 256, 512}) {
-    const double afm = e_rounds_afm(n, p);
-    const double ub = afm_chernoff_upper_bound(n, p);
-    t.add_row({Table::integer(n),
-               Table::num(log10_e_rounds(AnalyzedAlgorithm::kEs3, n, p), 2),
-               Table::num(log10_e_rounds(AnalyzedAlgorithm::kLm3, n, p), 2),
-               Table::num(log10_e_rounds(AnalyzedAlgorithm::kWlmDirect, n, p), 2),
-               Table::num(log10_e_rounds(AnalyzedAlgorithm::kWlmSimulated, n, p), 2),
-               Table::num(afm, 3),
-               std::isinf(ub) ? std::string("inf") : Table::num(ub, 3)});
-  }
-  t.print(std::cout,
-          "Appendix C: asymptotics of expected decision time in n "
-          "(p = 0.95). ES/LM/WLM diverge; AFM -> 5.");
-
-  std::cout << "\nAFM convergence to 5 rounds for several p:\n";
-  Table t2({"p", "E(D_AFM) n=8", "n=32", "n=128", "n=512"});
-  for (double q : {0.6, 0.75, 0.9, 0.95}) {
-    t2.add_row({Table::num(q, 2), Table::num(e_rounds_afm(8, q), 2),
-                Table::num(e_rounds_afm(32, q), 2),
-                Table::num(e_rounds_afm(128, q), 2),
-                Table::num(e_rounds_afm(512, q), 2)});
-  }
-  t2.print(std::cout);
-  return 0;
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("appc", argc, argv);
 }

@@ -8,28 +8,12 @@
 //    message complexity from Theta(n^2) to O(n);
 //  * the simulated <>WLM (the <>LM algorithm over Algorithm 3) is clearly
 //    worse than the direct one (7 conforming rounds vs 4).
-#include <iostream>
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_fig1a, parameters come from the "fig1a" entry, and the same
+// run is reachable as `timing_lab run fig1a [key=value ...]`.
+#include "scenario/cli.hpp"
 
-#include "analysis/equations.hpp"
-#include "common/table.hpp"
-
-using namespace timing;
-using namespace timing::analysis;
-
-int main() {
-  constexpr int n = 8;
-  Table t({"p", "ES(3r)", "<>AFM(5r)", "<>LM(3r)", "<>WLM direct(4r)",
-           "<>WLM simulated(7r)"});
-  for (double p = 1.0; p >= 0.98999; p -= 0.001) {
-    t.add_row({Table::num(p, 3),
-               Table::num(e_rounds_es(n, p), 2),
-               Table::num(e_rounds_afm(n, p), 2),
-               Table::num(e_rounds_lm(n, p), 2),
-               Table::num(e_rounds_wlm_direct(n, p), 2),
-               Table::num(e_rounds_wlm_simulated(n, p), 2)});
-  }
-  t.print(std::cout,
-          "Figure 1(a): E[rounds to global decision] vs p (IID analysis, "
-          "n=8, high p)");
-  return 0;
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("fig1a", argc, argv);
 }

@@ -5,42 +5,11 @@
 // p ~ 0.96; the direct <>WLM algorithm overtakes <>AFM near the top of
 // the range; the simulated <>WLM is far worse than the direct one
 // (e.g. p = 0.92: 18 vs 114 rounds; p = 0.85: AFM 10 vs LM 69).
-#include <iostream>
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_fig1b; the same run is reachable as `timing_lab run fig1b`.
+#include "scenario/cli.hpp"
 
-#include "analysis/equations.hpp"
-#include "common/table.hpp"
-
-using namespace timing;
-using namespace timing::analysis;
-
-int main() {
-  constexpr int n = 8;
-  Table t({"p", "<>AFM(5r)", "<>LM(3r)", "<>WLM direct(4r)",
-           "<>WLM simulated(7r)", "ES(3r, off-chart)"});
-  for (double p = 0.90; p <= 0.9951; p += 0.005) {
-    t.add_row({Table::num(p, 3),
-               Table::num(e_rounds_afm(n, p), 1),
-               Table::num(e_rounds_lm(n, p), 1),
-               Table::num(e_rounds_wlm_direct(n, p), 1),
-               Table::num(e_rounds_wlm_simulated(n, p), 1),
-               Table::num(e_rounds_es(n, p), 0)});
-  }
-  t.print(std::cout,
-          "Figure 1(b): E[rounds to global decision] vs p (IID analysis, "
-          "n=8, p in [0.9, 1))");
-
-  std::cout << "\nPaper spot values (Section 4.2):\n";
-  std::cout << "  ES at p=0.97:            " << Table::num(e_rounds_es(n, 0.97), 0)
-            << " rounds   (paper: 349)\n";
-  std::cout << "  <>WLM direct at p=0.92:  "
-            << Table::num(e_rounds_wlm_direct(n, 0.92), 0)
-            << " rounds   (paper: 18)\n";
-  std::cout << "  <>WLM simulated at 0.92: "
-            << Table::num(e_rounds_wlm_simulated(n, 0.92), 0)
-            << " rounds   (paper: 114)\n";
-  std::cout << "  <>AFM at p=0.85:         " << Table::num(e_rounds_afm(n, 0.85), 0)
-            << " rounds   (paper: 10)\n";
-  std::cout << "  <>LM at p=0.85:          " << Table::num(e_rounds_lm(n, 0.85), 0)
-            << " rounds   (paper: 69)\n";
-  return 0;
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("fig1b", argc, argv);
 }

@@ -9,52 +9,11 @@
 //    machine), with <>AFM above <>LM (the leader column costs extra);
 //  * with a well-connected leader, <>WLM beats everything; with an
 //    average leader, leader-based models need much bigger timeouts.
-#include <iostream>
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_fig1c; the same run is reachable as `timing_lab run fig1c`.
+#include "scenario/cli.hpp"
 
-#include "analysis/equations.hpp"
-#include "bench_util.hpp"
-#include "common/table.hpp"
-#include "oracles/omega.hpp"
-
-using namespace timing;
-using namespace timing::analysis;
-
-namespace {
-
-void sweep(const ExperimentConfig& cfg, const char* caption) {
-  const auto rs = run_experiment(cfg);
-  Table t({"timeout(ms)", "p", "P_ES", "pred", "P_AFM", "pred", "P_LM",
-           "pred", "P_WLM", "pred"});
-  for (const auto& r : rs) {
-    t.add_row({Table::num(r.timeout_ms, 2), Table::num(r.mean_p, 3),
-               Table::num(r.models[model_index(TimingModel::kEs)].mean_pm, 3),
-               Table::num(p_es(8, r.mean_p), 3),
-               Table::num(r.models[model_index(TimingModel::kAfm)].mean_pm, 3),
-               Table::num(p_afm(8, r.mean_p), 3),
-               Table::num(r.models[model_index(TimingModel::kLm)].mean_pm, 3),
-               Table::num(p_lm(8, r.mean_p), 3),
-               Table::num(r.models[model_index(TimingModel::kWlm)].mean_pm, 3),
-               Table::num(p_wlm(8, r.mean_p), 3)});
-  }
-  t.print(std::cout, caption);
-  std::cout << "\n";
-}
-
-}  // namespace
-
-int main() {
-  ExperimentConfig good = timing::bench::lan_config();
-  std::cout << "Good (well-connected) leader: node "
-            << resolve_leader(good) << "\n";
-  sweep(good,
-        "Figure 1(c): LAN, measured vs IID-predicted P_M per timeout "
-        "(well-connected leader)");
-
-  ExperimentConfig avg = good;
-  avg.leader = pick_average_leader(expected_rtt_matrix(good));
-  std::cout << "Average leader: node " << avg.leader << "\n";
-  sweep(avg,
-        "Figure 1(c) variant: the same sweep with an average leader "
-        "(<>LM / <>WLM need bigger timeouts, Section 5.2)");
-  return 0;
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("fig1c", argc, argv);
 }

@@ -4,22 +4,11 @@
 //
 // Anchor points from the paper: ~0.88 @ 160 ms, ~0.90 @ 170 ms,
 // ~0.95 @ 200 ms, ~0.96 @ 210 ms.
-#include <iostream>
-
-#include "bench_util.hpp"
-#include "common/table.hpp"
-
-using namespace timing;
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_fig1d; the same run is reachable as `timing_lab run fig1d`.
+#include "scenario/cli.hpp"
 
 int main(int argc, char** argv) {
-  const bool csv = timing::bench::csv_mode(argc, argv);
-  const auto rs = run_experiment(timing::bench::wan_config());
-  Table t({"timeout(ms)", "p (fraction timely)"});
-  for (const auto& r : rs) {
-    t.add_row({Table::num(r.timeout_ms, 0), Table::num(r.mean_p, 3)});
-  }
-  timing::bench::emit(t, csv, std::string() +
-          "Figure 1(d): WAN timeout -> fraction of timely messages "
-          "(8 PlanetLab-profile sites, 33 runs x 300 rounds)");
-  return 0;
+  return timing::scenario::bench_main("fig1d", argc, argv);
 }

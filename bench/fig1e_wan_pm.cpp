@@ -9,30 +9,11 @@
 //    P_ES = 0, P_AFM ~ 0.4, P_LM ~ 0.79, P_WLM ~ 0.94);
 //  * the CIs of <>AFM/<>LM/<>WLM shrink with the timeout while ES's CI
 //    GROWS (run-to-run spread from message loss).
-#include <iostream>
-
-#include "bench_util.hpp"
-#include "common/table.hpp"
-
-using namespace timing;
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_fig1e; the same run is reachable as `timing_lab run fig1e`.
+#include "scenario/cli.hpp"
 
 int main(int argc, char** argv) {
-  const bool csv = timing::bench::csv_mode(argc, argv);
-  const auto rs = run_experiment(timing::bench::wan_config());
-  Table t({"timeout(ms)", "P_ES +-ci", "P_AFM +-ci", "P_LM +-ci",
-           "P_WLM +-ci"});
-  auto cell = [](const ModelTimeoutStats& m) {
-    return Table::num(m.mean_pm, 3) + " +-" + Table::num(m.ci95_pm, 3);
-  };
-  for (const auto& r : rs) {
-    t.add_row({Table::num(r.timeout_ms, 0),
-               cell(r.models[model_index(TimingModel::kEs)]),
-               cell(r.models[model_index(TimingModel::kAfm)]),
-               cell(r.models[model_index(TimingModel::kLm)]),
-               cell(r.models[model_index(TimingModel::kWlm)])});
-  }
-  timing::bench::emit(t, csv, std::string() +
-          "Figure 1(e): WAN, measured P_M per timeout (mean over 33 runs, "
-          "95% CI)");
-  return 0;
+  return timing::scenario::bench_main("fig1e", argc, argv);
 }

@@ -10,25 +10,11 @@
 //    variance; <>WLM is consistently high;
 //  * for long timeouts the leader/majority models' variance goes to ~0
 //    while ES remains (or grows) noisy.
-#include <iostream>
-
-#include "bench_util.hpp"
-#include "common/table.hpp"
-
-using namespace timing;
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_fig1f; the same run is reachable as `timing_lab run fig1f`.
+#include "scenario/cli.hpp"
 
 int main(int argc, char** argv) {
-  const bool csv = timing::bench::csv_mode(argc, argv);
-  const auto rs = run_experiment(timing::bench::wan_config());
-  Table t({"timeout(ms)", "var P_ES", "var P_AFM", "var P_LM", "var P_WLM"});
-  for (const auto& r : rs) {
-    t.add_row({Table::num(r.timeout_ms, 0),
-               Table::num(r.models[model_index(TimingModel::kEs)].var_pm, 4),
-               Table::num(r.models[model_index(TimingModel::kAfm)].var_pm, 4),
-               Table::num(r.models[model_index(TimingModel::kLm)].var_pm, 4),
-               Table::num(r.models[model_index(TimingModel::kWlm)].var_pm, 4)});
-  }
-  timing::bench::emit(t, csv, std::string() +
-          "Figure 1(f): WAN, across-run variance of P_M per timeout");
-  return 0;
+  return timing::scenario::bench_main("fig1f", argc, argv);
 }

@@ -10,30 +10,11 @@
 //  * <>AFM needs more rounds than both below ~230 ms;
 //  * ES windows essentially never occur at short timeouts (censored: the
 //    300-round run ends first; reported values are lower bounds).
-#include <iostream>
-
-#include "bench_util.hpp"
-#include "common/table.hpp"
-
-using namespace timing;
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_fig1g; the same run is reachable as `timing_lab run fig1g`.
+#include "scenario/cli.hpp"
 
 int main(int argc, char** argv) {
-  const bool csv = timing::bench::csv_mode(argc, argv);
-  const auto rs = run_experiment(timing::bench::wan_config());
-  Table t({"timeout(ms)", "ES(3r)", "cens", "<>AFM(5r)", "<>LM(3r)",
-           "<>WLM(4r)"});
-  for (const auto& r : rs) {
-    const auto& es = r.models[model_index(TimingModel::kEs)];
-    t.add_row({Table::num(r.timeout_ms, 0),
-               (es.censored_fraction > 0 ? ">=" : "") +
-                   Table::num(es.mean_rounds, 1),
-               Table::num(es.censored_fraction, 2),
-               Table::num(r.models[model_index(TimingModel::kAfm)].mean_rounds, 1),
-               Table::num(r.models[model_index(TimingModel::kLm)].mean_rounds, 1),
-               Table::num(r.models[model_index(TimingModel::kWlm)].mean_rounds, 1)});
-  }
-  timing::bench::emit(t, csv, std::string() +
-          "Figure 1(g): WAN, average rounds until the global-decision "
-          "conditions hold ('cens' = fraction of censored ES windows)");
-  return 0;
+  return timing::scenario::bench_main("fig1g", argc, argv);
 }

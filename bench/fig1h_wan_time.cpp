@@ -2,28 +2,11 @@
 // decision hold: rounds x timeout. The interesting consequence (zoomed
 // in Figure 1(i)): a longer timeout lowers the round count but raises the
 // cost of each round, so each model has an optimal timeout.
-#include <iostream>
-
-#include "bench_util.hpp"
-#include "common/table.hpp"
-
-using namespace timing;
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_fig1h; the same run is reachable as `timing_lab run fig1h`.
+#include "scenario/cli.hpp"
 
 int main(int argc, char** argv) {
-  const bool csv = timing::bench::csv_mode(argc, argv);
-  const auto rs = run_experiment(timing::bench::wan_config());
-  Table t({"timeout(ms)", "ES(ms)", "<>AFM(ms)", "<>LM(ms)", "<>WLM(ms)"});
-  for (const auto& r : rs) {
-    const auto& es = r.models[model_index(TimingModel::kEs)];
-    t.add_row({Table::num(r.timeout_ms, 0),
-               (es.censored_fraction > 0 ? ">=" : "") +
-                   Table::num(es.mean_time_ms, 0),
-               Table::num(r.models[model_index(TimingModel::kAfm)].mean_time_ms, 0),
-               Table::num(r.models[model_index(TimingModel::kLm)].mean_time_ms, 0),
-               Table::num(r.models[model_index(TimingModel::kWlm)].mean_time_ms, 0)});
-  }
-  timing::bench::emit(t, csv, std::string() +
-          "Figure 1(h): WAN, average time (ms) until the global-decision "
-          "conditions hold (rounds x timeout)");
-  return 0;
+  return timing::scenario::bench_main("fig1h", argc, argv);
 }

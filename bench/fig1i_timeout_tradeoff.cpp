@@ -11,50 +11,11 @@
 //    the paper) - the price of cutting message complexity from Theta(n^2)
 //    to O(n);
 //  * at 180 ms <>WLM needs ~4.5 rounds, ~800 ms.
-#include <iostream>
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_fig1i; the same run is reachable as `timing_lab run fig1i`.
+#include "scenario/cli.hpp"
 
-#include "bench_util.hpp"
-#include "common/table.hpp"
-
-using namespace timing;
-
-int main() {
-  ExperimentConfig cfg = timing::bench::wan_config();
-  cfg.timeouts_ms = {140, 150, 160, 165, 170, 175, 180, 190,
-                     200, 210, 220, 230, 250, 270, 300};
-  const auto rs = run_experiment(cfg);
-
-  Table t({"timeout(ms)", "<>LM rounds", "<>LM time(ms)", "<>WLM rounds",
-           "<>WLM time(ms)"});
-  double best_lm = 1e18, best_lm_t = 0, best_wlm = 1e18, best_wlm_t = 0;
-  for (const auto& r : rs) {
-    const auto& lm = r.models[model_index(TimingModel::kLm)];
-    const auto& wlm = r.models[model_index(TimingModel::kWlm)];
-    if (lm.mean_time_ms < best_lm) {
-      best_lm = lm.mean_time_ms;
-      best_lm_t = r.timeout_ms;
-    }
-    if (wlm.mean_time_ms < best_wlm) {
-      best_wlm = wlm.mean_time_ms;
-      best_wlm_t = r.timeout_ms;
-    }
-    t.add_row({Table::num(r.timeout_ms, 0), Table::num(lm.mean_rounds, 1),
-               Table::num(lm.mean_time_ms, 0), Table::num(wlm.mean_rounds, 1),
-               Table::num(wlm.mean_time_ms, 0)});
-  }
-  t.print(std::cout,
-          "Figure 1(i): WAN, time to global-decision conditions vs "
-          "timeout, <>LM and <>WLM (fine sweep)");
-
-  std::cout << "\nOptimal timeouts (paper: ~170 ms / ~730 ms for <>WLM, "
-               "~210 ms / ~650 ms for <>LM, ~80 ms apart):\n";
-  std::cout << "  <>WLM: best timeout " << Table::num(best_wlm_t, 0)
-            << " ms -> " << Table::num(best_wlm, 0) << " ms to decision\n";
-  std::cout << "  <>LM:  best timeout " << Table::num(best_lm_t, 0)
-            << " ms -> " << Table::num(best_lm, 0) << " ms to decision\n";
-  std::cout << "  difference at the optima: "
-            << Table::num(best_wlm - best_lm, 0)
-            << " ms - the cost of dropping from Theta(n^2) to O(n) "
-               "stable-state messages\n";
-  return 0;
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("fig1i", argc, argv);
 }

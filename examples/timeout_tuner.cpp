@@ -6,35 +6,37 @@
 // the tuner sweeps round timeouts, measures for each model the expected
 // time until the conditions for global decision hold, and recommends the
 // optimal timeout per model together with the corresponding p - exactly
-// the analysis behind Figure 1(i).
+// the analysis behind Figure 1(i). The sweep is described declaratively
+// as a ScenarioSpec (src/scenario) and executed by the same kernel the
+// registered figure scenarios use.
 #include <cstring>
 #include <iostream>
 
 #include "common/table.hpp"
-#include "harness/experiments.hpp"
+#include "scenario/spec.hpp"
 
 using namespace timing;
 
 int main(int argc, char** argv) {
-  ExperimentConfig cfg;
-  cfg.runs = 25;
-  cfg.rounds_per_run = 300;
-  cfg.seed = 17;
+  scenario::ScenarioSpec spec;
+  spec.runs = 25;
+  spec.rounds_per_run = 300;
+  spec.seed = 17;
   const bool lan = argc > 1 && std::strcmp(argv[1], "--lan") == 0;
   if (lan) {
-    cfg.testbed = Testbed::kLan;
-    cfg.timeouts_ms = {0.10, 0.15, 0.20, 0.25, 0.30, 0.40,
-                       0.55, 0.70, 0.90, 1.20, 1.60};
+    spec.sampler = scenario::SamplerKind::kLan;
+    spec.timeouts_ms = {0.10, 0.15, 0.20, 0.25, 0.30, 0.40,
+                        0.55, 0.70, 0.90, 1.20, 1.60};
   } else {
-    cfg.testbed = Testbed::kWan;
-    cfg.timeouts_ms = {140, 150, 160, 165, 170, 175, 180, 190,
-                       200, 210, 220, 230, 250, 270, 300, 350};
+    spec.sampler = scenario::SamplerKind::kWan;
+    spec.timeouts_ms = {140, 150, 160, 165, 170, 175, 180, 190,
+                        200, 210, 220, 230, 250, 270, 300, 350};
   }
 
   std::cout << (lan ? "LAN" : "WAN (PlanetLab profile)")
-            << " testbed, designated leader: node " << resolve_leader(cfg)
-            << "\n\n";
-  const auto rs = run_experiment(cfg);
+            << " testbed, designated leader: node "
+            << scenario::resolve_leader(spec) << "\n\n";
+  const auto rs = scenario::run_experiment(spec);
 
   Table sweep({"timeout(ms)", "p", "ES time", "<>AFM time", "<>LM time",
                "<>WLM time"});

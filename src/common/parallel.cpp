@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
+
+#include "common/parse.hpp"
 
 namespace timing {
 
@@ -153,10 +156,25 @@ int hardware_threads() noexcept {
 }
 
 int configured_threads() noexcept {
+  // The cached static doubles as warn-once: invalid or clamped values are
+  // reported the first time any pool work is scheduled, then reused.
   static const int cached = [] {
     if (const char* env = std::getenv("TIMING_THREADS")) {
-      const long v = std::strtol(env, nullptr, 10);
-      if (v >= 1) return static_cast<int>(std::min(v, 256L));
+      long v = 0;
+      if (!parse_long(env, v) || v < 1) {
+        std::fprintf(stderr,
+                     "warning: ignoring invalid TIMING_THREADS=%s "
+                     "(expected an integer >= 1); using %d hardware "
+                     "thread(s)\n",
+                     env, hardware_threads());
+        return hardware_threads();
+      }
+      if (v > 256) {
+        std::fprintf(stderr, "warning: TIMING_THREADS=%ld clamped to 256\n",
+                     v);
+        v = 256;
+      }
+      return static_cast<int>(v);
     }
     return hardware_threads();
   }();

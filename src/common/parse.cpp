@@ -1,0 +1,83 @@
+#include "common/parse.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace timing {
+
+bool parse_long(const std::string& s, long& out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  out = v;
+  return true;
+}
+
+bool parse_int(const std::string& s, int& out) {
+  long v = 0;
+  if (!parse_long(s, v)) return false;
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty() || s[0] == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_double(const std::string& s, double& out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  if (!std::isfinite(v)) return false;
+  out = v;
+  return true;
+}
+
+namespace {
+
+template <typename T, bool (*ParseOne)(const std::string&, T&)>
+bool parse_list(const std::string& s, std::vector<T>& out) {
+  std::vector<T> vals;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = s.find(',', start);
+    const std::string item = s.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    T v{};
+    if (!ParseOne(item, v)) return false;
+    vals.push_back(v);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (vals.empty()) return false;
+  out = std::move(vals);
+  return true;
+}
+
+}  // namespace
+
+bool parse_int_list(const std::string& s, std::vector<int>& out) {
+  return parse_list<int, parse_int>(s, out);
+}
+
+bool parse_double_list(const std::string& s, std::vector<double>& out) {
+  return parse_list<double, parse_double>(s, out);
+}
+
+}  // namespace timing

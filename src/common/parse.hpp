@@ -1,0 +1,28 @@
+// Checked string-to-number parsing shared by every CLI surface (the
+// scenario override grammar, timing_lab, trace_tool) and the TIMING_*
+// environment knobs. All parsers consume the ENTIRE string: trailing
+// garbage ("12x", "1.5.2") is a parse failure, not a silent truncation
+// the way std::atoi / bare strtol would treat it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace timing {
+
+/// Base-10 integer; rejects empty strings, overflow, and trailing bytes.
+bool parse_long(const std::string& s, long& out);
+bool parse_int(const std::string& s, int& out);
+bool parse_u64(const std::string& s, std::uint64_t& out);
+
+/// Floating point (strtod grammar); rejects inf/nan spellings and
+/// trailing bytes.
+bool parse_double(const std::string& s, double& out);
+
+/// Comma-separated lists; every element must parse and the list must be
+/// non-empty ("140,200" -> {140, 200}).
+bool parse_int_list(const std::string& s, std::vector<int>& out);
+bool parse_double_list(const std::string& s, std::vector<double>& out);
+
+}  // namespace timing

@@ -31,6 +31,13 @@ class Table {
 
   std::size_t rows() const noexcept { return rows_.size(); }
 
+  /// Structured access for machine emitters (the scenario results JSONL
+  /// writer re-emits every printed table row).
+  const std::vector<std::string>& header() const noexcept { return header_; }
+  const std::vector<std::vector<std::string>>& body() const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

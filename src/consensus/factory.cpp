@@ -21,6 +21,34 @@ std::string to_string(AlgorithmKind k) {
   return "?";
 }
 
+std::string algorithm_key(AlgorithmKind k) {
+  switch (k) {
+    case AlgorithmKind::kWlm: return "wlm";
+    case AlgorithmKind::kEs3: return "es3";
+    case AlgorithmKind::kLm3: return "lm3";
+    case AlgorithmKind::kAfm5: return "afm5";
+    case AlgorithmKind::kLmOverWlm: return "lm_over_wlm";
+    case AlgorithmKind::kPaxos: return "paxos";
+  }
+  return "?";
+}
+
+std::vector<AlgorithmKind> all_algorithm_kinds() {
+  return {AlgorithmKind::kWlm,       AlgorithmKind::kEs3,
+          AlgorithmKind::kLm3,       AlgorithmKind::kAfm5,
+          AlgorithmKind::kLmOverWlm, AlgorithmKind::kPaxos};
+}
+
+bool parse_algorithm_kind(const std::string& key, AlgorithmKind& out) {
+  for (AlgorithmKind k : all_algorithm_kinds()) {
+    if (key == algorithm_key(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::unique_ptr<Protocol> make_protocol(AlgorithmKind kind, ProcessId self,
                                         int n, Value proposal) {
   switch (kind) {

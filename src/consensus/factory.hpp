@@ -20,6 +20,16 @@ enum class AlgorithmKind {
 
 std::string to_string(AlgorithmKind k);
 
+/// Stable lowercase key for configs and the scenario override grammar
+/// ("wlm", "es3", "lm3", "afm5", "lm_over_wlm", "paxos").
+std::string algorithm_key(AlgorithmKind k);
+
+/// Inverse of algorithm_key; false when `key` names no algorithm.
+bool parse_algorithm_kind(const std::string& key, AlgorithmKind& out);
+
+/// All constructible kinds, in declaration order.
+std::vector<AlgorithmKind> all_algorithm_kinds();
+
 /// Build one protocol instance.
 std::unique_ptr<Protocol> make_protocol(AlgorithmKind kind, ProcessId self,
                                         int n, Value proposal);

@@ -68,6 +68,10 @@ ProcessId resolve_leader(const ExperimentConfig& cfg) {
 std::vector<TimeoutResult> run_experiment(const ExperimentConfig& cfg) {
   TM_CHECK(!cfg.timeouts_ms.empty(), "no timeouts configured");
   TM_CHECK(cfg.runs > 0 && cfg.rounds_per_run > 1, "bad run shape");
+  const int group_n = cfg.testbed == Testbed::kLan ? cfg.lan.n : cfg.wan.n;
+  TM_CHECK(cfg.leader == kNoProcess ||
+               (cfg.leader >= 0 && cfg.leader < group_n),
+           "leader out of range");
   const ProcessId leader = resolve_leader(cfg);
 
   // Fan every (timeout, run) cell out as an independent trial. A trial's

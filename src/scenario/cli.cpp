@@ -1,0 +1,278 @@
+#include "scenario/cli.hpp"
+
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "scenario/overrides.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/results.hpp"
+#include "scenario/run.hpp"
+
+namespace timing::scenario {
+
+namespace {
+
+std::string join_doubles(const std::vector<double>& vs) {
+  std::string out;
+  for (double v : vs) {
+    if (!out.empty()) out += ",";
+    out += Table::num(v, v == static_cast<long long>(v) ? 0 : 2);
+  }
+  return out;
+}
+
+std::string join_ints(const std::vector<int>& vs) {
+  std::string out;
+  for (int v : vs) {
+    if (!out.empty()) out += ",";
+    out += std::to_string(v);
+  }
+  return out;
+}
+
+void print_spec(std::ostream& os, const ScenarioSpec& spec) {
+  os << "  sampler          " << to_string(spec.sampler) << "\n";
+  os << "  n                " << spec.n << "\n";
+  os << "  iid_p            " << Table::num(spec.iid_p, 2) << "\n";
+  os << "  timeouts_ms      "
+     << (spec.timeouts_ms.empty() ? "-" : join_doubles(spec.timeouts_ms))
+     << "\n";
+  os << "  runs             " << spec.runs
+     << (spec.honor_env_runs ? "  (TIMING_RUNS honoured)" : "") << "\n";
+  os << "  rounds_per_run   " << spec.rounds_per_run << "\n";
+  os << "  start_points     " << spec.start_points << "\n";
+  os << "  seed             " << spec.seed << "\n";
+  os << "  leader           " << to_string(spec.leader_policy);
+  if (spec.leader_policy == LeaderPolicy::kFixed) os << " (" << spec.leader
+                                                     << ")";
+  os << "\n";
+  os << "  decision_rounds  ";
+  for (std::size_t i = 0; i < spec.decision_rounds.size(); ++i) {
+    if (i) os << ",";
+    os << spec.decision_rounds[i];
+  }
+  os << "  (ES,LM,WLM,AFM)\n";
+  os << "  group_sizes      "
+     << (spec.group_sizes.empty() ? "-" : join_ints(spec.group_sizes)) << "\n";
+}
+
+void print_bench_usage(std::ostream& os, const char* name,
+                       const Scenario& sc) {
+  os << "usage: " << sc.binary << " [--csv] [key=value ...]\n\n"
+     << sc.figure << ": " << sc.summary << "\n"
+     << "Scenario '" << name
+     << "' of the registry; the same experiment runs via\n"
+        "`timing_lab run "
+     << name << " [overrides]`.\n\noverrides:\n"
+     << override_help();
+}
+
+/// Shared run path: execute `sc` over the (already validated) spec,
+/// streaming results JSONL to spec.results_path when set, then re-parse
+/// what was written with the strict parser so a truncated or malformed
+/// file fails the run instead of poisoning downstream tooling.
+int execute(const Scenario& sc, const ScenarioSpec& spec, bool csv) {
+  RunContext ctx;
+  ctx.out = &std::cout;
+  ctx.csv = csv;
+  std::ofstream results_out;
+  std::optional<ResultWriter> writer;
+  if (!spec.results_path.empty()) {
+    results_out.open(spec.results_path);
+    if (!results_out) {
+      std::cerr << "error: cannot open results file '" << spec.results_path
+                << "'\n";
+      return 1;
+    }
+    writer.emplace(results_out, sc.name);
+    ctx.results = &*writer;
+  }
+  const int rc = sc.run(spec, ctx);
+  if (ctx.results) {
+    writer->finish();
+    results_out.flush();
+    if (!results_out) {
+      std::cerr << "error: short write to '" << spec.results_path << "'\n";
+      return 1;
+    }
+    try {
+      const ParsedResults parsed = parse_results_file(spec.results_path);
+      std::cerr << "results: " << parsed.tables.size() << " table(s), "
+                << parsed.total_rows() << " row(s) -> " << spec.results_path
+                << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "error: results re-parse failed: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  return rc;
+}
+
+void print_lab_usage(std::ostream& os) {
+  os << "usage: timing_lab <command> [args]\n\n"
+        "commands:\n"
+        "  list                         all registered scenarios\n"
+        "  describe <scenario>          defaults + override grammar\n"
+        "  run <scenario> [--csv] [--no-jsonl] [key=value ...]\n"
+        "                               execute with overrides; results\n"
+        "                               JSONL is written by default\n"
+        "  validate <results.jsonl>     strict-parse a results file\n"
+        "  help                         this text\n\n"
+        "overrides:\n"
+     << override_help();
+}
+
+int lab_list() {
+  Table t({"scenario", "figure", "binary", "summary"});
+  for (const Scenario& s : registry()) {
+    t.add_row({s.name, s.figure, s.binary, s.summary});
+  }
+  t.print(std::cout, "Registered scenarios (" +
+                         std::to_string(registry().size()) + ")");
+  return 0;
+}
+
+int lab_describe(const std::string& name) {
+  const Scenario* sc = find_scenario(name);
+  if (!sc) {
+    std::cerr << "error: unknown scenario '" << name
+              << "' (see `timing_lab list`)\n";
+    return 2;
+  }
+  std::cout << sc->name << " - " << sc->figure << "\n"
+            << sc->summary << "\n"
+            << "binary: " << sc->binary << "\n\ndefaults:\n";
+  print_spec(std::cout, sc->defaults());
+  std::cout << "\noverrides:\n" << override_help();
+  return 0;
+}
+
+int lab_run(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "error: run needs a scenario name (see `timing_lab "
+                 "list`)\n";
+    return 2;
+  }
+  const std::string name = argv[2];
+  const Scenario* sc = find_scenario(name);
+  if (!sc) {
+    std::cerr << "error: unknown scenario '" << name
+              << "' (see `timing_lab list`)\n";
+    return 2;
+  }
+  ScenarioSpec spec = sc->defaults();
+  if (spec.honor_env_runs) spec.runs = runs_or_default(spec.runs);
+  // Structured results on by default; fig1c -> fig1c.results.jsonl,
+  // ablation/smr_cost -> ablation_smr_cost.results.jsonl.
+  std::string default_path = name;
+  for (char& c : default_path) {
+    if (c == '/') c = '_';
+  }
+  spec.results_path = default_path + ".results.jsonl";
+
+  // `--no-jsonl` is a lab-only flag; filter it before the shared parser.
+  std::vector<char*> rest;
+  for (int i = 3; i < argc; ++i) {
+    if (std::string(argv[i]) == "--no-jsonl") {
+      spec.results_path.clear();
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  const CliArgs args =
+      apply_cli_args(spec, static_cast<int>(rest.size()), rest.data(), 0);
+  if (args.help) {
+    print_lab_usage(std::cout);
+    return 0;
+  }
+  if (!args.error.empty()) {
+    std::cerr << "error: " << args.error << "\n\n";
+    print_lab_usage(std::cerr);
+    return 2;
+  }
+  const std::string invalid = validate(spec);
+  if (!invalid.empty()) {
+    std::cerr << "error: invalid scenario parameters: " << invalid << "\n";
+    return 2;
+  }
+  return execute(*sc, spec, args.csv);
+}
+
+int lab_validate(const std::string& path) {
+  try {
+    const ParsedResults parsed = parse_results_file(path);
+    std::cout << "ok: scenario '" << parsed.scenario << "', schema v"
+              << parsed.version << ", " << parsed.tables.size()
+              << " table(s), " << parsed.total_rows() << " row(s)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
+
+int bench_main(const char* name, int argc, char** argv) {
+  const Scenario* sc = find_scenario(name);
+  if (!sc) {
+    std::cerr << "error: scenario '" << name << "' is not registered\n";
+    return 2;
+  }
+  ScenarioSpec spec = sc->defaults();
+  if (spec.honor_env_runs) spec.runs = runs_or_default(spec.runs);
+  const CliArgs args = apply_cli_args(spec, argc, argv, 1);
+  if (args.help) {
+    print_bench_usage(std::cout, name, *sc);
+    return 0;
+  }
+  if (!args.error.empty()) {
+    std::cerr << "error: " << args.error << "\n\n";
+    print_bench_usage(std::cerr, name, *sc);
+    return 2;
+  }
+  const std::string invalid = validate(spec);
+  if (!invalid.empty()) {
+    std::cerr << "error: invalid scenario parameters: " << invalid << "\n";
+    return 2;
+  }
+  return execute(*sc, spec, args.csv);
+}
+
+int lab_main(int argc, char** argv) {
+  if (argc < 2) {
+    print_lab_usage(std::cerr);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "list") return lab_list();
+  if (cmd == "describe") {
+    if (argc < 3) {
+      std::cerr << "error: describe needs a scenario name\n";
+      return 2;
+    }
+    return lab_describe(argv[2]);
+  }
+  if (cmd == "run") return lab_run(argc, argv);
+  if (cmd == "validate") {
+    if (argc < 3) {
+      std::cerr << "error: validate needs a results.jsonl path\n";
+      return 2;
+    }
+    return lab_validate(argv[2]);
+  }
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    print_lab_usage(std::cout);
+    return 0;
+  }
+  std::cerr << "error: unknown command '" << cmd << "'\n\n";
+  print_lab_usage(std::cerr);
+  return 2;
+}
+
+}  // namespace timing::scenario

@@ -1,0 +1,181 @@
+#include "scenario/overrides.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/parse.hpp"
+
+namespace timing::scenario {
+
+namespace {
+
+/// One override: returns "" on success, the reason on failure.
+std::string apply_override(ScenarioSpec& spec, const std::string& key,
+                           const std::string& value) {
+  if (key == "runs") {
+    if (!parse_int(value, spec.runs)) return "expected an integer";
+    return "";
+  }
+  if (key == "rounds_per_run") {
+    if (!parse_int(value, spec.rounds_per_run)) return "expected an integer";
+    return "";
+  }
+  if (key == "start_points") {
+    if (!parse_int(value, spec.start_points)) return "expected an integer";
+    return "";
+  }
+  if (key == "n") {
+    if (!parse_int(value, spec.n)) return "expected an integer";
+    return "";
+  }
+  if (key == "seed") {
+    if (!parse_u64(value, spec.seed)) return "expected an unsigned integer";
+    return "";
+  }
+  if (key == "iid_p") {
+    if (!parse_double(value, spec.iid_p)) return "expected a number";
+    return "";
+  }
+  if (key == "timeouts_ms") {
+    if (!parse_double_list(value, spec.timeouts_ms)) {
+      return "expected a comma-separated list of numbers";
+    }
+    return "";
+  }
+  if (key == "group_sizes") {
+    if (!parse_int_list(value, spec.group_sizes)) {
+      return "expected a comma-separated list of integers";
+    }
+    return "";
+  }
+  if (key == "decision_rounds") {
+    std::vector<int> vals;
+    if (!parse_int_list(value, vals) || vals.size() != spec.decision_rounds.size()) {
+      return "expected exactly " +
+             std::to_string(spec.decision_rounds.size()) +
+             " comma-separated integers (ES,LM,WLM,AFM)";
+    }
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      spec.decision_rounds[i] = vals[i];
+    }
+    return "";
+  }
+  if (key == "leader") {
+    if (value == "default") {
+      spec.leader_policy = LeaderPolicy::kDefault;
+      spec.leader = kNoProcess;
+      return "";
+    }
+    if (value == "average") {
+      spec.leader_policy = LeaderPolicy::kAverage;
+      spec.leader = kNoProcess;
+      return "";
+    }
+    int id = 0;
+    if (!parse_int(value, id)) {
+      return "expected a process id, 'default' or 'average'";
+    }
+    spec.leader_policy = LeaderPolicy::kFixed;
+    spec.leader = id;
+    return "";
+  }
+  if (key == "algorithm") {
+    if (!parse_algorithm_kind(value, spec.algorithm)) {
+      std::string known;
+      for (AlgorithmKind k : all_algorithm_kinds()) {
+        if (!known.empty()) known += ", ";
+        known += algorithm_key(k);
+      }
+      return "unknown algorithm (known: " + known + ")";
+    }
+    return "";
+  }
+  if (key == "jsonl") {
+    spec.results_path = value;  // empty disables structured emission
+    return "";
+  }
+  return "unknown key";
+}
+
+}  // namespace
+
+CliArgs apply_cli_args(ScenarioSpec& spec, int argc, char** argv, int first) {
+  CliArgs out;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--csv") {
+      out.csv = true;
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      out.help = true;
+      continue;
+    }
+    const auto eq = arg.find('=');
+    if (arg.empty() || arg[0] == '-' || eq == std::string::npos ||
+        eq == 0) {
+      out.error = "unknown argument '" + arg + "'";
+      return out;
+    }
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    const std::string err = apply_override(spec, key, value);
+    if (!err.empty()) {
+      out.error = "bad override '" + arg + "': " + err;
+      return out;
+    }
+  }
+  return out;
+}
+
+std::string override_help() {
+  return
+      "  runs=N              repetitions per sweep point (instances /\n"
+      "                      commands / MC trials for the live ablations)\n"
+      "  rounds_per_run=N    rounds per run (round cap for live runs)\n"
+      "  start_points=N      random decision-window start points per run\n"
+      "  n=N                 group size (must match the LAN/WAN profile)\n"
+      "  seed=U64            base RNG seed (runs use counter sub-streams)\n"
+      "  iid_p=P             per-link timely probability (IID scenarios)\n"
+      "  timeouts_ms=A,B,..  round-timeout sweep in milliseconds\n"
+      "  group_sizes=A,B,..  group-size sweep (n-scaling scenarios)\n"
+      "  decision_rounds=ES,LM,WLM,AFM\n"
+      "                      conforming rounds needed for global decision\n"
+      "  leader=ID|default|average\n"
+      "                      leader policy (paper default / average-leader\n"
+      "                      variant / fixed process id)\n"
+      "  algorithm=KEY       protocol for live-run scenarios (wlm, es3,\n"
+      "                      lm3, afm5, lm_over_wlm, paxos)\n"
+      "  jsonl=PATH          write results JSONL to PATH ('' disables)\n";
+}
+
+int runs_or_default(int paper_default) {
+  static bool warned = false;
+  if (const char* env = std::getenv("TIMING_RUNS")) {
+    long v = 0;
+    if (!parse_long(env, v) || v < 1) {
+      if (!warned) {
+        warned = true;
+        std::fprintf(stderr,
+                     "warning: ignoring invalid TIMING_RUNS=%s (expected an "
+                     "integer >= 1); using the scenario default\n",
+                     env);
+      }
+      return paper_default;
+    }
+    if (v > 100000) {
+      if (!warned) {
+        warned = true;
+        std::fprintf(stderr, "warning: TIMING_RUNS=%ld clamped to 100000\n",
+                     v);
+      }
+      v = 100000;
+    }
+    return static_cast<int>(v);
+  }
+  return paper_default;
+}
+
+}  // namespace timing::scenario

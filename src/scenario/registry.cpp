@@ -1,0 +1,181 @@
+// Scenario registry: the paper's figures, the appendix, and our
+// ablations, each with the default (paper) parameters the former bench
+// mains hardcoded. Keep the defaults in sync with EXPERIMENTS.md — the
+// golden tests pin the default stdout of the fig1c/fig1g entries.
+#include "scenario/registry.hpp"
+
+#include "scenario/runners.hpp"
+
+namespace timing::scenario {
+
+namespace {
+
+// -- Figure sweeps -----------------------------------------------------
+
+ScenarioSpec analysis_defaults() {
+  ScenarioSpec s;
+  s.sampler = SamplerKind::kAnalysis;
+  s.n = 8;
+  return s;
+}
+
+// bench_util.hpp's wan_config(): the paper's WAN methodology.
+ScenarioSpec wan_defaults() {
+  ScenarioSpec s;
+  s.sampler = SamplerKind::kWan;
+  s.timeouts_ms = {140, 150, 160, 170, 180, 190, 200,
+                   210, 230, 260, 300, 350};
+  s.runs = 33;            // the paper's repetition count
+  s.rounds_per_run = 300;  // the paper's run length
+  s.start_points = 15;     // the paper's random starting points
+  s.seed = 42;
+  s.honor_env_runs = true;
+  return s;
+}
+
+// bench_util.hpp's lan_config().
+ScenarioSpec lan_defaults() {
+  ScenarioSpec s;
+  s.sampler = SamplerKind::kLan;
+  s.timeouts_ms = {0.1, 0.15, 0.2, 0.25, 0.35, 0.5, 0.7, 0.9, 1.2, 1.6};
+  s.runs = 25;
+  s.rounds_per_run = 300;
+  s.seed = 7;
+  s.honor_env_runs = true;
+  return s;
+}
+
+ScenarioSpec fig1i_defaults() {
+  ScenarioSpec s = wan_defaults();
+  s.timeouts_ms = {140, 150, 160, 165, 170, 175, 180, 190,
+                   200, 210, 220, 230, 250, 270, 300};
+  return s;
+}
+
+ScenarioSpec appc_defaults() {
+  ScenarioSpec s = analysis_defaults();
+  s.iid_p = 0.95;
+  s.group_sizes = {4, 8, 16, 32, 64, 128, 256, 512};
+  return s;
+}
+
+// -- Ablations ---------------------------------------------------------
+
+ScenarioSpec paxos_recovery_defaults() {
+  ScenarioSpec s;
+  s.sampler = SamplerKind::kSchedule;
+  s.runs = 1;  // the adversarial schedule is deterministic
+  s.group_sizes = {5, 7, 9, 11, 13, 15, 21, 31};
+  return s;
+}
+
+ScenarioSpec algorithms_live_defaults() {
+  ScenarioSpec s;
+  s.sampler = SamplerKind::kWan;
+  s.timeouts_ms = {160, 200, 260};
+  s.runs = 60;             // consensus instances per (algorithm, timeout)
+  s.rounds_per_run = 400;  // round cap per instance
+  s.seed = 0x1234;
+  return s;
+}
+
+ScenarioSpec window_formula_defaults() {
+  ScenarioSpec s;
+  s.sampler = SamplerKind::kIid;
+  s.runs = 20000;  // Monte-Carlo trials per grid cell
+  s.seed = 20240707;
+  return s;
+}
+
+ScenarioSpec simulation_cost_defaults() {
+  ScenarioSpec s;
+  s.sampler = SamplerKind::kSchedule;
+  s.runs = 1;              // stable schedules are deterministic per seed
+  s.rounds_per_run = 200;  // round cap per protocol option
+  s.seed = 77;
+  s.group_sizes = {8, 16, 32};
+  return s;
+}
+
+ScenarioSpec group_size_defaults() {
+  ScenarioSpec s;
+  s.sampler = SamplerKind::kIid;
+  s.iid_p = 0.95;
+  s.runs = 1;               // one measurement run per group size
+  s.rounds_per_run = 4000;  // run length (censoring horizon)
+  s.start_points = 40;
+  s.seed = 0xabc;
+  s.group_sizes = {4, 6, 8, 12, 16, 24, 32, 48};
+  return s;
+}
+
+ScenarioSpec smr_cost_defaults() {
+  ScenarioSpec s;
+  s.sampler = SamplerKind::kSchedule;
+  s.runs = 50;  // committed commands per (algorithm, n) point
+  s.seed = 0x1000;
+  s.group_sizes = {4, 8, 16, 32, 64};
+  return s;
+}
+
+const std::vector<Scenario> kRegistry = {
+    {"fig1a", "fig1a_analysis_high_p", "Figure 1(a)",
+     "IID analysis: E[rounds] vs p, high-reliability regime", analysis_defaults,
+     run_fig1a},
+    {"fig1b", "fig1b_analysis_low_p", "Figure 1(b)",
+     "IID analysis: E[rounds] vs p in [0.9, 1), ES off-chart",
+     analysis_defaults, run_fig1b},
+    {"fig1c", "fig1c_lan_pm", "Figure 1(c)",
+     "LAN: measured vs IID-predicted P_M per timeout, both leaders",
+     lan_defaults, run_fig1c},
+    {"fig1d", "fig1d_wan_timeout_to_p", "Figure 1(d)",
+     "WAN: round timeout -> fraction of timely messages", wan_defaults,
+     run_fig1d},
+    {"fig1e", "fig1e_wan_pm", "Figure 1(e)",
+     "WAN: measured P_M per timeout with 95% CIs", wan_defaults, run_fig1e},
+    {"fig1f", "fig1f_wan_variance", "Figure 1(f)",
+     "WAN: across-run variance of P_M per timeout", wan_defaults, run_fig1f},
+    {"fig1g", "fig1g_wan_rounds", "Figure 1(g)",
+     "WAN: average rounds until global-decision conditions hold",
+     wan_defaults, run_fig1g},
+    {"fig1h", "fig1h_wan_time", "Figure 1(h)",
+     "WAN: average time (rounds x timeout) to decision conditions",
+     wan_defaults, run_fig1h},
+    {"fig1i", "fig1i_timeout_tradeoff", "Figure 1(i)",
+     "WAN: timeout-tuning zoom for <>LM / <>WLM (fine sweep)",
+     fig1i_defaults, run_fig1i},
+    {"appc", "appc_asymptotics", "Appendix C",
+     "Asymptotics of expected decision time as n grows", appc_defaults,
+     run_appc_asymptotics},
+    {"ablation/paxos_recovery", "ablation_paxos_recovery", "ablation",
+     "Paxos vs Algorithm 2 recovery under an adversarial <>WLM schedule",
+     paxos_recovery_defaults, run_ablation_paxos_recovery},
+    {"ablation/algorithms_live", "ablation_algorithms_live", "ablation",
+     "Live algorithm executions over the simulated WAN",
+     algorithms_live_defaults, run_ablation_algorithms_live},
+    {"ablation/window_formula", "ablation_window_formula", "ablation",
+     "Paper E(D) formula vs exact renewal expectation vs Monte-Carlo",
+     window_formula_defaults, run_ablation_window_formula},
+    {"ablation/simulation_cost", "ablation_simulation_cost", "ablation",
+     "Wire cost of the Appendix B reduction vs direct Algorithm 2",
+     simulation_cost_defaults, run_ablation_simulation_cost},
+    {"ablation/group_size", "ablation_group_size", "ablation",
+     "Sensitivity of the model comparison to the group size n",
+     group_size_defaults, run_ablation_group_size},
+    {"ablation/smr_cost", "ablation_smr_cost", "ablation",
+     "Steady-state replication cost per committed command",
+     smr_cost_defaults, run_ablation_smr_cost},
+};
+
+}  // namespace
+
+const std::vector<Scenario>& registry() { return kRegistry; }
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const Scenario& s : kRegistry) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace timing::scenario

@@ -1,0 +1,272 @@
+#include "scenario/results.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+
+namespace timing::scenario {
+
+namespace {
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_string_array(std::ostream& out,
+                        const std::vector<std::string>& vals) {
+  out << '[';
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    if (i) out << ',';
+    out << '"' << escape_json(vals[i]) << '"';
+  }
+  out << ']';
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& why) {
+  throw std::runtime_error("results line " + std::to_string(line_no) + ": " +
+                           why);
+}
+
+std::optional<long long> find_int(const std::string& line,
+                                  const std::string& key,
+                                  std::size_t line_no) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  const char* start = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(start, &end, 10);
+  if (end == start || errno != 0) {
+    fail(line_no, "bad integer for '" + key + "'");
+  }
+  return v;
+}
+
+long long require_int(const std::string& line, const std::string& key,
+                      std::size_t line_no) {
+  const auto v = find_int(line, key, line_no);
+  if (!v) fail(line_no, "missing field '" + key + "'");
+  return *v;
+}
+
+/// Reads the JSON string starting at the opening quote `line[pos]`;
+/// advances pos past the closing quote.
+std::string read_string(const std::string& line, std::size_t& pos,
+                        std::size_t line_no) {
+  if (pos >= line.size() || line[pos] != '"') {
+    fail(line_no, "expected '\"'");
+  }
+  std::string out;
+  for (std::size_t i = pos + 1; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') {
+      pos = i + 1;
+      return out;
+    }
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (++i >= line.size()) break;
+    switch (line[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'u': {
+        if (i + 4 >= line.size()) fail(line_no, "truncated \\u escape");
+        const std::string hex = line.substr(i + 1, 4);
+        char* end = nullptr;
+        const long cp = std::strtol(hex.c_str(), &end, 16);
+        if (end != hex.c_str() + 4 || cp < 0 || cp > 0x7f) {
+          fail(line_no, "unsupported \\u escape");
+        }
+        out += static_cast<char>(cp);
+        i += 4;
+        break;
+      }
+      default: fail(line_no, "unknown escape");
+    }
+  }
+  fail(line_no, "unterminated string");
+}
+
+std::optional<std::string> find_str(const std::string& line,
+                                    const std::string& key,
+                                    std::size_t line_no) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) return std::nullopt;
+  std::size_t at = pos + needle.size() - 1;  // the opening quote
+  return read_string(line, at, line_no);
+}
+
+std::vector<std::string> require_string_array(const std::string& line,
+                                              const std::string& key,
+                                              std::size_t line_no) {
+  const std::string needle = "\"" + key + "\":[";
+  const auto pos = line.find(needle);
+  if (pos == std::string::npos) fail(line_no, "missing field '" + key + "'");
+  std::size_t at = pos + needle.size();
+  std::vector<std::string> out;
+  if (at < line.size() && line[at] == ']') return out;
+  while (true) {
+    out.push_back(read_string(line, at, line_no));
+    if (at >= line.size()) fail(line_no, "unterminated array");
+    if (line[at] == ']') break;
+    if (line[at] != ',') fail(line_no, "expected ',' or ']' in array");
+    ++at;
+  }
+  return out;
+}
+
+}  // namespace
+
+ResultWriter::ResultWriter(std::ostream& out, const std::string& scenario_name)
+    : out_(out) {
+  out_ << "{\"schema\":\"timing-lab-results\",\"v\":" << kResultsSchemaVersion
+       << ",\"scenario\":\"" << escape_json(scenario_name) << "\"}\n";
+}
+
+void ResultWriter::add_table(const std::string& caption,
+                             const std::vector<std::string>& cols,
+                             const std::vector<std::vector<std::string>>& rows) {
+  if (finished_) {
+    throw std::logic_error("ResultWriter::add_table after finish");
+  }
+  const int id = tables_++;
+  out_ << "{\"e\":\"table\",\"id\":" << id << ",\"caption\":\""
+       << escape_json(caption) << "\",\"cols\":";
+  write_string_array(out_, cols);
+  out_ << "}\n";
+  for (const auto& row : rows) {
+    out_ << "{\"e\":\"row\",\"id\":" << id << ",\"v\":";
+    write_string_array(out_, row);
+    out_ << "}\n";
+    ++rows_;
+  }
+}
+
+void ResultWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_ << "{\"e\":\"end\",\"tables\":" << tables_ << ",\"rows\":" << rows_
+       << "}\n";
+  out_.flush();
+}
+
+long long ParsedResults::total_rows() const noexcept {
+  long long n = 0;
+  for (const ResultTable& t : tables) {
+    n += static_cast<long long>(t.rows.size());
+  }
+  return n;
+}
+
+ParsedResults parse_results(std::istream& in) {
+  ParsedResults res;
+  bool have_header = false;
+  bool have_end = false;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    if (have_end) fail(line_no, "content after end marker");
+    if (line.front() != '{' || line.back() != '}') {
+      fail(line_no, "not a JSON object");
+    }
+
+    if (const auto schema = find_str(line, "schema", line_no)) {
+      if (*schema != "timing-lab-results") fail(line_no, "unknown schema");
+      if (have_header) fail(line_no, "duplicate header");
+      const long long v = require_int(line, "v", line_no);
+      if (v != kResultsSchemaVersion) {
+        fail(line_no, "unsupported schema version " + std::to_string(v));
+      }
+      const auto name = find_str(line, "scenario", line_no);
+      if (!name || name->empty()) fail(line_no, "missing scenario name");
+      res.version = static_cast<int>(v);
+      res.scenario = *name;
+      have_header = true;
+      continue;
+    }
+    if (!have_header) fail(line_no, "record before header");
+
+    const auto kind = find_str(line, "e", line_no);
+    if (!kind) fail(line_no, "missing record kind");
+    if (*kind == "table") {
+      const long long id = require_int(line, "id", line_no);
+      if (id != static_cast<long long>(res.tables.size())) {
+        fail(line_no, "table ids must be declared sequentially from 0");
+      }
+      ResultTable t;
+      t.id = static_cast<int>(id);
+      const auto caption = find_str(line, "caption", line_no);
+      if (!caption) fail(line_no, "missing field 'caption'");
+      t.caption = *caption;
+      t.cols = require_string_array(line, "cols", line_no);
+      if (t.cols.empty()) fail(line_no, "table with no columns");
+      res.tables.push_back(std::move(t));
+    } else if (*kind == "row") {
+      const long long id = require_int(line, "id", line_no);
+      if (id < 0 || id >= static_cast<long long>(res.tables.size())) {
+        fail(line_no, "row for undeclared table");
+      }
+      auto row = require_string_array(line, "v", line_no);
+      ResultTable& t = res.tables[static_cast<std::size_t>(id)];
+      if (row.size() != t.cols.size()) {
+        fail(line_no, "row arity != column count");
+      }
+      t.rows.push_back(std::move(row));
+    } else if (*kind == "end") {
+      const long long tables = require_int(line, "tables", line_no);
+      const long long rows = require_int(line, "rows", line_no);
+      if (tables != static_cast<long long>(res.tables.size())) {
+        fail(line_no, "end marker table count mismatch");
+      }
+      if (rows != res.total_rows()) {
+        fail(line_no, "end marker row count mismatch");
+      }
+      have_end = true;
+    } else {
+      fail(line_no, "unknown record '" + *kind + "'");
+    }
+  }
+  if (!have_header) throw std::runtime_error("results: missing header line");
+  if (!have_end) throw std::runtime_error("results: missing end marker");
+  return res;
+}
+
+ParsedResults parse_results_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open results file: " + path);
+  return parse_results(in);
+}
+
+}  // namespace timing::scenario

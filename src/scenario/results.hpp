@@ -1,0 +1,78 @@
+// Schema-versioned results JSONL, the structured twin of the aligned
+// tables every scenario prints. Same conventions as the trace format in
+// obs/jsonl.hpp: one flat JSON object per line, a single header line,
+// strict parsing that rejects anything malformed, and a footer that makes
+// truncation detectable.
+//
+// Layout:
+//   {"schema":"timing-lab-results","v":1,"scenario":"fig1g"}
+//   {"e":"table","id":0,"caption":"...","cols":["timeout(ms)","ES(3r)"]}
+//   {"e":"row","id":0,"v":["140","30.7"]}
+//   ...
+//   {"e":"end","tables":1,"rows":12}
+//
+// Row values are the exact printed cell strings (what --csv emits), so a
+// results file is injective over the human-readable output and diffable
+// across runs the way trace_tool diff treats traces.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace timing::scenario {
+
+inline constexpr int kResultsSchemaVersion = 1;
+
+/// Streams the results file; write_header first, then tables in emission
+/// order, then finish() exactly once.
+class ResultWriter {
+ public:
+  /// Does not own `out`; the caller keeps it alive past finish().
+  ResultWriter(std::ostream& out, const std::string& scenario_name);
+
+  void add_table(const std::string& caption,
+                 const std::vector<std::string>& cols,
+                 const std::vector<std::vector<std::string>>& rows);
+
+  /// Writes the end marker; further add_table calls are invalid.
+  void finish();
+
+  int tables() const noexcept { return tables_; }
+  long long rows() const noexcept { return rows_; }
+
+ private:
+  std::ostream& out_;
+  int tables_ = 0;
+  long long rows_ = 0;
+  bool finished_ = false;
+};
+
+struct ResultTable {
+  int id = 0;
+  std::string caption;
+  std::vector<std::string> cols;
+  std::vector<std::vector<std::string>> rows;
+
+  bool operator==(const ResultTable&) const = default;
+};
+
+struct ParsedResults {
+  int version = 0;
+  std::string scenario;
+  std::vector<ResultTable> tables;
+
+  long long total_rows() const noexcept;
+
+  bool operator==(const ParsedResults&) const = default;
+};
+
+/// Strict parser; throws std::runtime_error with a line number on
+/// malformed input: missing/duplicate header, unknown event, rows for an
+/// undeclared table, row arity != the table's column count, a missing or
+/// inconsistent end marker, or trailing lines after it. Blank lines and
+/// '#' comments are skipped.
+ParsedResults parse_results(std::istream& in);
+ParsedResults parse_results_file(const std::string& path);
+
+}  // namespace timing::scenario

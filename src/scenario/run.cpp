@@ -1,0 +1,16 @@
+#include "scenario/run.hpp"
+
+#include <ostream>
+
+namespace timing::scenario {
+
+void RunContext::emit(const Table& t, const std::string& caption) const {
+  if (csv) {
+    t.print_csv(*out, caption);
+  } else {
+    t.print(*out, caption);
+  }
+  if (results) results->add_table(caption, t.header(), t.body());
+}
+
+}  // namespace timing::scenario

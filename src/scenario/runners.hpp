@@ -1,0 +1,34 @@
+// The scenario implementations behind the registry — one function per
+// paper figure / appendix / ablation, each the former body of the
+// corresponding bench main() now parameterized by a ScenarioSpec.
+// Internal to the scenario module; external callers go through
+// registry()/find_scenario().
+#pragma once
+
+#include "scenario/run.hpp"
+#include "scenario/spec.hpp"
+
+namespace timing::scenario {
+
+int run_fig1a(const ScenarioSpec& spec, const RunContext& ctx);
+int run_fig1b(const ScenarioSpec& spec, const RunContext& ctx);
+int run_fig1c(const ScenarioSpec& spec, const RunContext& ctx);
+int run_fig1d(const ScenarioSpec& spec, const RunContext& ctx);
+int run_fig1e(const ScenarioSpec& spec, const RunContext& ctx);
+int run_fig1f(const ScenarioSpec& spec, const RunContext& ctx);
+int run_fig1g(const ScenarioSpec& spec, const RunContext& ctx);
+int run_fig1h(const ScenarioSpec& spec, const RunContext& ctx);
+int run_fig1i(const ScenarioSpec& spec, const RunContext& ctx);
+int run_appc_asymptotics(const ScenarioSpec& spec, const RunContext& ctx);
+int run_ablation_paxos_recovery(const ScenarioSpec& spec,
+                                const RunContext& ctx);
+int run_ablation_algorithms_live(const ScenarioSpec& spec,
+                                 const RunContext& ctx);
+int run_ablation_window_formula(const ScenarioSpec& spec,
+                                const RunContext& ctx);
+int run_ablation_simulation_cost(const ScenarioSpec& spec,
+                                 const RunContext& ctx);
+int run_ablation_group_size(const ScenarioSpec& spec, const RunContext& ctx);
+int run_ablation_smr_cost(const ScenarioSpec& spec, const RunContext& ctx);
+
+}  // namespace timing::scenario

@@ -1,0 +1,99 @@
+#include "scenario/spec.hpp"
+
+#include "common/check.hpp"
+#include "oracles/omega.hpp"
+
+namespace timing::scenario {
+
+std::string to_string(SamplerKind k) {
+  switch (k) {
+    case SamplerKind::kAnalysis: return "analysis";
+    case SamplerKind::kLan: return "lan";
+    case SamplerKind::kWan: return "wan";
+    case SamplerKind::kIid: return "iid";
+    case SamplerKind::kSchedule: return "schedule";
+  }
+  return "?";
+}
+
+std::string to_string(LeaderPolicy p) {
+  switch (p) {
+    case LeaderPolicy::kDefault: return "default";
+    case LeaderPolicy::kAverage: return "average";
+    case LeaderPolicy::kFixed: return "fixed";
+  }
+  return "?";
+}
+
+std::string validate(const ScenarioSpec& spec) {
+  if (spec.runs < 1) return "runs must be >= 1";
+  if (spec.rounds_per_run < 2) return "rounds_per_run must be >= 2";
+  if (spec.start_points < 1) return "start_points must be >= 1";
+  if (spec.n < 2) return "n must be >= 2";
+  if (spec.iid_p <= 0.0 || spec.iid_p > 1.0) {
+    return "iid_p must be in (0, 1]";
+  }
+  const bool latency_testbed =
+      spec.sampler == SamplerKind::kLan || spec.sampler == SamplerKind::kWan;
+  if (latency_testbed) {
+    if (spec.timeouts_ms.empty()) return "empty timeout sweep";
+    const int profile_n =
+        spec.sampler == SamplerKind::kLan ? spec.lan.n : spec.wan.n;
+    if (spec.n != profile_n) {
+      return "n must match the " + to_string(spec.sampler) +
+             " profile's group size (" + std::to_string(profile_n) + ")";
+    }
+  }
+  for (double t : spec.timeouts_ms) {
+    if (t <= 0.0) return "timeouts_ms entries must be > 0";
+  }
+  for (int r : spec.decision_rounds) {
+    if (r < 1) return "decision_rounds entries must be >= 1";
+  }
+  if (spec.leader_policy == LeaderPolicy::kFixed &&
+      (spec.leader < 0 || spec.leader >= spec.n)) {
+    return "leader out of range [0, n)";
+  }
+  for (int gs : spec.group_sizes) {
+    if (gs < 2) return "group_sizes entries must be >= 2";
+  }
+  return "";
+}
+
+ExperimentConfig to_experiment_config(const ScenarioSpec& spec) {
+  ExperimentConfig cfg;
+  cfg.testbed =
+      spec.sampler == SamplerKind::kLan ? Testbed::kLan : Testbed::kWan;
+  cfg.timeouts_ms = spec.timeouts_ms;
+  cfg.runs = spec.runs;
+  cfg.rounds_per_run = spec.rounds_per_run;
+  cfg.start_points = spec.start_points;
+  cfg.seed = spec.seed;
+  cfg.lan = spec.lan;
+  cfg.wan = spec.wan;
+  cfg.decision_rounds = spec.decision_rounds;
+  switch (spec.leader_policy) {
+    case LeaderPolicy::kDefault:
+      cfg.leader = kNoProcess;
+      break;
+    case LeaderPolicy::kFixed:
+      cfg.leader = spec.leader;
+      break;
+    case LeaderPolicy::kAverage:
+      cfg.leader = pick_average_leader(expected_rtt_matrix(cfg));
+      break;
+  }
+  return cfg;
+}
+
+ProcessId resolve_leader(const ScenarioSpec& spec) {
+  return timing::resolve_leader(to_experiment_config(spec));
+}
+
+std::vector<TimeoutResult> run_experiment(const ScenarioSpec& spec) {
+  const std::string err = validate(spec);
+  TM_CHECK(err.empty(), err.c_str());
+  return timing::run_experiment(to_experiment_config(spec));
+}
+
+}  // namespace timing::scenario

@@ -1,0 +1,97 @@
+// Declarative experiment descriptions: every figure and ablation of the
+// paper's evaluation (Section 5, Figures 1(a)-(i), the appendices, and
+// our own ablations) is a named ScenarioSpec in the registry
+// (scenario/registry.hpp) instead of a hand-wired main(). A spec carries
+// the full parameter set an experiment family sweeps — testbed, sampler,
+// algorithm, group sizes, timeout sweep, run shape, seeds, leader policy,
+// decision-round requirements — so "run the WAN rounds figure at two
+// timeouts with 2 runs" is a CLI override, not a recompile.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "consensus/factory.hpp"
+#include "harness/experiments.hpp"
+#include "sim/latency_model.hpp"
+
+namespace timing::scenario {
+
+/// What generates per-round timeliness for the scenario.
+enum class SamplerKind {
+  kAnalysis,  ///< no sampling: closed-form Section 4 / Appendix C curves
+  kLan,       ///< calibrated LAN latency profile (Section 5.2)
+  kWan,       ///< calibrated 8-site PlanetLab WAN profile (Section 5.3)
+  kIid,       ///< IID Bernoulli(p) links (the Section 4 world, measured)
+  kSchedule,  ///< adversarial / model-conforming schedules (live runs)
+};
+
+std::string to_string(SamplerKind k);
+
+/// How the designated leader is chosen before a run.
+enum class LeaderPolicy {
+  kDefault,  ///< paper's method: UK site on the WAN, best LAN node
+  kAverage,  ///< the "average leader" variant of Section 5.2
+  kFixed,    ///< ScenarioSpec::leader names the process explicitly
+};
+
+std::string to_string(LeaderPolicy p);
+
+struct ScenarioSpec {
+  SamplerKind sampler = SamplerKind::kWan;
+  /// Group size for single-n scenarios (the paper fixes n = 8).
+  int n = 8;
+  /// Per-link timely probability for IID samplers / analysis curves.
+  double iid_p = 0.95;
+  /// Round-timeout sweep (ms); required for latency-model scenarios.
+  std::vector<double> timeouts_ms;
+  /// Independent runs per sweep point. Scenario families reuse this as
+  /// their natural repetition count: consensus instances for the live
+  /// ablation, committed commands for the SMR ablation, Monte-Carlo
+  /// trials for the window-formula ablation.
+  int runs = 33;
+  /// Rounds per run; doubles as the round cap for live-algorithm runs.
+  int rounds_per_run = 300;
+  /// Random decision-window start points per run (the paper uses 15).
+  int start_points = 15;
+  std::uint64_t seed = 42;
+  LeaderPolicy leader_policy = LeaderPolicy::kDefault;
+  /// Explicit leader; only consulted under LeaderPolicy::kFixed.
+  ProcessId leader = kNoProcess;
+  /// Rounds of conforming network needed for global decision per model
+  /// (paper defaults: ES 3, LM 3, WLM 4, AFM 5).
+  std::array<int, kNumModels> decision_rounds{3, 3, 4, 5};
+  /// Protocol under test for live-run scenarios.
+  AlgorithmKind algorithm = AlgorithmKind::kWlm;
+  /// Group-size sweep for the n-scaling scenarios (empty = fixed n).
+  std::vector<int> group_sizes;
+  /// Honour TIMING_RUNS (the paper-figure sweeps do; ablations pin their
+  /// repetition counts).
+  bool honor_env_runs = false;
+  LanProfile lan{};
+  WanProfile wan{};
+  /// Results JSONL output path; empty disables structured emission.
+  std::string results_path;
+};
+
+/// Empty string when the spec is coherent; otherwise a one-line reason
+/// (first violation wins). Checked before every scenario run and by the
+/// override parser's callers.
+std::string validate(const ScenarioSpec& spec);
+
+/// Lower the declarative spec onto the harness execution config.
+/// LeaderPolicy is resolved here (kAverage elects the average leader from
+/// the testbed's expected-RTT matrix).
+ExperimentConfig to_experiment_config(const ScenarioSpec& spec);
+
+/// The leader the spec resolves to on its testbed (kDefault follows the
+/// paper's method; kAverage elects the average leader).
+ProcessId resolve_leader(const ScenarioSpec& spec);
+
+/// Validate + lower + run the Section 5 sweep kernel
+/// (harness/experiments.hpp) for a latency-testbed spec.
+std::vector<TimeoutResult> run_experiment(const ScenarioSpec& spec);
+
+}  // namespace timing::scenario

@@ -1,0 +1,25 @@
+# Golden-output test driver: run BINARY with a clean environment (no
+# TIMING_RUNS / TIMING_THREADS, which legitimately change the sweep) and
+# require its stdout to be byte-identical to the GOLDEN fixture. Pins the
+# migrated figure binaries to the pre-registry output.
+if(NOT DEFINED BINARY OR NOT DEFINED GOLDEN)
+  message(FATAL_ERROR "usage: cmake -DBINARY=... -DGOLDEN=... -P run_and_compare.cmake")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env --unset=TIMING_RUNS --unset=TIMING_THREADS
+          ${BINARY}
+  OUTPUT_VARIABLE actual
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${BINARY} exited with ${rc}")
+endif()
+
+file(READ ${GOLDEN} expected)
+if(NOT actual STREQUAL expected)
+  get_filename_component(fixture ${GOLDEN} NAME_WE)
+  file(WRITE ${fixture}.actual "${actual}")
+  message(FATAL_ERROR
+          "stdout differs from ${GOLDEN}; actual output saved in the test "
+          "working directory as ${fixture}.actual")
+endif()

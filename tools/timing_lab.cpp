@@ -1,0 +1,9 @@
+// timing_lab: the unified experiment driver. Every figure and ablation
+// is a named scenario in the registry; this binary lists them, describes
+// their paper-default parameters, runs them with `key=value` overrides,
+// and validates the results JSONL they emit.
+#include "scenario/cli.hpp"
+
+int main(int argc, char** argv) {
+  return timing::scenario::lab_main(argc, argv);
+}

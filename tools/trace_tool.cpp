@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parse.hpp"
 #include "obs/trace_analysis.hpp"
 
 namespace {
@@ -207,9 +208,19 @@ int main(int argc, char** argv) {
       } else if (std::strcmp(argv[i], "--needed") == 0 && i + 1 < argc) {
         if (!parse_needed(argv[++i], needed)) return usage();
       } else if (std::strcmp(argv[i], "--trial") == 0 && i + 1 < argc) {
-        trial = std::atoi(argv[++i]);
+        // Checked parses (shared with the scenario override grammar):
+        // `--trial 1x` is a usage error, not a silent atoi prefix.
+        if (!timing::parse_int(argv[++i], trial)) {
+          std::fprintf(stderr, "trace_tool: --trial expects an integer, got "
+                               "'%s'\n", argv[i]);
+          return usage();
+        }
       } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
-        top = std::atoi(argv[++i]);
+        if (!timing::parse_int(argv[++i], top) || top < 0) {
+          std::fprintf(stderr, "trace_tool: --top expects a non-negative "
+                               "integer, got '%s'\n", argv[i]);
+          return usage();
+        }
       } else {
         return usage();
       }
