@@ -1,0 +1,13 @@
+// Chaos safety harness: every consensus algorithm of the paper under
+// seeded random fault plans (crashes, partitions, drops, delays, leader
+// suppression), holding each run to agreement/validity/integrity and to
+// a decision within the proven bound after the plan's gsr marker.
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_chaos_consensus; the same run is reachable as
+// `timing_lab run chaos/consensus`.
+#include "scenario/cli.hpp"
+
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("chaos/consensus", argc, argv);
+}

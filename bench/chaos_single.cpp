@@ -1,0 +1,12 @@
+// Chaos safety harness for a single algorithm (algorithm=KEY), under
+// seeded random fault plans or a fixed plan given via fault=PLAN — the
+// replay entry point quoted by chaos violation reports.
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_chaos_single; the same run is reachable as
+// `timing_lab run chaos/single`.
+#include "scenario/cli.hpp"
+
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("chaos/single", argc, argv);
+}

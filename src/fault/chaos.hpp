@@ -1,0 +1,68 @@
+// The chaos safety harness: run the real consensus protocols under
+// randomized-but-replayable fault plans and hold them to the paper's
+// guarantees — agreement, validity and integrity on EVERY trial (the
+// indulgence claim of Sections 2-3: safety under arbitrary asynchrony,
+// crashes and loss), and a decision within the algorithm's proven bound
+// after the plan's gsr marker (liveness once the model holds).
+//
+// A violation report quotes the offending plan spec verbatim: paste it
+// into `timing_lab run chaos/single fault="<spec>" seed=<seed>` (or a
+// plan file) and the trial replays bit for bit.
+#pragma once
+
+#include <string>
+
+#include "consensus/factory.hpp"
+#include "fault/plan.hpp"
+#include "models/timing_model.hpp"
+#include "obs/trace_sink.hpp"
+
+namespace timing::fault {
+
+/// The timing model each algorithm was designed against (drives the
+/// post-gsr conforming schedule).
+TimingModel native_model(AlgorithmKind k) noexcept;
+
+/// Paper round bound after gsr with a stable leader from gsr-1 (Theorem
+/// 10 and the per-algorithm analyses; 60 for Paxos, which has no
+/// constant bound under <>WLM).
+int bound_after_gsr(AlgorithmKind k) noexcept;
+
+/// A seeded random plan exercising every fault kind: a pre-gsr mix of
+/// permanent crashes (never the leader, always leaving a correct
+/// majority), a recoverable crash, partitions, probabilistic drops,
+/// delays and leader suppression, closed by a gsr marker. Always passes
+/// validate(plan, n, leader); plan.source carries the canonical spec.
+FaultPlan random_fault_plan(int n, ProcessId leader, std::uint64_t seed);
+
+struct ChaosTrialConfig {
+  int n = 5;
+  ProcessId leader = 0;
+  std::uint64_t seed = 1;
+  /// Pre-gsr per-link timeliness of the underlying schedule (the faults
+  /// are injected on top of this baseline chaos).
+  double pre_gsr_p = 0.4;
+  int max_rounds = 500;
+  FaultPlan plan;  ///< must pass validate(plan, n, leader) with a gsr
+  /// Optional: receives the full engine + injection trace of the run.
+  TraceSink* trace = nullptr;
+};
+
+struct ChaosRunResult {
+  AlgorithmKind kind = AlgorithmKind::kWlm;
+  bool safety_ok = true;   ///< agreement + validity + integrity + trace
+  bool liveness_ok = true; ///< decided, and by gsr + bound_after_gsr
+  Round global_decision_round = -1;
+  long long fault_events = 0;
+  /// "" when ok; otherwise the full replayable report (config line +
+  /// verbatim plan spec).
+  std::string violation;
+
+  bool ok() const noexcept { return safety_ok && liveness_ok; }
+};
+
+/// One algorithm under one plan. Deterministic in (kind, cfg).
+ChaosRunResult run_chaos_algorithm(AlgorithmKind kind,
+                                   const ChaosTrialConfig& cfg);
+
+}  // namespace timing::fault

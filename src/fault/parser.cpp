@@ -1,0 +1,242 @@
+#include "fault/parser.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/parse.hpp"
+
+namespace timing::fault {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t\r");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t\r");
+  return s.substr(a, b - a + 1);
+}
+
+/// Whitespace-separated tokens of one statement.
+std::vector<std::string> tokenize(const std::string& stmt) {
+  std::vector<std::string> out;
+  std::istringstream is(stmt);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+bool parse_pid(const std::string& s, ProcessId& out) {
+  int v = 0;
+  if (!parse_int(s, v) || v < 0) return false;
+  out = v;
+  return true;
+}
+
+/// 'p' or the '*' wildcard (-> kNoProcess).
+bool parse_endpoint(const std::string& s, ProcessId& out) {
+  if (s == "*") {
+    out = kNoProcess;
+    return true;
+  }
+  return parse_pid(s, out);
+}
+
+/// "@<r>" single round.
+bool parse_at_round(const std::string& tok, Round& out) {
+  if (tok.size() < 2 || tok[0] != '@') return false;
+  int v = 0;
+  if (!parse_int(tok.substr(1), v)) return false;
+  out = v;
+  return true;
+}
+
+/// "@<from>..<to>" half-open window.
+bool parse_at_window(const std::string& tok, Round& from, Round& to) {
+  if (tok.size() < 2 || tok[0] != '@') return false;
+  const std::string body = tok.substr(1);
+  const std::size_t dots = body.find("..");
+  if (dots == std::string::npos) return false;
+  int a = 0, b = 0;
+  if (!parse_int(body.substr(0, dots), a)) return false;
+  if (!parse_int(body.substr(dots + 2), b)) return false;
+  from = a;
+  to = b;
+  return true;
+}
+
+/// "<src|*>-><dst|*>" link designator.
+bool parse_link(const std::string& tok, ProcessId& src, ProcessId& dst) {
+  const std::size_t arrow = tok.find("->");
+  if (arrow == std::string::npos) return false;
+  return parse_endpoint(tok.substr(0, arrow), src) &&
+         parse_endpoint(tok.substr(arrow + 2), dst);
+}
+
+/// One statement -> event; "" or the reason.
+std::string parse_statement(const std::string& stmt, FaultEvent& e) {
+  const std::vector<std::string> tok = tokenize(stmt);
+  if (tok.empty()) return "empty statement";
+  const std::string& kw = tok[0];
+
+  if (kw == "crash" || kw == "recover") {
+    e.kind = kw == "crash" ? FaultKind::kCrash : FaultKind::kRecover;
+    if (tok.size() != 3) return "expected '" + kw + " <p> @<round>'";
+    if (!parse_pid(tok[1], e.proc)) return "bad process id '" + tok[1] + "'";
+    if (!parse_at_round(tok[2], e.from)) {
+      return "bad round '" + tok[2] + "' (expected @<round>)";
+    }
+    return "";
+  }
+
+  if (kw == "partition") {
+    e.kind = FaultKind::kPartition;
+    if (tok.size() != 3) {
+      return "expected 'partition <g0>|<g1>[|...] @<from>..<to>'";
+    }
+    for (const std::string& group : split(tok[1], '|')) {
+      std::vector<ProcessId> members;
+      for (const std::string& id : split(group, ',')) {
+        ProcessId p = kNoProcess;
+        if (!parse_pid(id, p)) return "bad process id '" + id + "'";
+        members.push_back(p);
+      }
+      e.groups.push_back(std::move(members));
+    }
+    if (!parse_at_window(tok[2], e.from, e.to)) {
+      return "bad window '" + tok[2] + "' (expected @<from>..<to>)";
+    }
+    return "";
+  }
+
+  if (kw == "drop") {
+    e.kind = FaultKind::kDrop;
+    if (tok.size() != 3 && tok.size() != 4) {
+      return "expected 'drop <src>-><dst> @<from>..<to> [p=<prob>]'";
+    }
+    if (!parse_link(tok[1], e.src, e.dst)) {
+      return "bad link '" + tok[1] + "' (expected <src|*>-><dst|*>)";
+    }
+    if (!parse_at_window(tok[2], e.from, e.to)) {
+      return "bad window '" + tok[2] + "' (expected @<from>..<to>)";
+    }
+    if (tok.size() == 4) {
+      if (tok[3].rfind("p=", 0) != 0 ||
+          !parse_double(tok[3].substr(2), e.prob)) {
+        return "bad probability '" + tok[3] + "' (expected p=<prob>)";
+      }
+    }
+    return "";
+  }
+
+  if (kw == "delay") {
+    e.kind = FaultKind::kDelay;
+    if (tok.size() != 4) {
+      return "expected 'delay <src>-><dst> +<ms>ms @<from>..<to>'";
+    }
+    if (!parse_link(tok[1], e.src, e.dst)) {
+      return "bad link '" + tok[1] + "' (expected <src|*>-><dst|*>)";
+    }
+    const std::string& amt = tok[2];
+    if (amt.size() < 4 || amt[0] != '+' ||
+        amt.compare(amt.size() - 2, 2, "ms") != 0 ||
+        !parse_double(amt.substr(1, amt.size() - 3), e.extra_ms)) {
+      return "bad amount '" + amt + "' (expected +<ms>ms)";
+    }
+    if (!parse_at_window(tok[3], e.from, e.to)) {
+      return "bad window '" + tok[3] + "' (expected @<from>..<to>)";
+    }
+    return "";
+  }
+
+  if (kw == "suppress_leader") {
+    e.kind = FaultKind::kSuppressLeader;
+    if (tok.size() != 2) return "expected 'suppress_leader @<from>..<to>'";
+    if (!parse_at_window(tok[1], e.from, e.to)) {
+      return "bad window '" + tok[1] + "' (expected @<from>..<to>)";
+    }
+    return "";
+  }
+
+  if (kw == "gsr") {
+    e.kind = FaultKind::kGsr;
+    if (tok.size() != 2) return "expected 'gsr @<round>'";
+    if (!parse_at_round(tok[1], e.from)) {
+      return "bad round '" + tok[1] + "' (expected @<round>)";
+    }
+    return "";
+  }
+
+  return "unknown statement '" + kw +
+         "' (known: crash, recover, partition, drop, delay, "
+         "suppress_leader, gsr)";
+}
+
+ParseResult parse_with_locations(const std::string& text,
+                                 const char* unit_name) {
+  ParseResult out;
+  out.plan.source = text;
+  const bool by_line = std::string(unit_name) == "line";
+  std::size_t line_no = 0;
+  std::size_t stmt_no = 0;
+  for (const std::string& line : split(text, '\n')) {
+    ++line_no;
+    for (const std::string& raw : split(line, ';')) {
+      ++stmt_no;
+      std::string stmt = raw;
+      const std::size_t hash = stmt.find('#');
+      if (hash != std::string::npos) stmt.resize(hash);
+      stmt = trim(stmt);
+      if (stmt.empty()) continue;
+      FaultEvent e;
+      const std::string err = parse_statement(stmt, e);
+      if (!err.empty()) {
+        out.error = std::string(unit_name) + " " +
+                    std::to_string(by_line ? line_no : stmt_no) + ": " + err;
+        return out;
+      }
+      if (e.kind == FaultKind::kGsr) out.plan.gsr = e.from;
+      out.plan.events.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ParseResult parse_fault_plan(const std::string& text) {
+  // ';' never spans lines, so with pure-newline input each unit index is
+  // exactly the 1-based line number.
+  const bool inline_form = text.find('\n') == std::string::npos &&
+                           text.find(';') != std::string::npos;
+  return parse_with_locations(text, inline_form ? "statement" : "line");
+}
+
+ParseResult load_fault_plan(const std::string& value) {
+  std::ifstream in(value);
+  if (in) {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    ParseResult out = parse_with_locations(buf.str(), "line");
+    if (!out.ok()) out.error = value + ": " + out.error;
+    return out;
+  }
+  return parse_fault_plan(value);
+}
+
+}  // namespace timing::fault

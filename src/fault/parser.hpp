@@ -1,0 +1,42 @@
+// Text grammar for fault plans. One statement per line (or ';' separated
+// when inline); '#' starts a comment; blank lines ignored:
+//
+//   crash <p> @<r>
+//   recover <p> @<r>
+//   partition <g0>|<g1>[|...] @<from>..<to>    groups are comma-separated
+//   drop <src|*>-><dst|*> @<from>..<to> [p=<prob>]
+//   delay <src|*>-><dst|*> +<ms>ms @<from>..<to>
+//   suppress_leader @<from>..<to>
+//   gsr @<r>
+//
+// Windows are half-open rounds [from, to); '*' endpoints mean "every
+// process". Numbers go through common/parse checked parsers, so trailing
+// garbage is a parse error with the offending line number, never a
+// silent truncation.
+#pragma once
+
+#include <string>
+
+#include "fault/plan.hpp"
+
+namespace timing::fault {
+
+struct ParseResult {
+  FaultPlan plan;
+  /// "" on success; otherwise "line N: ..." (file/newline input) or
+  /// "statement N: ..." (inline ';' input).
+  std::string error;
+
+  bool ok() const noexcept { return error.empty(); }
+};
+
+/// Parse plan text. Statements are separated by newlines and/or ';'.
+/// Does NOT run validate(); callers bind n/leader first.
+ParseResult parse_fault_plan(const std::string& text);
+
+/// Resolve a scenario `fault=` value: if `value` names a readable file,
+/// parse its contents (errors cite "<value>: line N"); otherwise treat
+/// it as an inline spec. plan.source keeps the raw text either way.
+ParseResult load_fault_plan(const std::string& value);
+
+}  // namespace timing::fault

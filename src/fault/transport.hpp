@@ -1,0 +1,55 @@
+// Live-path fault injection: a Transport decorator that applies the same
+// FaultPlan the sim injector applies, keyed off the GIRAF round stamped
+// in each envelope frame. Usable under InProcHub and UdpTransport with
+// the roundsync runner; ping/pong probe frames pass through untouched
+// (faults are message-adversary behaviour, not clock sabotage).
+//
+// Rules, per envelope of round k (decided by the shared FaultInjector,
+// so the drop coins match the sim backend bit for bit):
+//  * sender or recipient crash-isolated in k  -> datagram dropped
+//  * src->dst crosses an active partition     -> dropped
+//  * sender is the suppressed leader          -> dropped
+//  * a drop rule's coin fires                 -> dropped
+//  * delay rules                              -> datagram held for the
+//    extra milliseconds and delivered late (on the recv side)
+// Drops happen on the send side — send() still returns true, the
+// "network" ate the datagram — except the recipient-crash check, which
+// also runs on the recv side to cover senders that are not themselves
+// decorated. Every action emits a FaultInjected trace event.
+#pragma once
+
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "net/transport.hpp"
+
+namespace timing::fault {
+
+class FaultInjectedTransport final : public Transport {
+ public:
+  /// Both referents are caller-owned and must outlive the decorator.
+  /// recv() must not be called concurrently with itself (one receiver
+  /// thread per process, the roundsync discipline).
+  FaultInjectedTransport(Transport& inner, const FaultInjector& injector)
+      : inner_(inner), injector_(injector) {}
+
+  bool send(ProcessId dst, const Bytes& bytes) override;
+  bool recv(Bytes& out, ProcessId& from, Clock::time_point deadline) override;
+  ProcessId self() const noexcept override { return inner_.self(); }
+
+ private:
+  struct HeldPacket {
+    Clock::time_point due;
+    ProcessId from;
+    Bytes bytes;
+  };
+
+  /// Earliest due held packet at or before `now`, if any.
+  bool pop_due(Clock::time_point now, Bytes& out, ProcessId& from);
+
+  Transport& inner_;
+  const FaultInjector& injector_;
+  std::vector<HeldPacket> held_;  ///< recv-thread only
+};
+
+}  // namespace timing::fault

@@ -79,7 +79,8 @@ bool UdpTransport::recv(Bytes& out, ProcessId& from,
       if (errno == EINTR) continue;
       return false;
     }
-    if (rv == 0) return false;  // timeout
+    if (rv == 0) continue;  // poll's ms wait is truncated; the loop's
+                            // deadline check decides the real timeout
     out.resize(65536);
     sockaddr_in src{};
     socklen_t srclen = sizeof src;

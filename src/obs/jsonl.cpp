@@ -23,6 +23,7 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kPredicateEval: return "pred";
     case EventKind::kDecide: return "decide";
     case EventKind::kCrash: return "crash";
+    case EventKind::kFaultInjected: return "fault";
   }
   return "unknown";
 }
@@ -87,7 +88,7 @@ std::optional<std::string> find_str(const std::string& line,
 }
 
 std::optional<EventKind> kind_from_string(const std::string& s) {
-  for (int k = 0; k <= static_cast<int>(EventKind::kCrash); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kFaultInjected); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (s == to_string(kind)) return kind;
   }
@@ -136,6 +137,16 @@ std::string to_jsonl(const TraceEvent& e) {
       break;
     case EventKind::kCrash:
       append_field(s, "p", e.proc);
+      break;
+    case EventKind::kFaultInjected:
+      // "fk" is the FaultKind of fault/plan.hpp; the subject fields are
+      // per kind and omitted at their sentinel (kNoProcess / 0) so the
+      // encoding stays injective under the sentinel-default round-trip.
+      append_field(s, "fk", e.rule);
+      if (e.proc != kNoProcess) append_field(s, "p", e.proc);
+      if (e.src != kNoProcess) append_field(s, "s", e.src);
+      if (e.dst != kNoProcess) append_field(s, "d", e.dst);
+      if (e.delay != 0) append_field(s, "delay", e.delay);
       break;
   }
   s += "}";
@@ -254,6 +265,25 @@ ParsedTrace parse_trace(std::istream& in) {
         e.proc = check_pid(require_int(line, "p", line_no), cur_n, "proc",
                            line_no);
         break;
+      case EventKind::kFaultInjected: {
+        const long long fk = require_int(line, "fk", line_no);
+        if (fk < 1 || fk > 255) fail(line_no, "fault kind out of range");
+        e.rule = static_cast<std::uint8_t>(fk);
+        if (const auto p = find_int(line, "p", line_no)) {
+          e.proc = check_pid(*p, cur_n, "proc", line_no);
+        }
+        if (const auto s_ = find_int(line, "s", line_no)) {
+          e.src = check_pid(*s_, cur_n, "src", line_no);
+        }
+        if (const auto d = find_int(line, "d", line_no)) {
+          e.dst = check_pid(*d, cur_n, "dst", line_no);
+        }
+        if (const auto dl = find_int(line, "delay", line_no)) {
+          if (*dl < 1) fail(line_no, "fault delay must be >= 1");
+          e.delay = static_cast<int>(*dl);
+        }
+        break;
+      }
     }
     trace.trials.back().events.push_back(e);
   }

@@ -14,6 +14,8 @@
 //   {"e":"pred","k":1,"sat":13}                    <- bit i = model index i
 //   {"e":"decide","k":5,"p":1,"v":42,"rule":2}
 //   {"e":"crash","k":3,"p":2}
+//   {"e":"fault","k":2,"fk":4,"s":0,"d":1}        <- fk = FaultKind
+
 //   {"e":"round_end","k":1}
 //   {"e":"trial","id":1}
 //   ...

@@ -25,6 +25,7 @@ int phase_rank(EventKind k) noexcept {
     case EventKind::kPredicateEval:
     case EventKind::kDecide: return 3;
     case EventKind::kRoundEnd: return 4;
+    case EventKind::kFaultInjected: return -1;  // exempt, see validate_trace
   }
   return 5;
 }
@@ -121,6 +122,9 @@ TrialSummary summarize_trial(const TrialTrace& trial, int n,
       case EventKind::kCrash:
         out.crashes.push_back(e);
         break;
+      case EventKind::kFaultInjected:
+        ++out.fault_events;
+        break;
       case EventKind::kRoundStart:
       case EventKind::kRoundEnd:
         break;
@@ -191,6 +195,16 @@ std::string validate_trace(const ParsedTrace& trace) {
         return err.str();
       };
 
+      if (e.kind == EventKind::kFaultInjected) {
+        // Sim-path injection happens while round k is being *sampled*,
+        // i.e. after RoundEnd(k-1) and before the engine's RoundStart(k),
+        // so fault events are exempt from the open-round and phase
+        // checks. They still may not reference an already-closed round.
+        if (e.round < last_started) {
+          return fail("fault event for an already-closed round");
+        }
+        continue;
+      }
       if (e.kind == EventKind::kRoundStart) {
         if (open_round >= 0) return fail("previous round never ended");
         if (e.round <= last_started) {

@@ -59,6 +59,7 @@ struct TrialSummary {
   std::vector<LeaderSpan> leader_spans;
   std::vector<TraceEvent> decides;       ///< in emission order
   std::vector<TraceEvent> crashes;
+  long long fault_events = 0;            ///< FaultInjected events recorded
   Round global_decision_round = -1;      ///< max decide round, -1 if none
 
   double incidence(int model) const noexcept {
@@ -101,6 +102,9 @@ TraceSummary summarize_trace(const ParsedTrace& trace,
 /// RoundEnd; every delivery/loss follows its MsgSent (in trials that
 /// record sends); at most one Decide and one Crash per process. Returns
 /// "" when valid, else a description of the first violation.
+/// FaultInjected events are exempt from the open-round/phase checks
+/// (sim-path injection edits round k's matrix before the engine opens
+/// round k) but may not reference an already-closed round.
 std::string validate_trace(const ParsedTrace& trace);
 
 struct TraceDiff {

@@ -42,6 +42,7 @@ enum class EventKind : std::uint8_t {
   kPredicateEval, ///< which model predicates round k's matrix satisfied
   kDecide,        ///< proc decided `value` in round k (rule = protocol tag)
   kCrash,         ///< proc stopped taking steps from round k on
+  kFaultInjected, ///< a fault-plan event acted on round k (rule = FaultKind)
 };
 
 /// Stable wire names (the "e" field of the JSONL encoding).
@@ -114,6 +115,25 @@ struct TraceEvent {
     e.kind = EventKind::kCrash;
     e.round = k;
     e.proc = proc;
+    return e;
+  }
+  /// Fault injection acting on round k. `fault_kind` is the FaultKind of
+  /// fault/plan.hpp (stored in `rule`); proc/src/dst/delay are filled per
+  /// kind (crash/recover -> proc, drop/delay -> src,dst, delay -> extra
+  /// rounds in `delay`). Emitted by both injection backends, so sim and
+  /// live traces agree on which rounds a plan touched.
+  static TraceEvent fault(Round k, std::uint8_t fault_kind,
+                          ProcessId proc = kNoProcess,
+                          ProcessId src = kNoProcess,
+                          ProcessId dst = kNoProcess, int delay = 0) {
+    TraceEvent e;
+    e.kind = EventKind::kFaultInjected;
+    e.round = k;
+    e.rule = fault_kind;
+    e.proc = proc;
+    e.src = src;
+    e.dst = dst;
+    e.delay = delay;
     return e;
   }
 };

@@ -7,7 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/table.hpp"
+#include "fault/chaos.hpp"
+#include "fault/parser.hpp"
 #include "scenario/overrides.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/results.hpp"
@@ -59,6 +62,31 @@ void print_spec(std::ostream& os, const ScenarioSpec& spec) {
   os << "  (ES,LM,WLM,AFM)\n";
   os << "  group_sizes      "
      << (spec.group_sizes.empty() ? "-" : join_ints(spec.group_sizes)) << "\n";
+  if (!spec.fault_spec.empty()) {
+    os << "  fault            " << spec.fault_spec << "\n";
+  }
+}
+
+/// The fault-plan timeline `describe` appends for chaos scenarios (and
+/// for any scenario given a fault= override): the fixed plan when one is
+/// set, otherwise trial 0's random plan as a sample of the family.
+void print_fault_timeline(std::ostream& os, const ScenarioSpec& spec) {
+  if (!spec.fault_spec.empty()) {
+    const fault::ParseResult pr = fault::load_fault_plan(spec.fault_spec);
+    if (!pr.ok()) {  // validate() reports this on `run`; stay informative
+      os << "\nfault plan: " << pr.error << "\n";
+      return;
+    }
+    os << "\nfault plan (every trial):\n" << fault::timeline(pr.plan);
+    return;
+  }
+  const ProcessId leader =
+      spec.leader_policy == LeaderPolicy::kFixed ? spec.leader : 0;
+  const fault::FaultPlan plan = fault::random_fault_plan(
+      spec.n, leader, substream_seed(spec.seed, 0));
+  os << "\nfault plan (trial 0 of seed " << spec.seed
+     << "; every trial draws a fresh one):\n"
+     << fault::timeline(plan);
 }
 
 void print_bench_usage(std::ostream& os, const char* name,
@@ -117,11 +145,16 @@ void print_lab_usage(std::ostream& os) {
   os << "usage: timing_lab <command> [args]\n\n"
         "commands:\n"
         "  list                         all registered scenarios\n"
-        "  describe <scenario>          defaults + override grammar\n"
+        "  describe <scenario> [key=value ...]\n"
+        "                               defaults + override grammar; chaos\n"
+        "                               scenarios print the resolved\n"
+        "                               fault-plan timeline\n"
         "  run <scenario> [--csv] [--no-jsonl] [key=value ...]\n"
         "                               execute with overrides; results\n"
         "                               JSONL is written by default\n"
-        "  validate <results.jsonl>     strict-parse a results file\n"
+        "  validate <file>              strict-parse a results JSONL file\n"
+        "                               or a fault-plan file (sniffed by\n"
+        "                               the first byte)\n"
         "  help                         this text\n\n"
         "overrides:\n"
      << override_help();
@@ -137,17 +170,28 @@ int lab_list() {
   return 0;
 }
 
-int lab_describe(const std::string& name) {
+int lab_describe(int argc, char** argv) {
+  const std::string name = argv[2];
   const Scenario* sc = find_scenario(name);
   if (!sc) {
     std::cerr << "error: unknown scenario '" << name
               << "' (see `timing_lab list`)\n";
     return 2;
   }
+  ScenarioSpec spec = sc->defaults();
+  const CliArgs args = apply_cli_args(spec, argc, argv, 3);
+  if (!args.error.empty()) {
+    std::cerr << "error: " << args.error << "\n";
+    return 2;
+  }
   std::cout << sc->name << " - " << sc->figure << "\n"
             << sc->summary << "\n"
-            << "binary: " << sc->binary << "\n\ndefaults:\n";
-  print_spec(std::cout, sc->defaults());
+            << "binary: " << sc->binary << "\n\n"
+            << (argc > 3 ? "resolved spec:\n" : "defaults:\n");
+  print_spec(std::cout, spec);
+  if (sc->figure == std::string("chaos") || !spec.fault_spec.empty()) {
+    print_fault_timeline(std::cout, spec);
+  }
   std::cout << "\noverrides:\n" << override_help();
   return 0;
 }
@@ -204,16 +248,45 @@ int lab_run(int argc, char** argv) {
 }
 
 int lab_validate(const std::string& path) {
-  try {
-    const ParsedResults parsed = parse_results_file(path);
-    std::cout << "ok: scenario '" << parsed.scenario << "', schema v"
-              << parsed.version << ", " << parsed.tables.size()
-              << " table(s), " << parsed.total_rows() << " row(s)\n";
-    return 0;
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << "\n";
+  std::ifstream sniff(path);
+  if (!sniff) {
+    std::cerr << "error: cannot open '" << path << "'\n";
     return 1;
   }
+  char first = 0;
+  sniff >> first;  // first non-whitespace byte decides the format
+  sniff.close();
+  if (first == '{') {
+    try {
+      const ParsedResults parsed = parse_results_file(path);
+      std::cout << "ok: scenario '" << parsed.scenario << "', schema v"
+                << parsed.version << ", " << parsed.tables.size()
+                << " table(s), " << parsed.total_rows() << " row(s)\n";
+      return 0;
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+  // Anything else is a fault-plan file; the parser reports
+  // "<path>: line N: ..." and validate() names the offending event.
+  const fault::ParseResult pr = fault::load_fault_plan(path);
+  if (!pr.ok()) {
+    std::cerr << "error: " << pr.error << "\n";
+    return 1;
+  }
+  const int n = fault::min_processes(pr.plan);
+  const std::string verr = fault::validate(pr.plan, n);
+  if (!verr.empty()) {
+    std::cerr << "error: " << path << ": " << verr << "\n";
+    return 1;
+  }
+  std::cout << "ok: fault plan, " << pr.plan.events.size() << " event(s), "
+            << (pr.plan.gsr >= 1
+                    ? "gsr @" + std::to_string(pr.plan.gsr)
+                    : std::string("no gsr marker (pure-safety plan)"))
+            << ", fits n >= " << n << "\n";
+  return 0;
 }
 
 }  // namespace
@@ -256,7 +329,7 @@ int lab_main(int argc, char** argv) {
       std::cerr << "error: describe needs a scenario name\n";
       return 2;
     }
-    return lab_describe(argv[2]);
+    return lab_describe(argc, argv);
   }
   if (cmd == "run") return lab_run(argc, argv);
   if (cmd == "validate") {

@@ -96,6 +96,12 @@ std::string apply_override(ScenarioSpec& spec, const std::string& key,
     spec.results_path = value;  // empty disables structured emission
     return "";
   }
+  if (key == "fault") {
+    // Parse/validation happens in scenario::validate(), where n and the
+    // leader are known; here we only keep the raw value.
+    spec.fault_spec = value;
+    return "";
+  }
   return "unknown key";
 }
 
@@ -148,7 +154,12 @@ std::string override_help() {
       "                      variant / fixed process id)\n"
       "  algorithm=KEY       protocol for live-run scenarios (wlm, es3,\n"
       "                      lm3, afm5, lm_over_wlm, paxos)\n"
-      "  jsonl=PATH          write results JSONL to PATH ('' disables)\n";
+      "  jsonl=PATH          write results JSONL to PATH ('' disables)\n"
+      "  fault=PLAN          fault plan: a plan-file path or an inline\n"
+      "                      ';'-separated spec, e.g.\n"
+      "                      \"crash 1 @2; recover 1 @5; gsr @8\"\n"
+      "                      (grammar: docs/FAULTS.md; chaos/* scenarios\n"
+      "                      generate seeded random plans when unset)\n";
 }
 
 int runs_or_default(int paper_default) {

@@ -109,6 +109,21 @@ ScenarioSpec group_size_defaults() {
   return s;
 }
 
+// -- Chaos (fault-injection safety harness) ----------------------------
+
+ScenarioSpec chaos_defaults() {
+  ScenarioSpec s;
+  s.sampler = SamplerKind::kSchedule;
+  s.n = 5;
+  s.iid_p = 0.4;  // pre-gsr per-link timeliness under the faults
+  s.runs = 200;   // fault plans (one fresh seeded plan per trial)
+  s.rounds_per_run = 80;  // floor for the round cap (bound-extended)
+  s.seed = 0xc4a05;
+  s.leader_policy = LeaderPolicy::kFixed;
+  s.leader = 0;
+  return s;
+}
+
 ScenarioSpec smr_cost_defaults() {
   ScenarioSpec s;
   s.sampler = SamplerKind::kSchedule;
@@ -165,6 +180,12 @@ const std::vector<Scenario> kRegistry = {
     {"ablation/smr_cost", "ablation_smr_cost", "ablation",
      "Steady-state replication cost per committed command",
      smr_cost_defaults, run_ablation_smr_cost},
+    {"chaos/consensus", "chaos_consensus", "chaos",
+     "All four consensus algorithms under seeded random fault plans",
+     chaos_defaults, run_chaos_consensus},
+    {"chaos/single", "chaos_single", "chaos",
+     "One algorithm (algorithm=KEY) under random or given fault plans",
+     chaos_defaults, run_chaos_single},
 };
 
 }  // namespace

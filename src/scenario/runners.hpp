@@ -30,5 +30,7 @@ int run_ablation_simulation_cost(const ScenarioSpec& spec,
                                  const RunContext& ctx);
 int run_ablation_group_size(const ScenarioSpec& spec, const RunContext& ctx);
 int run_ablation_smr_cost(const ScenarioSpec& spec, const RunContext& ctx);
+int run_chaos_consensus(const ScenarioSpec& spec, const RunContext& ctx);
+int run_chaos_single(const ScenarioSpec& spec, const RunContext& ctx);
 
 }  // namespace timing::scenario

@@ -1,6 +1,7 @@
 #include "scenario/spec.hpp"
 
 #include "common/check.hpp"
+#include "fault/parser.hpp"
 #include "oracles/omega.hpp"
 
 namespace timing::scenario {
@@ -56,6 +57,14 @@ std::string validate(const ScenarioSpec& spec) {
   }
   for (int gs : spec.group_sizes) {
     if (gs < 2) return "group_sizes entries must be >= 2";
+  }
+  if (!spec.fault_spec.empty()) {
+    const fault::ParseResult pr = fault::load_fault_plan(spec.fault_spec);
+    if (!pr.ok()) return "bad fault plan: " + pr.error;
+    const ProcessId ld =
+        spec.leader_policy == LeaderPolicy::kFixed ? spec.leader : kNoProcess;
+    const std::string ferr = fault::validate(pr.plan, spec.n, ld);
+    if (!ferr.empty()) return "bad fault plan: " + ferr;
   }
   return "";
 }

@@ -74,6 +74,11 @@ struct ScenarioSpec {
   WanProfile wan{};
   /// Results JSONL output path; empty disables structured emission.
   std::string results_path;
+  /// Fault plan (`fault=` override): a plan-file path or an inline
+  /// ';'-separated spec (grammar in fault/parser.hpp). Empty = no
+  /// injection; the chaos/* scenarios then generate a fresh seeded
+  /// random plan per trial.
+  std::string fault_spec;
 };
 
 /// Empty string when the spec is coherent; otherwise a one-line reason

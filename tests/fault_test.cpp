@@ -1,0 +1,512 @@
+// Tests for the fault-injection subsystem (src/fault): the plan grammar
+// and validator, the sim-path injector's matrix edits, the no-fault
+// byte-identity guarantee of the sampler decorator, determinism of the
+// chaos harness across thread counts, and sim-vs-live agreement — the
+// FaultInjectedTransport acting exactly where the shared FaultInjector
+// says it must.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "consensus/factory.hpp"
+#include "fault/chaos.hpp"
+#include "fault/injector.hpp"
+#include "fault/parser.hpp"
+#include "fault/transport.hpp"
+#include "giraf/engine.hpp"
+#include "models/schedule.hpp"
+#include "net/frame.hpp"
+#include "net/transport.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/trace_analysis.hpp"
+#include "oracles/omega.hpp"
+#include "roundsync/roundsync.hpp"
+
+namespace timing::fault {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Grammar: parse, round-trip, errors
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanParser, ParsesEveryStatementKind) {
+  const char* text =
+      "# adversary for the demo\n"
+      "crash 1 @2\n"
+      "recover 1 @5\n"
+      "partition 0,2|3,4 @2..6\n"
+      "drop 0->3 @2..6 p=0.5\n"
+      "drop *->2 @3..4\n"
+      "delay 4->0 +2.5ms @1..7\n"
+      "suppress_leader @3..5\n"
+      "gsr @8\n";
+  const ParseResult pr = parse_fault_plan(text);
+  ASSERT_TRUE(pr.ok()) << pr.error;
+  ASSERT_EQ(pr.plan.events.size(), 8u);
+  EXPECT_EQ(pr.plan.gsr, 8);
+  EXPECT_EQ(pr.plan.events[0].kind, FaultKind::kCrash);
+  EXPECT_EQ(pr.plan.events[0].proc, 1);
+  EXPECT_EQ(pr.plan.events[3].prob, 0.5);
+  EXPECT_EQ(pr.plan.events[4].src, kNoProcess);  // '*' wildcard
+  EXPECT_EQ(pr.plan.events[5].extra_ms, 2.5);
+  ASSERT_EQ(pr.plan.events[2].groups.size(), 2u);
+  EXPECT_EQ(pr.plan.events[2].groups[1], (std::vector<ProcessId>{3, 4}));
+  EXPECT_TRUE(validate(pr.plan, 5, /*leader=*/0).empty());
+}
+
+TEST(FaultPlanParser, SpecRoundTripsExactly) {
+  const char* text =
+      "crash 2 @1; partition 0|1,3 @2..4; drop 1->0 @2..4 p=0.25; "
+      "delay 0->1 +3ms @1..3; suppress_leader @2..3; gsr @5";
+  const ParseResult pr = parse_fault_plan(text);
+  ASSERT_TRUE(pr.ok()) << pr.error;
+  const ParseResult again = parse_fault_plan(pr.plan.spec());
+  ASSERT_TRUE(again.ok()) << again.error;
+  EXPECT_EQ(again.plan.events, pr.plan.events);
+  EXPECT_EQ(again.plan.gsr, pr.plan.gsr);
+}
+
+TEST(FaultPlanParser, ReportsLineAccurateErrors) {
+  const ParseResult pr = parse_fault_plan("crash 1 @2\nfrob 3 @4\n");
+  ASSERT_FALSE(pr.ok());
+  EXPECT_NE(pr.error.find("line 2"), std::string::npos) << pr.error;
+  EXPECT_NE(pr.error.find("frob"), std::string::npos) << pr.error;
+
+  // Inline ';'-separated specs count statements instead.
+  const ParseResult inl = parse_fault_plan("crash 1 @2; drop 0>1 @2..3");
+  ASSERT_FALSE(inl.ok());
+  EXPECT_NE(inl.error.find("statement 2"), std::string::npos) << inl.error;
+}
+
+TEST(FaultPlanValidate, RejectsStructuralViolations) {
+  const auto err = [](const char* text, int n) {
+    const ParseResult pr = parse_fault_plan(text);
+    EXPECT_TRUE(pr.ok()) << pr.error;
+    return validate(pr.plan, n);
+  };
+  EXPECT_NE(err("crash 1 @2; crash 1 @3; gsr @5", 3), "");   // double crash
+  EXPECT_NE(err("recover 1 @3; gsr @5", 3), "");             // no crash
+  EXPECT_NE(err("crash 2 @3; recover 2 @3; gsr @5", 3), ""); // not after
+  EXPECT_NE(err("drop 0->0 @1..3; gsr @5", 3), "");          // self link
+  EXPECT_NE(err("drop 0->1 @2..6; gsr @5", 3), "");          // past gsr
+  EXPECT_NE(err("partition 0,1|1,2 @1..3; gsr @5", 3), "");  // overlap
+  EXPECT_NE(err("crash 4 @1; gsr @5", 3), "");               // pid range
+  EXPECT_NE(err("crash 1 @1; crash 2 @1; gsr @5", 3), "");   // majority
+  EXPECT_EQ(err("crash 1 @1; gsr @5", 3), "");
+  // The leader must stay correct under a terminal plan.
+  const ParseResult pr = parse_fault_plan("crash 0 @2; gsr @5");
+  ASSERT_TRUE(pr.ok());
+  EXPECT_NE(validate(pr.plan, 3, /*leader=*/0), "");
+  EXPECT_EQ(validate(pr.plan, 3, /*leader=*/1), "");
+}
+
+TEST(FaultPlan, MinProcessesAndTimeline) {
+  const ParseResult pr =
+      parse_fault_plan("drop 1->4 @2..3\ncrash 2 @1\ngsr @4\n");
+  ASSERT_TRUE(pr.ok()) << pr.error;
+  EXPECT_EQ(min_processes(pr.plan), 5);
+  const std::string tl = timeline(pr.plan);
+  // Sorted by activation round: the crash line precedes the drop line.
+  EXPECT_LT(tl.find("crash 2"), tl.find("drop 1->4"));
+  EXPECT_NE(tl.find("rounds 2..2"), std::string::npos) << tl;
+}
+
+// ---------------------------------------------------------------------------
+// Sim-path injector semantics
+// ---------------------------------------------------------------------------
+
+FaultPlan golden_plan() {
+  const ParseResult pr = parse_fault_plan(
+      "crash 2 @2; recover 2 @4; partition 0,1|3 @2..4; "
+      "drop 1->0 @2..4 p=1; gsr @5");
+  TM_CHECK(pr.ok(), "golden plan must parse");
+  return pr.plan;
+}
+
+TEST(FaultInjector, EditsMatchThePlan) {
+  const int n = 4;
+  InjectorConfig cfg;
+  cfg.n = n;
+  cfg.leader = 0;
+  cfg.seed = 99;
+  FaultInjector inj(golden_plan(), cfg);
+
+  LinkMatrix a(n, 0);
+  inj.apply(2, a);
+  // Crash of 2: whole row and column lost (self link kept).
+  for (ProcessId p = 0; p < n; ++p) {
+    if (p == 2) continue;
+    EXPECT_EQ(a.at(2, p), kLost);
+    EXPECT_EQ(a.at(p, 2), kLost);
+  }
+  EXPECT_EQ(a.at(2, 2), 0);
+  // Partition {0,1} | {3}: cross-group lost, intra-group kept. Process 2
+  // is in no group, so only its crash affects it.
+  EXPECT_EQ(a.at(3, 0), kLost);
+  EXPECT_EQ(a.at(0, 3), kLost);
+  EXPECT_EQ(a.at(3, 1), kLost);
+  EXPECT_EQ(a.at(0, 1), kLost);  // drop 1->0 at p=1: dst 0 hears src 1
+  EXPECT_EQ(a.at(1, 0), 0);      // the reverse link is intra-group
+
+  // Round 4: crash recovered, windows closed — no edits at all.
+  LinkMatrix b(n, 0);
+  inj.apply(4, b);
+  for (ProcessId d = 0; d < n; ++d) {
+    for (ProcessId s = 0; s < n; ++s) EXPECT_EQ(b.at(d, s), 0);
+  }
+  // The gsr round itself is "active" — apply() emits the marker trace
+  // event there — but it edits nothing; past it the plan is inert.
+  EXPECT_TRUE(inj.active_in(5));
+  LinkMatrix c(n, 0);
+  inj.apply(5, c);
+  for (ProcessId d = 0; d < n; ++d) {
+    for (ProcessId s = 0; s < n; ++s) EXPECT_EQ(c.at(d, s), 0);
+  }
+  EXPECT_FALSE(inj.active_in(6));
+  EXPECT_FALSE(inj.active_in(400));
+}
+
+TEST(FaultInjector, PackedAndUnpackedAgree) {
+  const int n = 4;
+  InjectorConfig cfg;
+  cfg.n = n;
+  cfg.leader = 0;
+  cfg.seed = 7;
+  FaultInjector inj(golden_plan(), cfg);
+  for (Round k = 1; k <= 6; ++k) {
+    LinkMatrix a(n, 0);
+    PackedLinkMatrix p(n);
+    p.fill(0);
+    inj.apply(k, a);
+    inj.apply(k, p);
+    for (ProcessId d = 0; d < n; ++d) {
+      for (ProcessId s = 0; s < n; ++s) {
+        EXPECT_EQ(a.at(d, s), p.at(d, s)) << "k=" << k << " " << s << "->"
+                                          << d;
+      }
+    }
+  }
+}
+
+TEST(FaultInjector, PermanentCrashOutlivesGsr) {
+  const ParseResult pr = parse_fault_plan("crash 3 @2; gsr @4");
+  ASSERT_TRUE(pr.ok());
+  InjectorConfig cfg;
+  cfg.n = 5;
+  cfg.seed = 1;
+  FaultInjector inj(pr.plan, cfg);
+  EXPECT_TRUE(inj.crashed_in(3, 100));
+  EXPECT_TRUE(inj.active_in(100));
+  LinkMatrix a(5, 0);
+  inj.apply(100, a);
+  EXPECT_EQ(a.at(0, 3), kLost);
+}
+
+TEST(FaultInjector, DropCoinsAreAPureFunctionOfTheCell) {
+  const ParseResult pr = parse_fault_plan("drop *->* @1..9 p=0.5; gsr @9");
+  ASSERT_TRUE(pr.ok());
+  InjectorConfig cfg;
+  cfg.n = 6;
+  cfg.seed = 0xfeed;
+  FaultInjector one(pr.plan, cfg);
+  FaultInjector two(pr.plan, cfg);
+  int fired = 0, held = 0;
+  for (Round k = 1; k < 9; ++k) {
+    for (ProcessId s = 0; s < 6; ++s) {
+      for (ProcessId d = 0; d < 6; ++d) {
+        if (s == d) continue;
+        EXPECT_EQ(one.drop_fires(k, s, d), two.drop_fires(k, s, d));
+        (one.drop_fires(k, s, d) ? fired : held)++;
+      }
+    }
+  }
+  // p=0.5 over 240 coins: both outcomes must occur.
+  EXPECT_GT(fired, 0);
+  EXPECT_GT(held, 0);
+}
+
+// ---------------------------------------------------------------------------
+// No-fault byte-identity of the sampler decorator
+// ---------------------------------------------------------------------------
+
+std::string run_serialized(int n, bool decorated, std::uint64_t seed,
+                           Round* decided_out) {
+  ScheduleConfig sched;
+  sched.n = n;
+  sched.model = TimingModel::kWlm;
+  sched.leader = 0;
+  sched.gsr = 4;
+  sched.pre_gsr_p = 0.5;
+  sched.seed = seed;
+
+  std::vector<Value> proposals;
+  for (ProcessId i = 0; i < n; ++i) proposals.push_back(100 + i);
+  auto oracle = std::make_shared<UnstableOracle>(n, 0, 3, seed ^ 0x9e37);
+  RoundEngine engine(make_group(AlgorithmKind::kWlm, proposals), oracle);
+  BufferSink sink;
+  engine.set_trace_sink(&sink);
+
+  ScheduleSampler inner(sched);
+  Round decided = -1;
+  if (decorated) {
+    // The plan's only window sits far past every executed round, so the
+    // decorator must stay on the inner fused path throughout.
+    const ParseResult pr = parse_fault_plan("drop 0->1 @90..91 p=1; gsr @91");
+    TM_CHECK(pr.ok(), "inactive plan must parse");
+    InjectorConfig cfg;
+    cfg.n = n;
+    cfg.leader = 0;
+    cfg.seed = seed;
+    cfg.sink = &sink;
+    FaultInjector injector(pr.plan, cfg);
+    FaultInjectedSampler outer(inner, injector);
+    decided = engine.run(outer, 40);
+  } else {
+    decided = engine.run(inner, 40);
+  }
+  if (decided_out != nullptr) *decided_out = decided;
+
+  std::ostringstream os;
+  write_trace_header(os, n);
+  write_trial(os, 0, sink.events(), n);
+  return os.str();
+}
+
+TEST(FaultInjectedSampler, NoFaultRunsAreByteIdentical) {
+  for (std::uint64_t seed : {1ull, 42ull, 777ull}) {
+    Round plain_round = -1, dec_round = -1;
+    const std::string plain = run_serialized(5, false, seed, &plain_round);
+    const std::string dec = run_serialized(5, true, seed, &dec_round);
+    EXPECT_EQ(plain, dec) << "seed " << seed;
+    EXPECT_EQ(plain_round, dec_round);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos harness: guarantees + determinism across thread counts
+// ---------------------------------------------------------------------------
+
+TEST(Chaos, RandomPlansAlwaysValidate) {
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const FaultPlan plan = random_fault_plan(5, 0, seed);
+    EXPECT_EQ(validate(plan, 5, 0), "");
+    EXPECT_GE(plan.gsr, 6);
+    // The canonical spec must replay to the same plan.
+    const ParseResult pr = parse_fault_plan(plan.source);
+    ASSERT_TRUE(pr.ok()) << pr.error;
+    EXPECT_EQ(pr.plan.events, plan.events);
+  }
+}
+
+std::string chaos_traces_serialized(int trials) {
+  // One chaos run per (trial, algorithm), traces drained in trial order —
+  // the serialized bytes must not depend on the worker count.
+  struct Out {
+    std::string bytes;
+  };
+  const auto outs =
+      run_trials<Out>(static_cast<std::size_t>(trials), [&](std::size_t t) {
+        const std::uint64_t seed = substream_seed(0xdead, t);
+        ChaosTrialConfig cfg;
+        cfg.n = 5;
+        cfg.leader = 0;
+        cfg.seed = seed;
+        cfg.plan = random_fault_plan(5, 0, seed);
+        cfg.max_rounds = 120;
+        Out out;
+        for (AlgorithmKind k :
+             {AlgorithmKind::kWlm, AlgorithmKind::kEs3, AlgorithmKind::kLm3,
+              AlgorithmKind::kAfm5}) {
+          BufferSink sink;
+          cfg.trace = &sink;
+          const ChaosRunResult r = run_chaos_algorithm(k, cfg);
+          EXPECT_TRUE(r.ok()) << r.violation;
+          std::ostringstream os;
+          write_trial(os, static_cast<int>(t), sink.events(), cfg.n);
+          out.bytes += os.str();
+        }
+        return out;
+      });
+  std::string all;
+  for (const Out& o : outs) all += o.bytes;
+  return all;
+}
+
+TEST(Chaos, TraceBytesIdenticalAcrossThreadCounts) {
+  std::string baseline;
+  for (int threads : {1, 2, 8}) {
+    ScopedThreads st(threads);
+    const std::string got = chaos_traces_serialized(6);
+    if (baseline.empty()) {
+      baseline = got;
+      EXPECT_FALSE(baseline.empty());
+    } else {
+      EXPECT_EQ(got, baseline) << "TIMING_THREADS=" << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sim vs live: one plan, two backends, same injections
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectedTransport, LiveClusterMatchesTheSharedInjector) {
+  const int n = 4;
+  const ProcessId leader = 0;
+  const FaultPlan plan = golden_plan();
+  InjectorConfig icfg;
+  icfg.n = n;
+  icfg.leader = leader;
+  icfg.seed = 4242;
+  const FaultInjector injector(plan, icfg);
+
+  std::vector<BufferSink> sinks(static_cast<std::size_t>(n));
+  std::vector<Value> decisions(static_cast<std::size_t>(n), kNoValue);
+  // Per-node slots written from the node threads: vector<bool> would
+  // pack neighbours into one word and race.
+  std::vector<char> decided(static_cast<std::size_t>(n), 0);
+  auto hub = std::make_shared<InProcHub>(n);
+  std::vector<std::thread> threads;
+  for (ProcessId i = 0; i < n; ++i) {
+    threads.emplace_back([&, i] {
+      auto protocol = make_protocol(AlgorithmKind::kWlm, i, n, 100 + i);
+      DesignatedOracle oracle(leader);
+      InProcTransport inner(hub, i);
+      FaultInjectedTransport transport(inner, injector);
+      transport.set_trace_sink(&sinks[static_cast<std::size_t>(i)]);
+      RoundSyncConfig cfg;
+      cfg.timeout_ms = 25.0;
+      cfg.max_rounds = 200;
+      RoundSyncRunner runner(*protocol, &oracle, transport, n, cfg);
+      const RoundSyncResult r = runner.run();
+      decided[static_cast<std::size_t>(i)] = r.decided;
+      decisions[static_cast<std::size_t>(i)] = protocol->decision();
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Safety across the fault window: everyone decides the same proposal.
+  Value agreed = kNoValue;
+  for (ProcessId i = 0; i < n; ++i) {
+    ASSERT_TRUE(decided[static_cast<std::size_t>(i)]) << "node " << i;
+    if (agreed == kNoValue) agreed = decisions[static_cast<std::size_t>(i)];
+    EXPECT_EQ(decisions[static_cast<std::size_t>(i)], agreed);
+  }
+
+  // Every action the live backend took is one the sim injector mandates
+  // for that exact (round, link) — the two backends cannot drift.
+  std::size_t live_actions = 0;
+  std::set<Round> crash_rounds;
+  for (const BufferSink& sink : sinks) {
+    for (const TraceEvent& e : sink.events()) {
+      if (e.kind != EventKind::kFaultInjected) continue;
+      ++live_actions;
+      switch (static_cast<FaultKind>(e.rule)) {
+        case FaultKind::kCrash:
+          EXPECT_TRUE(injector.crashed_in(e.proc, e.round))
+              << "crash action at round " << e.round;
+          crash_rounds.insert(e.round);
+          break;
+        case FaultKind::kPartition:
+          EXPECT_TRUE(injector.partitioned(e.src, e.dst, e.round));
+          break;
+        case FaultKind::kDrop:
+          EXPECT_TRUE(injector.drop_fires(e.round, e.src, e.dst));
+          break;
+        case FaultKind::kDelay:
+          EXPECT_GT(injector.extra_delay_ms(e.round, e.src, e.dst), 0.0);
+          break;
+        case FaultKind::kSuppressLeader:
+          EXPECT_TRUE(injector.suppressed(e.src, e.round));
+          break;
+        default:
+          ADD_FAILURE() << "unexpected fault rule " << int(e.rule);
+      }
+    }
+  }
+  // The crash window [2, 4) is where every crash-isolation action lands.
+  for (Round k : crash_rounds) {
+    EXPECT_GE(k, 2);
+    EXPECT_LT(k, 4);
+  }
+  EXPECT_GT(live_actions, 0u)
+      << "the plan's rounds ran but nothing was injected";
+
+  // Sim side, same plan: the harness holds every guarantee.
+  ChaosTrialConfig ccfg;
+  ccfg.n = n;
+  ccfg.leader = leader;
+  ccfg.seed = icfg.seed;
+  ccfg.plan = plan;
+  ccfg.max_rounds = 100;
+  const ChaosRunResult sim = run_chaos_algorithm(AlgorithmKind::kWlm, ccfg);
+  EXPECT_TRUE(sim.ok()) << sim.violation;
+  EXPECT_GT(sim.fault_events, 0);
+}
+
+TEST(FaultInjectedTransport, DelaysDeliverLateButIntact) {
+  const int n = 2;
+  const ParseResult pr = parse_fault_plan("delay 0->1 +30ms @1..3; gsr @3");
+  ASSERT_TRUE(pr.ok()) << pr.error;
+  InjectorConfig icfg;
+  icfg.n = n;
+  icfg.seed = 5;
+  const FaultInjector injector(pr.plan, icfg);
+
+  auto hub = std::make_shared<InProcHub>(n);
+  InProcTransport a(hub, 0), raw_b(hub, 1);
+  FaultInjectedTransport b(raw_b, injector);
+
+  // An envelope stamped round 1 rides the delayed link.
+  Bytes wire;
+  frame_envelope(Envelope{1, 0, Message{}}, wire);
+  ASSERT_TRUE(a.send(1, wire));
+  Bytes got;
+  ProcessId from = kNoProcess;
+  const auto t0 = Clock::now();
+  ASSERT_TRUE(b.recv(got, from, t0 + std::chrono::seconds(2)));
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          Clock::now() - t0)
+                          .count();
+  EXPECT_EQ(from, 0);
+  EXPECT_GE(waited, 25) << "the +30ms delay rule must hold the datagram";
+
+  // Round 3 is past the window: immediate delivery.
+  wire.clear();
+  frame_envelope(Envelope{3, 0, Message{}}, wire);
+  ASSERT_TRUE(a.send(1, wire));
+  ASSERT_TRUE(b.recv(got, from, Clock::now() + std::chrono::seconds(2)));
+}
+
+// Writes a faulted trace for the ctest-level trace_tool runs (see
+// tests/CMakeLists.txt: FIXTURES_SETUP fault_trace): `validate` must
+// accept the fault events and `summary` must count them in its
+// fault-event column.
+TEST(TraceToolFixture, WritesFaultedTraceForCli) {
+  ChaosTrialConfig cfg;
+  cfg.n = 5;
+  cfg.leader = 0;
+  cfg.seed = 31337;
+  cfg.plan = random_fault_plan(5, 0, cfg.seed);
+  cfg.max_rounds = 120;
+  BufferSink sink;
+  cfg.trace = &sink;
+  const ChaosRunResult r = run_chaos_algorithm(AlgorithmKind::kWlm, cfg);
+  ASSERT_TRUE(r.ok()) << r.violation;
+  ASSERT_GT(r.fault_events, 0);
+  std::ofstream out("fault_cli_trace.jsonl", std::ios::trunc);
+  ASSERT_TRUE(out.good());
+  write_trace_header(out, cfg.n);
+  write_trial(out, 0, sink.events(), cfg.n);
+}
+
+}  // namespace
+}  // namespace timing::fault

@@ -291,6 +291,23 @@ TEST(Udp, RecvTimesOut) {
   EXPECT_FALSE(a.recv(got, from, Clock::now() + std::chrono::milliseconds(30)));
 }
 
+// Regression: recv used to return on poll's timeout directly, and poll's
+// wait is the remaining time truncated to whole milliseconds — so a recv
+// with fractional milliseconds left reported a timeout up to 1 ms before
+// the deadline (and an EINTR-shortened sleep could do the same). The
+// deadline check in the loop must be the only way to time out.
+TEST(Udp, RecvTimeoutNotBeforeDeadline) {
+  UdpTransport a(0, 2, 39180);
+  Bytes got;
+  ProcessId from;
+  for (int i = 0; i < 20; ++i) {
+    const auto wait = std::chrono::microseconds(2500);  // fractional ms
+    const auto deadline = Clock::now() + wait;
+    EXPECT_FALSE(a.recv(got, from, deadline));
+    EXPECT_GE(Clock::now(), deadline);
+  }
+}
+
 TEST(Ping, MeasuresRttOverHub) {
   auto hub = std::make_shared<InProcHub>(3);
   class Fixed final : public LatencyModel {

@@ -225,6 +225,23 @@ TEST(OverrideTest, FlagsAndErrors) {
   EXPECT_NE(apply(s, {"timeouts_ms="}).error, "");
 }
 
+TEST(OverrideTest, FaultPlanValidatedWithTheSpec) {
+  ScenarioSpec s = wan_spec();
+  EXPECT_TRUE(
+      apply(s, {"fault=crash 1 @2; recover 1 @5; gsr @8"}).error.empty());
+  EXPECT_EQ(s.fault_spec, "crash 1 @2; recover 1 @5; gsr @8");
+  EXPECT_EQ(validate(s), "");
+
+  // Malformed plans and plans that do not fit the spec's n are scenario
+  // validation errors, reported with the parser's statement location.
+  EXPECT_TRUE(apply(s, {"fault=crash 1 @2; crunch 3"}).error.empty());
+  EXPECT_NE(validate(s).find("statement 2"), std::string::npos)
+      << validate(s);
+  EXPECT_TRUE(apply(s, {"fault=crash 99 @2; gsr @8"}).error.empty());
+  EXPECT_NE(validate(s).find("out of range"), std::string::npos)
+      << validate(s);
+}
+
 TEST(OverrideTest, AlgorithmKeys) {
   ScenarioSpec s = wan_spec();
   EXPECT_TRUE(apply(s, {"algorithm=paxos"}).error.empty());
@@ -255,7 +272,7 @@ TEST(RegistryTest, HasAllScenariosWithUniqueNames) {
       "fig1h", "fig1i", "appc", "ablation/paxos_recovery",
       "ablation/algorithms_live", "ablation/window_formula",
       "ablation/simulation_cost", "ablation/group_size",
-      "ablation/smr_cost"};
+      "ablation/smr_cost", "chaos/consensus", "chaos/single"};
   EXPECT_EQ(names, expected);
 }
 

@@ -56,9 +56,11 @@ bool parse_needed(const char* arg, std::array<int, kTraceNumModels>& out) {
 
 void print_trial_summary(const TrialSummary& t,
                          const std::array<int, kTraceNumModels>& needed) {
-  std::printf("trial %d: rounds=%lld pred_rounds=%lld decision_round=%lld\n",
-              t.trial_id, static_cast<long long>(t.rounds), t.pred_rounds,
-              static_cast<long long>(t.global_decision_round));
+  std::printf(
+      "trial %d: rounds=%lld pred_rounds=%lld decision_round=%lld "
+      "faults=%lld\n",
+      t.trial_id, static_cast<long long>(t.rounds), t.pred_rounds,
+      static_cast<long long>(t.global_decision_round), t.fault_events);
   for (int m = 0; m < kTraceNumModels; ++m) {
     const auto mi = static_cast<std::size_t>(m);
     std::printf("  %-4s P_M=%.4f  R_M=%d  first_window_end=%lld\n",
@@ -82,6 +84,13 @@ int cmd_summary(const ParsedTrace& trace,
                 s.mean_incidence(m), needed[static_cast<std::size_t>(m)], fw,
                 completed, s.trials.size());
   }
+  long long faults = 0;
+  for (const TrialSummary& t : s.trials) faults += t.fault_events;
+  std::printf("fault events: %lld total, %.1f per trial\n", faults,
+              s.trials.empty()
+                  ? 0.0
+                  : static_cast<double>(faults) /
+                        static_cast<double>(s.trials.size()));
   if (per_trial) {
     for (const TrialSummary& t : s.trials) print_trial_summary(t, needed);
   }
