@@ -1,0 +1,13 @@
+// Linearizability gate for the SMR layer: closed-loop clients drive
+// register/append operations through the replicated state machine under
+// per-instance seeded random fault plans; the recorded op history must
+// admit a linearization of the register spec (docs/HISTORY.md).
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_smr_linearizable; the same run is reachable as
+// `timing_lab run smr/linearizable`.
+#include "scenario/cli.hpp"
+
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("smr/linearizable", argc, argv);
+}

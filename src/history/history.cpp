@@ -1,0 +1,76 @@
+#include "history/history.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "obs/jsonl.hpp"
+
+namespace timing {
+
+History build_history(const std::vector<TraceEvent>& events) {
+  History h;
+  // Pending op per client: index into h.ops.
+  std::map<ProcessId, std::size_t> pending;
+  Round last_ts = -1;
+  std::size_t index = 0;
+  for (const TraceEvent& e : events) {
+    ++index;
+    if (e.kind != EventKind::kClientOp) continue;
+    auto fail = [&](const std::string& why) {
+      std::ostringstream os;
+      os << "op event " << index << " (client " << e.proc << ", ts "
+         << e.round << "): " << why;
+      h.error = os.str();
+      return h;
+    };
+    if (e.round <= last_ts) return fail("timestamps must strictly increase");
+    last_ts = e.round;
+
+    if (e.op_phase == op_phase::kInvoke) {
+      if (pending.count(e.proc)) {
+        return fail("client already has an outstanding op");
+      }
+      Operation op;
+      op.client = e.proc;
+      op.id = e.op_id;
+      op.func = e.op_func;
+      op.key = e.op_key;
+      op.a = e.arg;
+      op.b = e.arg2;
+      op.invoke_ts = e.round;
+      pending[e.proc] = h.ops.size();
+      h.ops.push_back(op);
+      continue;
+    }
+    const auto it = pending.find(e.proc);
+    if (it == pending.end()) {
+      return fail("completion without a pending invoke");
+    }
+    Operation& op = h.ops[it->second];
+    if (op.func != e.op_func || op.key != e.op_key || op.id != e.op_id) {
+      return fail("completion func/key/id does not match the invoke");
+    }
+    op.complete_ts = e.round;
+    op.completion = e.op_phase;
+    if (e.op_phase == op_phase::kOk) op.result = e.value;
+    pending.erase(it);
+  }
+  // Clients whose last op never completed: open ops, info by default
+  // (Operation initializes completion = kInfo, complete_ts = -1).
+  return h;
+}
+
+std::string to_jsonl(const Operation& op) {
+  std::string s = to_jsonl(TraceEvent::op(op.invoke_ts, op.client,
+                                          op_phase::kInvoke, op.func, op.key,
+                                          op.id, op.a, op.b));
+  if (op.complete_ts >= 0) {
+    s += "\n";
+    s += to_jsonl(TraceEvent::op(op.complete_ts, op.client, op.completion,
+                                 op.func, op.key, op.id, op.a, op.b,
+                                 op.ok() ? op.result : kNoValue));
+  }
+  return s;
+}
+
+}  // namespace timing

@@ -1,0 +1,64 @@
+// Operation histories: the client-visible record of an SMR run, built
+// from the `"e":"op"` events of a schema-v1 trace (docs/HISTORY.md).
+//
+// A history is a sequence of invoke/ok/fail/info events, one client one
+// outstanding op at a time, under the Jepsen completion convention:
+// ok = the op took effect, fail = it definitely did NOT take effect,
+// info = unknown (timeout, crashed leader) — the op stays concurrent
+// with everything after it, forever.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.hpp"
+
+namespace timing {
+
+/// One client operation, with its invocation/completion interval.
+struct Operation {
+  ProcessId client = kNoProcess;
+  long long id = -1;            ///< client-assigned request id
+  std::uint8_t func = 0;        ///< op_func:: constant
+  std::int32_t key = -1;
+  Value a = kNoValue;           ///< write value / cas expected / append value
+  Value b = kNoValue;           ///< cas replacement
+  Value result = kNoValue;      ///< observed result (ok completions only)
+  Round invoke_ts = 0;
+  Round complete_ts = -1;       ///< -1 = never completed (open at trial end)
+  std::uint8_t completion = op_phase::kInfo;  ///< kOk / kFail / kInfo
+
+  bool operator==(const Operation&) const = default;
+
+  bool ok() const noexcept { return completion == op_phase::kOk; }
+  bool failed() const noexcept { return completion == op_phase::kFail; }
+  bool is_info() const noexcept { return completion == op_phase::kInfo; }
+  /// Completion timestamp for precedence purposes: info ops return
+  /// "infinity" — they precede nothing.
+  Round ret() const noexcept {
+    return is_info() ? std::numeric_limits<Round>::max() : complete_ts;
+  }
+};
+
+struct History {
+  std::vector<Operation> ops;  ///< in invoke-timestamp order
+  std::string error;           ///< non-empty iff the event stream is malformed
+
+  bool well_formed() const noexcept { return error.empty(); }
+};
+
+/// Pair up the ClientOp events of one trial into operations. Ops whose
+/// invoke never saw a completion are closed as `info` (open at end of
+/// trial). Non-ClientOp events are ignored, so a full mixed trace trial
+/// can be passed directly. Malformedness (completion without a pending
+/// invoke, two outstanding ops on one client, mismatched func/key/id on
+/// completion, non-increasing timestamps) is reported via `error`.
+History build_history(const std::vector<TraceEvent>& events);
+
+/// Render an operation as its trace-event JSONL lines (invoke line plus
+/// completion line if the op completed) — the replay/witness format.
+std::string to_jsonl(const Operation& op);
+
+}  // namespace timing

@@ -1,0 +1,155 @@
+#include "history/linearizability.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "history/model.hpp"
+
+namespace timing {
+
+namespace {
+
+/// Projection of one key's history the search actually runs on: ok and
+/// info ops in invoke order. Fail ops are dropped (they did not happen)
+/// and info READS are dropped too — they have no state effect and an
+/// unconstrained result, so linearizing them can never matter.
+std::vector<Operation> searchable(const std::vector<Operation>& ops) {
+  std::vector<Operation> out;
+  for (const Operation& op : ops) {
+    if (op.failed()) continue;
+    if (op.is_info() && op.func == op_func::kRead) continue;
+    out.push_back(op);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Operation& x, const Operation& y) {
+                     return x.invoke_ts < y.invoke_ts;
+                   });
+  return out;
+}
+
+/// Wing–Gong DFS with memoized (linearized-set, state) configurations.
+class KeySearch {
+ public:
+  explicit KeySearch(std::vector<Operation> ops) : ops_(std::move(ops)) {
+    mask_.assign((ops_.size() + 63) / 64, 0);
+    for (const Operation& op : ops_) {
+      if (op.ok()) ++ok_left_;
+    }
+  }
+
+  bool run() { return dfs(kRegInitial); }
+
+ private:
+  bool linearized(std::size_t i) const {
+    return (mask_[i / 64] >> (i % 64)) & 1u;
+  }
+  void set(std::size_t i) { mask_[i / 64] |= 1ull << (i % 64); }
+  void clear(std::size_t i) { mask_[i / 64] &= ~(1ull << (i % 64)); }
+
+  bool dfs(Value state) {
+    if (ok_left_ == 0) return true;  // every ok op explained; info optional
+    if (!seen_.insert({mask_, state}).second) return false;
+
+    // Minimality frontier: op i may linearize next iff no OTHER
+    // unlinearized op returns before i is invoked. With unique
+    // timestamps that is inv_i < min ret over unlinearized j != i, so
+    // track the two smallest returns among unlinearized ops.
+    Round min1 = std::numeric_limits<Round>::max();
+    Round min2 = min1;
+    std::size_t min1_at = ops_.size();
+    for (std::size_t j = 0; j < ops_.size(); ++j) {
+      if (linearized(j)) continue;
+      const Round r = ops_[j].ret();
+      if (r < min1) {
+        min2 = min1;
+        min1 = r;
+        min1_at = j;
+      } else if (r < min2) {
+        min2 = r;
+      }
+    }
+
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (linearized(i)) continue;
+      const Round bound = (i == min1_at) ? min2 : min1;
+      if (ops_[i].invoke_ts > bound) continue;  // some other op ended first
+      const Operation& op = ops_[i];
+      const StepResult next = register_step(state, op.func, op.a, op.b);
+      // ok ops must reproduce the observed result; info ops place no
+      // constraint (their result was never seen).
+      if (op.ok() && next.result != op.result) continue;
+      set(i);
+      if (op.ok()) --ok_left_;
+      const bool found = dfs(next.state);
+      if (op.ok()) ++ok_left_;
+      clear(i);
+      if (found) return true;
+      // NOT taking an info op needs no explicit branch: the success
+      // condition only counts ok ops, so skipping is the default.
+    }
+    return false;
+  }
+
+  std::vector<Operation> ops_;
+  std::vector<std::uint64_t> mask_;
+  int ok_left_ = 0;
+  std::set<std::pair<std::vector<std::uint64_t>, Value>> seen_;
+};
+
+/// Greedy delta-debugging to a 1-minimal witness: repeatedly drop any op
+/// whose removal keeps the remainder non-linearizable.
+std::vector<Operation> minimize(std::vector<Operation> ops) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      std::vector<Operation> fewer;
+      fewer.reserve(ops.size() - 1);
+      for (std::size_t j = 0; j < ops.size(); ++j) {
+        if (j != i) fewer.push_back(ops[j]);
+      }
+      if (!linearizable_key(fewer)) {
+        ops = std::move(fewer);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return ops;
+}
+
+}  // namespace
+
+bool linearizable_key(const std::vector<Operation>& ops) {
+  return KeySearch(searchable(ops)).run();
+}
+
+CheckResult check_history(const History& history) {
+  CheckResult out;
+  if (!history.well_formed()) {
+    out.linearizable = false;
+    out.witness.explanation = "malformed history: " + history.error;
+    return out;
+  }
+  // P-compositionality: keys are independent objects; check each
+  // projection. std::map iteration makes "lowest failing key" exact.
+  std::map<std::int32_t, std::vector<Operation>> by_key;
+  for (const Operation& op : history.ops) by_key[op.key].push_back(op);
+  for (auto& [key, ops] : by_key) {
+    if (linearizable_key(ops)) continue;
+    out.linearizable = false;
+    out.witness.key = key;
+    out.witness.ops = minimize(searchable(ops));
+    std::ostringstream os;
+    os << out.witness.ops.size() << " op(s) on key " << key
+       << " admit no linearization consistent with the register spec";
+    out.witness.explanation = os.str();
+    return out;
+  }
+  return out;
+}
+
+}  // namespace timing

@@ -1,0 +1,49 @@
+// Wing–Gong linearizability checking over operation histories, with the
+// two standard scalability levers:
+//
+//  * P-compositionality: keys are independent objects, so a history is
+//    linearizable iff its per-key projections are (Herlihy & Wing's
+//    locality property). The search runs per key.
+//  * Memoized search states: the DFS over "which ops are linearized so
+//    far" caches (linearized-set, register state) pairs, collapsing the
+//    factorially many interleavings that reach the same configuration
+//    (the Wing–Gong / Lowe optimization).
+//
+// Completion semantics follow the Jepsen convention established in
+// history.hpp: `fail` ops are dropped (they definitely did not happen),
+// `info` ops take effect at ANY point after their invocation or never —
+// the search may linearize them but does not have to.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "history/history.hpp"
+
+namespace timing {
+
+/// A minimal non-linearizable sub-history: removing ANY single op from
+/// `ops` makes the remainder linearizable (1-minimality, established by
+/// greedy delta-debugging). All ops are on the same `key`.
+struct Witness {
+  std::int32_t key = -1;
+  std::vector<Operation> ops;  ///< in invoke-timestamp order
+  std::string explanation;     ///< one-line human-readable summary
+};
+
+struct CheckResult {
+  bool linearizable = true;
+  Witness witness;  ///< meaningful iff !linearizable (lowest failing key)
+};
+
+/// Check one key's operations (all `ops` must share a key). Fail ops are
+/// ignored; info ops are optional in the linearization order.
+bool linearizable_key(const std::vector<Operation>& ops);
+
+/// Check a full history: partition by key, check each, and on failure
+/// minimize a witness for the lowest failing key. Deterministic — the
+/// same history always yields the same verdict and witness.
+CheckResult check_history(const History& history);
+
+}  // namespace timing

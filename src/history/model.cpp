@@ -1,0 +1,48 @@
+#include "history/model.hpp"
+
+#include "common/rng.hpp"
+#include "obs/trace_event.hpp"
+
+namespace timing {
+
+Value register_mix(Value state, Value v) noexcept {
+  std::uint64_t s = static_cast<std::uint64_t>(state) * 0x9e3779b97f4a7c15ull ^
+                    (static_cast<std::uint64_t>(v) + 0xbf58476d1ce4e5b9ull);
+  const std::uint64_t mixed = splitmix64(s);
+  return static_cast<Value>((mixed & ((1ull << 62) - 1)) | 1ull);
+}
+
+StepResult register_step(Value state, std::uint8_t func, Value a,
+                         Value b) noexcept {
+  StepResult r;
+  switch (func) {
+    case op_func::kRead:
+      r.state = state;
+      r.result = state;
+      break;
+    case op_func::kWrite:
+      r.state = a;
+      r.result = a;
+      break;
+    case op_func::kCas:
+      if (state == a) {
+        r.state = b;
+        r.result = 1;
+      } else {
+        r.state = state;
+        r.result = 0;
+      }
+      break;
+    case op_func::kAppend:
+      r.state = register_mix(state, a);
+      r.result = r.state;
+      break;
+    default:
+      r.state = state;
+      r.result = kNoValue;
+      break;
+  }
+  return r;
+}
+
+}  // namespace timing

@@ -1,0 +1,45 @@
+// Sequential specification of the replicated objects the SMR clients
+// exercise: a totally-ordered register per key supporting read / write /
+// cas, plus an order-sensitive `append` that folds values into a hash
+// chain (the register analogue of Jepsen's list-append objects — every
+// applied append stays visible in the final state, so lost updates
+// cannot be masked by later overwrites).
+//
+// The checker (linearizability.hpp) and the live replicas
+// (smr/state_machine.hpp's RegisterStateMachine) share THIS step
+// function, so "matches the model" means the same thing online and
+// offline.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace timing {
+
+/// Initial state of every register key. The client harness only writes
+/// nonzero values and append results are never zero, so a key's state
+/// is zero iff no effective op touched it yet — which is what lets the
+/// stale-read corruption hook guarantee a detectable violation.
+inline constexpr Value kRegInitial = 0;
+
+/// Order-sensitive fold of `v` into `state`: splitmix64-style mixing,
+/// masked to 62 bits and forced odd, so results are always positive,
+/// nonzero, and odd (disjoint from the even values the client harness
+/// writes — a parity argument the mutation tests lean on).
+Value register_mix(Value state, Value v) noexcept;
+
+struct StepResult {
+  Value state = kRegInitial;  ///< state after the op
+  Value result = kNoValue;    ///< value the op returns
+};
+
+/// Apply one operation of function `func` (an op_func:: constant from
+/// obs/trace_event.hpp) to `state`. read -> returns state; write(a) ->
+/// state = a, returns a; cas(a, b) -> if state == a then state = b and
+/// returns 1 else returns 0; append(a) -> state = register_mix(state, a),
+/// returns the new state.
+StepResult register_step(Value state, std::uint8_t func, Value a,
+                         Value b) noexcept;
+
+}  // namespace timing

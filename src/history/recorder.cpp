@@ -1,0 +1,43 @@
+#include "history/recorder.hpp"
+
+#include "common/check.hpp"
+
+namespace timing {
+
+Round HistoryRecorder::invoke(ProcessId client, std::uint8_t func,
+                              std::int32_t key, long long id, Value a,
+                              Value b) {
+  TM_CHECK(pending_.count(client) == 0,
+           "client already has an outstanding op");
+  pending_[client] = Pending{func, key, id, a, b};
+  ++ts_;
+  events_.push_back(
+      TraceEvent::op(ts_, client, op_phase::kInvoke, func, key, id, a, b));
+  return ts_;
+}
+
+Round HistoryRecorder::complete(ProcessId client, std::uint8_t phase,
+                                Value result) {
+  const auto it = pending_.find(client);
+  TM_CHECK(it != pending_.end(), "completion without a pending invoke");
+  const Pending p = it->second;
+  pending_.erase(it);
+  ++ts_;
+  events_.push_back(TraceEvent::op(ts_, client, phase, p.func, p.key, p.id,
+                                   p.a, p.b, result));
+  return ts_;
+}
+
+Round HistoryRecorder::ok(ProcessId client, Value result) {
+  return complete(client, op_phase::kOk, result);
+}
+
+Round HistoryRecorder::fail(ProcessId client) {
+  return complete(client, op_phase::kFail, kNoValue);
+}
+
+Round HistoryRecorder::info(ProcessId client) {
+  return complete(client, op_phase::kInfo, kNoValue);
+}
+
+}  // namespace timing

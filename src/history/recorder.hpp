@@ -1,0 +1,51 @@
+// In-memory recorder for client operation events: hands out the trial's
+// strictly increasing logical timestamps and enforces the one
+// outstanding op per client discipline at the emission site, so every
+// recorded stream is well-formed by construction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "obs/trace_event.hpp"
+
+namespace timing {
+
+class HistoryRecorder {
+ public:
+  /// Record an invocation; returns the assigned timestamp. CHECK-fails
+  /// if the client already has an outstanding op.
+  Round invoke(ProcessId client, std::uint8_t func, std::int32_t key,
+               long long id, Value a = kNoValue, Value b = kNoValue);
+
+  /// Complete the client's outstanding op. `result` is only recorded
+  /// for ok completions.
+  Round ok(ProcessId client, Value result);
+  Round fail(ProcessId client);
+  Round info(ProcessId client);
+
+  /// True iff `client` has an invoked-but-uncompleted op.
+  bool outstanding(ProcessId client) const {
+    return pending_.count(client) != 0;
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  Round last_ts() const { return ts_; }
+
+ private:
+  struct Pending {
+    std::uint8_t func = 0;
+    std::int32_t key = -1;
+    long long id = -1;
+    Value a = kNoValue;
+    Value b = kNoValue;
+  };
+  Round complete(ProcessId client, std::uint8_t phase, Value result);
+
+  std::map<ProcessId, Pending> pending_;
+  std::vector<TraceEvent> events_;
+  Round ts_ = 0;
+};
+
+}  // namespace timing

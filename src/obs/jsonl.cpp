@@ -24,8 +24,49 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kDecide: return "decide";
     case EventKind::kCrash: return "crash";
     case EventKind::kFaultInjected: return "fault";
+    case EventKind::kClientOp: return "op";
   }
   return "unknown";
+}
+
+const char* op_phase_name(std::uint8_t phase) noexcept {
+  switch (phase) {
+    case op_phase::kInvoke: return "invoke";
+    case op_phase::kOk: return "ok";
+    case op_phase::kFail: return "fail";
+    case op_phase::kInfo: return "info";
+  }
+  return nullptr;
+}
+
+const char* op_func_name(std::uint8_t func) noexcept {
+  switch (func) {
+    case op_func::kRead: return "read";
+    case op_func::kWrite: return "write";
+    case op_func::kCas: return "cas";
+    case op_func::kAppend: return "append";
+  }
+  return nullptr;
+}
+
+bool op_phase_from_string(const char* s, std::uint8_t& out) noexcept {
+  for (std::uint8_t p = 0; p < op_phase::kCount; ++p) {
+    if (std::string(op_phase_name(p)) == s) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool op_func_from_string(const char* s, std::uint8_t& out) noexcept {
+  for (std::uint8_t f = 0; f < op_func::kCount; ++f) {
+    if (std::string(op_func_name(f)) == s) {
+      out = f;
+      return true;
+    }
+  }
+  return false;
 }
 
 const char* decide_rule_name(std::uint8_t rule) noexcept {
@@ -46,6 +87,14 @@ void append_field(std::string& s, const char* key, long long v) {
   s += key;
   s += "\":";
   s += std::to_string(v);
+}
+
+void append_str_field(std::string& s, const char* key, const char* v) {
+  s += ",\"";
+  s += key;
+  s += "\":\"";
+  s += v;
+  s += "\"";
 }
 
 [[noreturn]] void fail(std::size_t line_no, const std::string& why) {
@@ -88,7 +137,7 @@ std::optional<std::string> find_str(const std::string& line,
 }
 
 std::optional<EventKind> kind_from_string(const std::string& s) {
-  for (int k = 0; k <= static_cast<int>(EventKind::kFaultInjected); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kClientOp); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (s == to_string(kind)) return kind;
   }
@@ -147,6 +196,20 @@ std::string to_jsonl(const TraceEvent& e) {
       if (e.src != kNoProcess) append_field(s, "s", e.src);
       if (e.dst != kNoProcess) append_field(s, "d", e.dst);
       if (e.delay != 0) append_field(s, "delay", e.delay);
+      break;
+    case EventKind::kClientOp:
+      // "k" above is the logical timestamp; "p" is the CLIENT id (its
+      // own id space, deliberately not bounded by the header's n).
+      // ph/f are strings so hand-written fixture histories read well;
+      // args and result are omitted at the kNoValue sentinel.
+      append_field(s, "p", e.proc);
+      append_str_field(s, "ph", op_phase_name(e.op_phase));
+      append_str_field(s, "f", op_func_name(e.op_func));
+      append_field(s, "key", e.op_key);
+      append_field(s, "id", e.op_id);
+      if (e.arg != kNoValue) append_field(s, "a", e.arg);
+      if (e.arg2 != kNoValue) append_field(s, "b", e.arg2);
+      if (e.value != kNoValue) append_field(s, "v", e.value);
       break;
   }
   s += "}";
@@ -282,6 +345,29 @@ ParsedTrace parse_trace(std::istream& in) {
           if (*dl < 1) fail(line_no, "fault delay must be >= 1");
           e.delay = static_cast<int>(*dl);
         }
+        break;
+      }
+      case EventKind::kClientOp: {
+        // Clients live in their own id space (>= 0, not bounded by n).
+        const long long client = require_int(line, "p", line_no);
+        if (client < 0) fail(line_no, "negative client id");
+        e.proc = static_cast<ProcessId>(client);
+        const auto ph = find_str(line, "ph");
+        if (!ph || !op_phase_from_string(ph->c_str(), e.op_phase)) {
+          fail(line_no, "bad or missing op phase 'ph'");
+        }
+        const auto f = find_str(line, "f");
+        if (!f || !op_func_from_string(f->c_str(), e.op_func)) {
+          fail(line_no, "bad or missing op function 'f'");
+        }
+        const long long key = require_int(line, "key", line_no);
+        if (key < 0) fail(line_no, "negative op key");
+        e.op_key = static_cast<std::int32_t>(key);
+        e.op_id = require_int(line, "id", line_no);
+        if (e.op_id < 0) fail(line_no, "negative op id");
+        if (const auto a = find_int(line, "a", line_no)) e.arg = *a;
+        if (const auto b = find_int(line, "b", line_no)) e.arg2 = *b;
+        if (const auto v = find_int(line, "v", line_no)) e.value = *v;
         break;
       }
     }

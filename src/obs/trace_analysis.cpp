@@ -26,6 +26,7 @@ int phase_rank(EventKind k) noexcept {
     case EventKind::kDecide: return 3;
     case EventKind::kRoundEnd: return 4;
     case EventKind::kFaultInjected: return -1;  // exempt, see validate_trace
+    case EventKind::kClientOp: return -1;       // exempt, see validate_trace
   }
   return 5;
 }
@@ -74,7 +75,11 @@ TrialSummary summarize_trial(const TrialTrace& trial, int n,
   };
 
   for (const TraceEvent& e : trial.events) {
-    out.rounds = std::max(out.rounds, e.round);
+    // Op events carry a logical timestamp, not an engine round; they
+    // must not inflate the trial's round count.
+    if (e.kind != EventKind::kClientOp) {
+      out.rounds = std::max(out.rounds, e.round);
+    }
     switch (e.kind) {
       case EventKind::kMsgSent:
         ++out.totals.sent;
@@ -124,6 +129,9 @@ TrialSummary summarize_trial(const TrialTrace& trial, int n,
         break;
       case EventKind::kFaultInjected:
         ++out.fault_events;
+        break;
+      case EventKind::kClientOp:
+        ++out.op_events;
         break;
       case EventKind::kRoundStart:
       case EventKind::kRoundEnd:
@@ -176,6 +184,7 @@ std::string validate_trace(const ParsedTrace& trace) {
   for (const TrialTrace& trial : trace.trials) {
     Round open_round = -1;   // round between RoundStart and RoundEnd
     Round last_started = 0;
+    Round op_ts = -1;        // last ClientOp logical timestamp
     int last_rank = -1;
     bool trial_has_sends = false;
     for (const TraceEvent& e : trial.events) {
@@ -195,6 +204,17 @@ std::string validate_trace(const ParsedTrace& trace) {
         return err.str();
       };
 
+      if (e.kind == EventKind::kClientOp) {
+        // Op events carry logical timestamps from the client harness,
+        // not engine rounds: exempt from all round/phase checks, but
+        // the timestamps must strictly increase within the trial so
+        // histories have a total invocation/completion order.
+        if (op_ts >= 0 && e.round <= op_ts) {
+          return fail("op timestamps must strictly increase");
+        }
+        op_ts = e.round;
+        continue;
+      }
       if (e.kind == EventKind::kFaultInjected) {
         // Sim-path injection happens while round k is being *sampled*,
         // i.e. after RoundEnd(k-1) and before the engine's RoundStart(k),

@@ -60,6 +60,7 @@ struct TrialSummary {
   std::vector<TraceEvent> decides;       ///< in emission order
   std::vector<TraceEvent> crashes;
   long long fault_events = 0;            ///< FaultInjected events recorded
+  long long op_events = 0;               ///< ClientOp events recorded
   Round global_decision_round = -1;      ///< max decide round, -1 if none
 
   double incidence(int model) const noexcept {
@@ -104,7 +105,9 @@ TraceSummary summarize_trace(const ParsedTrace& trace,
 /// "" when valid, else a description of the first violation.
 /// FaultInjected events are exempt from the open-round/phase checks
 /// (sim-path injection edits round k's matrix before the engine opens
-/// round k) but may not reference an already-closed round.
+/// round k) but may not reference an already-closed round. ClientOp
+/// events are fully exempt ("k" is a logical timestamp, not a round),
+/// but their timestamps must strictly increase within each trial.
 std::string validate_trace(const ParsedTrace& trace);
 
 struct TraceDiff {

@@ -43,6 +43,7 @@ enum class EventKind : std::uint8_t {
   kDecide,        ///< proc decided `value` in round k (rule = protocol tag)
   kCrash,         ///< proc stopped taking steps from round k on
   kFaultInjected, ///< a fault-plan event acted on round k (rule = FaultKind)
+  kClientOp,      ///< client-visible SMR operation event ("round" = logical ts)
 };
 
 /// Stable wire names (the "e" field of the JSONL encoding).
@@ -58,7 +59,18 @@ struct TraceEvent {
   int delay = 0;                ///< MsgLate: rounds of extra delay
   std::uint8_t sat = 0;         ///< PredicateEval: bit per model
   std::uint8_t rule = 0;        ///< Decide: protocol-specific rule tag
-  Value value = kNoValue;       ///< Decide: the decided value
+  Value value = kNoValue;       ///< Decide: value; ClientOp: observed result
+
+  // Client-operation fields (EventKind::kClientOp only). For op events
+  // `round` is a wall-free logical timestamp (strictly increasing per
+  // trial) and `proc` is the CLIENT id — a separate id space from the
+  // replica processes, so it is not bounded by the trace header's n.
+  std::uint8_t op_phase = 0;    ///< op_phase:: value (invoke/ok/fail/info)
+  std::uint8_t op_func = 0;     ///< op_func:: value (read/write/cas/append)
+  std::int32_t op_key = -1;     ///< object key the operation targets
+  long long op_id = -1;         ///< client-unique operation id
+  Value arg = kNoValue;         ///< write value / cas expected / append value
+  Value arg2 = kNoValue;        ///< cas replacement value
 
   bool operator==(const TraceEvent&) const = default;
 
@@ -122,6 +134,27 @@ struct TraceEvent {
   /// kind (crash/recover -> proc, drop/delay -> src,dst, delay -> extra
   /// rounds in `delay`). Emitted by both injection backends, so sim and
   /// live traces agree on which rounds a plan touched.
+  /// Client-operation event. `ts` is a trial-local logical timestamp
+  /// (strictly increasing across all op events of the trial); `client`
+  /// is the client id; `result` is only meaningful for completion
+  /// phases (ok carries the observed value, fail/info carry kNoValue).
+  static TraceEvent op(Round ts, ProcessId client, std::uint8_t phase,
+                       std::uint8_t func, std::int32_t key, long long id,
+                       Value a = kNoValue, Value b = kNoValue,
+                       Value result = kNoValue) {
+    TraceEvent e;
+    e.kind = EventKind::kClientOp;
+    e.round = ts;
+    e.proc = client;
+    e.op_phase = phase;
+    e.op_func = func;
+    e.op_key = key;
+    e.op_id = id;
+    e.arg = a;
+    e.arg2 = b;
+    e.value = result;
+    return e;
+  }
   static TraceEvent fault(Round k, std::uint8_t fault_kind,
                           ProcessId proc = kNoProcess,
                           ProcessId src = kNoProcess,
@@ -151,5 +184,33 @@ inline constexpr std::uint8_t kSimulated = 5;   ///< via Algorithm 3 simulation
 }  // namespace decide_rule
 
 const char* decide_rule_name(std::uint8_t rule) noexcept;
+
+/// Operation phases (TraceEvent::op_phase), following the Jepsen history
+/// convention: ok = the op took effect, fail = it definitely did NOT,
+/// info = unknown (timeout/crash) — concurrent with everything after it.
+namespace op_phase {
+inline constexpr std::uint8_t kInvoke = 0;
+inline constexpr std::uint8_t kOk = 1;
+inline constexpr std::uint8_t kFail = 2;
+inline constexpr std::uint8_t kInfo = 3;
+inline constexpr int kCount = 4;
+}  // namespace op_phase
+
+/// Operation functions (TraceEvent::op_func) over the register/append
+/// object types of src/history/model.hpp.
+namespace op_func {
+inline constexpr std::uint8_t kRead = 0;
+inline constexpr std::uint8_t kWrite = 1;
+inline constexpr std::uint8_t kCas = 2;
+inline constexpr std::uint8_t kAppend = 3;
+inline constexpr int kCount = 4;
+}  // namespace op_func
+
+/// Stable wire names for op_phase / op_func (the "ph" and "f" JSONL
+/// fields); nullptr on out-of-range input for the parser's error path.
+const char* op_phase_name(std::uint8_t phase) noexcept;
+const char* op_func_name(std::uint8_t func) noexcept;
+bool op_phase_from_string(const char* s, std::uint8_t& out) noexcept;
+bool op_func_from_string(const char* s, std::uint8_t& out) noexcept;
 
 }  // namespace timing

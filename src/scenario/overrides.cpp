@@ -102,6 +102,23 @@ std::string apply_override(ScenarioSpec& spec, const std::string& key,
     spec.fault_spec = value;
     return "";
   }
+  if (key == "clients") {
+    if (!parse_int(value, spec.clients)) return "expected an integer";
+    return "";
+  }
+  if (key == "reg_keys") {
+    if (!parse_int(value, spec.reg_keys)) return "expected an integer";
+    return "";
+  }
+  if (key == "append_keys") {
+    if (!parse_int(value, spec.append_keys)) return "expected an integer";
+    return "";
+  }
+  if (key == "corrupt") {
+    // Validated in scenario::validate(); keep the raw value here.
+    spec.corrupt_spec = value;
+    return "";
+  }
   return "unknown key";
 }
 
@@ -159,7 +176,13 @@ std::string override_help() {
       "                      ';'-separated spec, e.g.\n"
       "                      \"crash 1 @2; recover 1 @5; gsr @8\"\n"
       "                      (grammar: docs/FAULTS.md; chaos/* scenarios\n"
-      "                      generate seeded random plans when unset)\n";
+      "                      generate seeded random plans when unset)\n"
+      "  clients=N           closed-loop SMR clients (smr/linearizable)\n"
+      "  reg_keys=N          read/write/cas register keys (smr/linearizable)\n"
+      "  append_keys=N       append hash-chain keys (smr/linearizable)\n"
+      "  corrupt=none|stale|lost\n"
+      "                      test-only linearizability violation hook\n"
+      "                      (smr/linearizable; see docs/HISTORY.md)\n";
 }
 
 int runs_or_default(int paper_default) {

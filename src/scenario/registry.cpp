@@ -124,6 +124,19 @@ ScenarioSpec chaos_defaults() {
   return s;
 }
 
+ScenarioSpec smr_linearizable_defaults() {
+  ScenarioSpec s;
+  s.sampler = SamplerKind::kSchedule;
+  s.n = 5;
+  s.iid_p = 0.4;  // pre-gsr per-link timeliness under the faults
+  s.runs = 200;   // seeded trials (fresh fault plans per instance)
+  s.rounds_per_run = 60;  // floor for the per-instance round cap
+  s.seed = 0x115ab1e;
+  s.leader_policy = LeaderPolicy::kFixed;
+  s.leader = 0;
+  return s;
+}
+
 ScenarioSpec smr_cost_defaults() {
   ScenarioSpec s;
   s.sampler = SamplerKind::kSchedule;
@@ -186,6 +199,10 @@ const std::vector<Scenario> kRegistry = {
     {"chaos/single", "chaos_single", "chaos",
      "One algorithm (algorithm=KEY) under random or given fault plans",
      chaos_defaults, run_chaos_single},
+    {"smr/linearizable", "smr_linearizable", "chaos",
+     "Client op histories against the SMR layer checked for "
+     "linearizability under fault injection",
+     smr_linearizable_defaults, run_smr_linearizable},
 };
 
 }  // namespace

@@ -32,5 +32,6 @@ int run_ablation_group_size(const ScenarioSpec& spec, const RunContext& ctx);
 int run_ablation_smr_cost(const ScenarioSpec& spec, const RunContext& ctx);
 int run_chaos_consensus(const ScenarioSpec& spec, const RunContext& ctx);
 int run_chaos_single(const ScenarioSpec& spec, const RunContext& ctx);
+int run_smr_linearizable(const ScenarioSpec& spec, const RunContext& ctx);
 
 }  // namespace timing::scenario

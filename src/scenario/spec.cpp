@@ -58,6 +58,19 @@ std::string validate(const ScenarioSpec& spec) {
   for (int gs : spec.group_sizes) {
     if (gs < 2) return "group_sizes entries must be >= 2";
   }
+  if (spec.clients < 1) return "clients must be >= 1";
+  if (spec.reg_keys < 0 || spec.append_keys < 0 ||
+      spec.reg_keys + spec.append_keys < 1) {
+    return "need at least one register or append key";
+  }
+  if (spec.clients + spec.reg_keys + spec.append_keys > 255 ||
+      spec.reg_keys + spec.append_keys > 255) {
+    return "clients + keys must fit the register command encoding (<= 255)";
+  }
+  if (!spec.corrupt_spec.empty() && spec.corrupt_spec != "none" &&
+      spec.corrupt_spec != "stale" && spec.corrupt_spec != "lost") {
+    return "corrupt must be one of none, stale, lost";
+  }
   if (!spec.fault_spec.empty()) {
     const fault::ParseResult pr = fault::load_fault_plan(spec.fault_spec);
     if (!pr.ok()) return "bad fault plan: " + pr.error;

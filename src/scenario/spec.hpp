@@ -79,6 +79,16 @@ struct ScenarioSpec {
   /// injection; the chaos/* scenarios then generate a fresh seeded
   /// random plan per trial.
   std::string fault_spec;
+  /// Closed-loop SMR clients per trial (smr/linearizable only).
+  int clients = 4;
+  /// Register keys (read/write/cas) per trial (smr/linearizable only).
+  int reg_keys = 2;
+  /// Append (hash-chain) keys per trial (smr/linearizable only).
+  int append_keys = 1;
+  /// Test-only corruption hook (`corrupt=` override): "" or "none" = off,
+  /// "stale" = stale probe read, "lost" = acknowledged lost append
+  /// (smr/linearizable only; see smr/client.hpp's CorruptMode).
+  std::string corrupt_spec;
 };
 
 /// Empty string when the spec is coherent; otherwise a one-line reason

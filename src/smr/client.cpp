@@ -1,0 +1,326 @@
+#include "smr/client.hpp"
+
+#include <cstring>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "history/model.hpp"
+#include "history/recorder.hpp"
+#include "smr/smr.hpp"
+
+namespace timing {
+
+const char* to_string(CorruptMode m) noexcept {
+  switch (m) {
+    case CorruptMode::kNone: return "none";
+    case CorruptMode::kStaleRead: return "stale";
+    case CorruptMode::kLostUpdate: return "lost";
+  }
+  return "none";
+}
+
+bool corrupt_mode_from_string(const char* s, CorruptMode& out) noexcept {
+  if (std::strcmp(s, "none") == 0) {
+    out = CorruptMode::kNone;
+    return true;
+  }
+  if (std::strcmp(s, "stale") == 0) {
+    out = CorruptMode::kStaleRead;
+    return true;
+  }
+  if (std::strcmp(s, "lost") == 0) {
+    out = CorruptMode::kLostUpdate;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+struct ClientState {
+  bool busy = false;
+  int rid = 0;             ///< request id of the current op
+  int next_rid = 1;
+  int ops_done = 0;
+  int open_instances = 0;  ///< instances the current op has been open
+  std::uint8_t func = 0;
+  std::int32_t key = 0;
+  Value a = kNoValue;
+  Value b = kNoValue;
+  Command cmd = kNoopCommand;
+  bool sabotaged = false;  ///< kLostUpdate: this proposal went out as noop
+};
+
+/// Nonzero even 16-bit value — the update-value domain of the harness.
+/// Register states are therefore 0 (initial), even (writes / cas
+/// replacements) or odd (append chains), never anything else.
+std::uint16_t even16(Rng& rng) {
+  return static_cast<std::uint16_t>(2 + 2 * rng.uniform_int(32766));
+}
+
+}  // namespace
+
+SmrClientReport run_smr_clients(const SmrClientConfig& cfg,
+                                const InstanceEnvFactory& env_of) {
+  const int total_keys = cfg.reg_keys + cfg.append_keys;
+  TM_CHECK(cfg.n > 1, "replication needs n > 1");
+  TM_CHECK(cfg.clients > 0, "need at least one client");
+  TM_CHECK(total_keys > 0, "need at least one key");
+  TM_CHECK(cfg.clients + total_keys <= 255 && total_keys <= 255,
+           "client/key ids must fit the register command encoding");
+  TM_CHECK(cfg.instances > 0 && cfg.op_timeout_instances > 0, "bad phases");
+
+  SmrGroupConfig gcfg;
+  gcfg.n = cfg.n;
+  gcfg.algorithm = cfg.algorithm;
+  gcfg.leader = cfg.leader;
+  std::vector<std::unique_ptr<StateMachine>> machines;
+  for (int i = 0; i < cfg.n; ++i) {
+    machines.push_back(std::make_unique<RegisterStateMachine>());
+  }
+  SmrGroup group(gcfg, std::move(machines));
+
+  Rng rng(cfg.seed);
+  HistoryRecorder rec;
+  SmrClientReport rep;
+  std::vector<ClientState> clients(static_cast<std::size_t>(cfg.clients));
+  std::vector<bool> last_applied;
+  bool stale_done = false;
+  bool lost_done = false;
+  int env_index = 0;
+
+  auto run_one = [&](const std::vector<Command>& proposals) {
+    InstanceEnv env = env_of(env_index++);
+    TM_CHECK(env.sampler != nullptr, "instance env needs a sampler");
+    ++rep.instances_run;
+    const std::vector<Round>* crashes =
+        env.crash_rounds.empty() ? nullptr : &env.crash_rounds;
+    SmrInstanceResult r =
+        group.run_instance(proposals, *env.sampler, crashes, env.max_rounds);
+    if (r.decided) {
+      ++rep.instances_decided;
+      last_applied = r.applied;
+    }
+    return r;
+  };
+
+  // A replica that applied this instance's command (hence the whole log).
+  auto observer =
+      [&](const std::vector<bool>& applied) -> const RegisterStateMachine& {
+    for (int i = 0; i < cfg.n; ++i) {
+      if (applied[static_cast<std::size_t>(i)]) {
+        return static_cast<const RegisterStateMachine&>(group.machine(i));
+      }
+    }
+    TM_CHECK(false, "decided instance with no live applier");
+    return static_cast<const RegisterStateMachine&>(group.machine(0));
+  };
+
+  auto start_op = [&](ProcessId c) {
+    ClientState& cs = clients[static_cast<std::size_t>(c)];
+    cs.busy = true;
+    cs.open_instances = 0;
+    cs.sabotaged = false;
+    cs.rid = cs.next_rid++;
+    std::uint16_t a16 = 0;
+    std::uint16_t b16 = 0;
+    if (cs.ops_done == 0) {
+      // Every client's first op is an update, so each seeded trial
+      // commits nonzero state the probe reads can anchor on.
+      cs.key = c % total_keys;
+      if (cs.key < cfg.reg_keys) {
+        cs.func = op_func::kWrite;
+        a16 = even16(rng);
+      } else {
+        cs.func = op_func::kAppend;
+        a16 = static_cast<std::uint16_t>(1 + rng.uniform_int(65535));
+      }
+    } else {
+      cs.key = static_cast<std::int32_t>(
+          rng.uniform_int(static_cast<std::uint64_t>(total_keys)));
+      if (cs.key < cfg.reg_keys) {
+        const std::uint64_t pick = rng.uniform_int(10);
+        if (pick < 4) {
+          cs.func = op_func::kRead;
+        } else if (pick < 8) {
+          cs.func = op_func::kWrite;
+          a16 = even16(rng);
+        } else {
+          cs.func = op_func::kCas;
+          a16 = even16(rng);
+          b16 = even16(rng);
+        }
+      } else {
+        if (rng.uniform_int(2) == 0) {
+          cs.func = op_func::kRead;
+        } else {
+          cs.func = op_func::kAppend;
+          a16 = static_cast<std::uint16_t>(1 + rng.uniform_int(65535));
+        }
+      }
+    }
+    const bool has_a = cs.func != op_func::kRead;
+    const bool has_b = cs.func == op_func::kCas;
+    cs.a = has_a ? static_cast<Value>(a16) : kNoValue;
+    cs.b = has_b ? static_cast<Value>(b16) : kNoValue;
+    cs.cmd = make_register_command(cs.func, cs.rid, c, cs.key, a16, b16);
+    rec.invoke(c, cs.func, cs.key, cs.rid, cs.a, cs.b);
+  };
+
+  auto close_op = [&](ProcessId c) {
+    ClientState& cs = clients[static_cast<std::size_t>(c)];
+    cs.busy = false;
+    ++cs.ops_done;
+  };
+
+  // ------------------------------------------------------- main phase --
+  for (int inst = 0; inst < cfg.instances; ++inst) {
+    for (ProcessId c = 0; c < cfg.clients; ++c) {
+      if (!clients[static_cast<std::size_t>(c)].busy) start_op(c);
+    }
+    // Each client submits through replica (c mod n); a replica proposes
+    // the longest-open op among its clients (ties to the lowest id).
+    std::vector<Command> proposals(static_cast<std::size_t>(cfg.n),
+                                   kNoopCommand);
+    std::vector<ProcessId> proposer(static_cast<std::size_t>(cfg.n),
+                                    kNoProcess);
+    for (ProcessId c = 0; c < cfg.clients; ++c) {
+      const ClientState& cs = clients[static_cast<std::size_t>(c)];
+      if (!cs.busy) continue;
+      ProcessId& cur = proposer[static_cast<std::size_t>(c % cfg.n)];
+      if (cur == kNoProcess ||
+          cs.open_instances >
+              clients[static_cast<std::size_t>(cur)].open_instances) {
+        cur = c;
+      }
+    }
+    std::set<ProcessId> proposed;
+    bool sabotaged_this_instance = false;
+    for (ProcessId i = 0; i < cfg.n; ++i) {
+      const ProcessId c = proposer[static_cast<std::size_t>(i)];
+      if (c == kNoProcess) continue;
+      ClientState& cs = clients[static_cast<std::size_t>(c)];
+      if (cfg.corrupt == CorruptMode::kLostUpdate && !lost_done &&
+          !sabotaged_this_instance && cs.func == op_func::kAppend) {
+        proposals[static_cast<std::size_t>(i)] = kNoopCommand;
+        cs.sabotaged = true;
+        sabotaged_this_instance = true;
+      } else {
+        proposals[static_cast<std::size_t>(i)] = cs.cmd;
+        cs.sabotaged = false;
+      }
+      proposed.insert(c);
+    }
+
+    const SmrInstanceResult r = run_one(proposals);
+    for (ProcessId c = 0; c < cfg.clients; ++c) {
+      ClientState& cs = clients[static_cast<std::size_t>(c)];
+      if (cs.busy) ++cs.open_instances;
+    }
+
+    if (r.decided) {
+      if (is_register_command(r.command)) {
+        const ProcessId wc = reg_command_client(r.command);
+        TM_CHECK(wc >= 0 && wc < cfg.clients, "decided client out of range");
+        ClientState& ws = clients[static_cast<std::size_t>(wc)];
+        TM_CHECK(ws.busy && ws.cmd == r.command,
+                 "decided command must be a proposed client op");
+        Value result = kNoValue;
+        TM_CHECK(observer(r.applied).last_result(wc, result),
+                 "winner must have a session result");
+        rec.ok(wc, result);
+        ++rep.ops_ok;
+        close_op(wc);
+      }
+      if (sabotaged_this_instance) {
+        // Acknowledge the sabotaged append even though a noop went out
+        // in its place: the command was never proposed, hence never
+        // applied — an acknowledged lost update. The ok completes before
+        // the probe read is invoked, so real-time order forces the probe
+        // to observe the append; it cannot, and the checker rejects.
+        for (ProcessId c = 0; c < cfg.clients; ++c) {
+          ClientState& cs = clients[static_cast<std::size_t>(c)];
+          if (!cs.busy || !cs.sabotaged) continue;
+          const Value fabricated =
+              register_step(observer(r.applied).value(cs.key), cs.func,
+                            cs.a, cs.b)
+                  .result;
+          rec.ok(c, fabricated);
+          ++rep.ops_ok;
+          lost_done = true;
+          close_op(c);
+          break;
+        }
+      }
+      // Everyone else who was proposed into this decided instance lost:
+      // their command is provably never applied in this harness.
+      for (ProcessId c : proposed) {
+        if (!clients[static_cast<std::size_t>(c)].busy) continue;
+        rec.fail(c);
+        ++rep.ops_fail;
+        close_op(c);
+      }
+    } else {
+      // Undecided instance: close stragglers as info (timeout — unknown
+      // whether a future quorum saw the command, so not a fail).
+      for (ProcessId c = 0; c < cfg.clients; ++c) {
+        ClientState& cs = clients[static_cast<std::size_t>(c)];
+        if (!cs.busy || cs.open_instances < cfg.op_timeout_instances) {
+          continue;
+        }
+        rec.info(c);
+        ++rep.ops_info;
+        close_op(c);
+      }
+    }
+  }
+  // Ops still open when the trial ends stay uncompleted (info).
+  for (ProcessId c = 0; c < cfg.clients; ++c) {
+    if (clients[static_cast<std::size_t>(c)].busy) ++rep.ops_info;
+  }
+
+  // ------------------------------------------------------ probe phase --
+  // Fresh clients read every key over fault-free instances, anchoring
+  // the final state in the history.
+  for (std::int32_t k = 0; k < total_keys; ++k) {
+    const ProcessId pc = cfg.clients + k;
+    const Command cmd = make_register_command(op_func::kRead, 1, pc, k, 0, 0);
+    rec.invoke(pc, op_func::kRead, k, 1);
+    bool done = false;
+    for (int attempt = 0; attempt < cfg.probe_attempts && !done; ++attempt) {
+      std::vector<Command> proposals(static_cast<std::size_t>(cfg.n),
+                                     kNoopCommand);
+      proposals[static_cast<std::size_t>(pc % cfg.n)] = cmd;
+      const SmrInstanceResult r = run_one(proposals);
+      if (!r.decided || r.command != cmd) continue;
+      Value result = kNoValue;
+      TM_CHECK(observer(r.applied).last_result(pc, result),
+               "probe must have a session result");
+      if (cfg.corrupt == CorruptMode::kStaleRead && !stale_done &&
+          result != kRegInitial) {
+        result = kRegInitial;  // report none of the committed updates
+        stale_done = true;
+      }
+      rec.ok(pc, result);
+      ++rep.ops_ok;
+      done = true;
+    }
+    if (!done) ++rep.ops_info;  // probe left open
+  }
+
+  rep.events = rec.events();
+  if (!last_applied.empty()) {
+    rep.consistent = group.consistent_among(last_applied);
+    const RegisterStateMachine& m = observer(last_applied);
+    for (std::int32_t k = 0; k < total_keys; ++k) {
+      rep.final_values.push_back(m.value(k));
+    }
+  } else {
+    rep.final_values.assign(static_cast<std::size_t>(total_keys),
+                            kRegInitial);
+  }
+  return rep;
+}
+
+}  // namespace timing

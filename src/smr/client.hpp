@@ -1,0 +1,100 @@
+// Client harness for the linearizability experiments (docs/HISTORY.md):
+// a population of closed-loop clients driving register/append operations
+// through an engine-based SmrGroup, recording the invoke/ok/fail/info
+// history that src/history/ checks.
+//
+// Completion semantics (the soundness contract the checker relies on):
+//  * ok   — the client's command was the instance's decided value; the
+//           observed result is read back from a replica that applied it.
+//  * fail — the command was proposed into a decided instance and LOST.
+//           In this closed-world harness a losing command is provably
+//           never applied (only decided commands are applied, and the
+//           client never re-proposes a completed op), so `fail` is sound.
+//  * info — the op timed out (its instances never decided) or was still
+//           open when the trial ended; it may or may not have taken
+//           effect as far as the client knows, so the checker treats it
+//           as concurrent forever.
+//
+// After the main (fault-injected) phase, fresh probe clients read every
+// key over fault-free instances, anchoring the final state in the
+// history — this is what makes lost updates on append keys visible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "consensus/factory.hpp"
+#include "obs/trace_event.hpp"
+#include "sim/sampler.hpp"
+
+namespace timing {
+
+/// Test-only corruption hooks: deliberately violate linearizability so
+/// the chaos gate can prove the checker catches real violations.
+enum class CorruptMode {
+  kNone = 0,
+  /// The first probe read that would observe a non-initial register
+  /// value reports kRegInitial instead — a stale read that misses every
+  /// committed update.
+  kStaleRead,
+  /// The first append proposal is silently replaced by a noop; when its
+  /// instance decides, the append is reported ok anyway — an
+  /// acknowledged lost update, exposed by the probe read of the key.
+  kLostUpdate,
+};
+
+const char* to_string(CorruptMode m) noexcept;
+/// Parses "none" / "stale" / "lost"; returns false on anything else.
+bool corrupt_mode_from_string(const char* s, CorruptMode& out) noexcept;
+
+struct SmrClientConfig {
+  int n = 5;
+  AlgorithmKind algorithm = AlgorithmKind::kWlm;
+  ProcessId leader = 0;
+  int clients = 4;      ///< closed-loop clients (ids 0..clients-1)
+  int reg_keys = 2;     ///< keys 0..reg_keys-1: read/write/cas registers
+  int append_keys = 1;  ///< keys reg_keys..: read/append hash-chain keys
+  int instances = 8;    ///< main-phase consensus instances
+  /// Instances an op may sit open across before it is closed as info.
+  int op_timeout_instances = 3;
+  /// Fault-free instances each probe read may retry across.
+  int probe_attempts = 4;
+  std::uint64_t seed = 1;
+  CorruptMode corrupt = CorruptMode::kNone;
+};
+
+/// Network environment for one consensus instance. The factory keeps the
+/// harness free of any fault/model dependency: the caller decides what
+/// the network does (random_fault_plan injection for the chaos gate,
+/// fault-free samplers for the probe phase).
+struct InstanceEnv {
+  std::unique_ptr<TimelinessSampler> sampler;
+  std::vector<Round> crash_rounds;  ///< empty = no crashes
+  int max_rounds = -1;              ///< -1 = the group default
+};
+
+/// Called with the running instance index: 0..cfg.instances-1 are the
+/// main phase; every index >= cfg.instances is a probe-phase instance
+/// and should be fault-free.
+using InstanceEnvFactory = std::function<InstanceEnv(int index)>;
+
+struct SmrClientReport {
+  std::vector<TraceEvent> events;  ///< the op history, ts order
+  int instances_run = 0;
+  int instances_decided = 0;
+  int ops_ok = 0;
+  int ops_fail = 0;
+  int ops_info = 0;  ///< timed out or open at end of trial
+  /// Fingerprint agreement among the replicas that applied the full log.
+  bool consistent = true;
+  /// Final value per key (0..reg_keys+append_keys-1) read from a replica
+  /// that applied the full decided log.
+  std::vector<Value> final_values;
+};
+
+SmrClientReport run_smr_clients(const SmrClientConfig& cfg,
+                                const InstanceEnvFactory& env_of);
+
+}  // namespace timing

@@ -30,11 +30,12 @@ SmrGroup::SmrGroup(SmrGroupConfig cfg,
            "one state machine per replica");
   TM_CHECK(cfg_.n > 1, "replication needs n > 1");
   for (const auto& m : machines_) TM_CHECK(m != nullptr, "null machine");
+  applied_.assign(machines_.size(), 0);
 }
 
 SmrInstanceResult SmrGroup::run_instance(
     const std::vector<Command>& proposals, TimelinessSampler& network,
-    const std::vector<Round>* crash_rounds) {
+    const std::vector<Round>* crash_rounds, int max_rounds) {
   TM_CHECK(static_cast<int>(proposals.size()) == cfg_.n,
            "one proposal per replica");
   std::vector<std::unique_ptr<Protocol>> group;
@@ -56,7 +57,8 @@ SmrInstanceResult SmrGroup::run_instance(
       if (at > 0) engine.crash_at(i, at);
     }
   }
-  const Round decided = engine.run(network, cfg_.max_rounds_per_instance);
+  const Round decided = engine.run(
+      network, max_rounds < 0 ? cfg_.max_rounds_per_instance : max_rounds);
 
   SmrInstanceResult result;
   result.rounds = engine.current_round();
@@ -72,9 +74,18 @@ SmrInstanceResult SmrGroup::run_instance(
              "consensus violated agreement");  // hard stop: data corruption
   }
   result.command = agreed;
+  log_.push_back(agreed);
+  result.applied.assign(static_cast<std::size_t>(cfg_.n), false);
   for (ProcessId i = 0; i < cfg_.n; ++i) {
-    if (!engine.alive(i)) continue;  // crashed: would replay on recovery
-    machines_[static_cast<std::size_t>(i)]->apply(result.command);
+    if (!engine.alive(i)) continue;  // crashed: replays when it recovers
+    // Log replay on recovery: a replica that missed decisions while
+    // crashed catches up on the whole suffix before the new command.
+    std::size_t& upto = applied_[static_cast<std::size_t>(i)];
+    while (upto < log_.size()) {
+      machines_[static_cast<std::size_t>(i)]->apply(log_[upto]);
+      ++upto;
+    }
+    result.applied[static_cast<std::size_t>(i)] = true;
   }
   ++instances_decided_;
   return result;

@@ -44,6 +44,10 @@ struct SmrInstanceResult {
   bool decided = false;
   Value command = kNoValue;
   Round rounds = 0;  ///< rounds the instance ran
+  /// Which replicas applied this instance's command (alive at decision,
+  /// including any log suffix they replayed to catch up). Empty when
+  /// undecided.
+  std::vector<bool> applied;
 };
 
 class SmrGroup {
@@ -58,12 +62,19 @@ class SmrGroup {
   /// `crash_rounds` (optional, one entry per replica, 0 = never) injects
   /// crash failures; pass the same vector to the network's ScheduleConfig
   /// so the model's timeliness guarantees refer to correct processes.
-  /// Crashed replicas' machines stop applying commands - a real system
-  /// would replay the log on recovery.
+  /// Crashed replicas' machines stop applying commands; a replica that is
+  /// alive again in a later instance replays the decided-log suffix it
+  /// missed before applying the new command (log replay on recovery), so
+  /// surviving replicas never silently diverge. `max_rounds` < 0 uses
+  /// cfg.max_rounds_per_instance.
   SmrInstanceResult run_instance(const std::vector<Command>& proposals,
                                  TimelinessSampler& network,
                                  const std::vector<Round>* crash_rounds =
-                                     nullptr);
+                                     nullptr,
+                                 int max_rounds = -1);
+
+  /// The decided command log (one entry per decided instance, in order).
+  const std::vector<Command>& log() const noexcept { return log_; }
 
   int instances_decided() const noexcept { return instances_decided_; }
   const StateMachine& machine(ProcessId i) const { return *machines_[i]; }
@@ -76,6 +87,8 @@ class SmrGroup {
  private:
   SmrGroupConfig cfg_;
   std::vector<std::unique_ptr<StateMachine>> machines_;
+  std::vector<Command> log_;          ///< decided commands, in order
+  std::vector<std::size_t> applied_;  ///< per replica: log prefix applied
   int instances_decided_ = 0;
 };
 

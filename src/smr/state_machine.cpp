@@ -58,6 +58,112 @@ bool KvStateMachine::get(std::uint32_t key, std::uint32_t& out) const {
   return true;
 }
 
+Command make_register_command(std::uint8_t func, int rid, ProcessId client,
+                              std::int32_t key, std::uint16_t a,
+                              std::uint16_t b) noexcept {
+  return static_cast<Command>(
+      (1ull << 62) |
+      (static_cast<std::uint64_t>(func & 0x3u) << 60) |
+      (static_cast<std::uint64_t>(rid & 0xfff) << 48) |
+      (static_cast<std::uint64_t>(client & 0xff) << 40) |
+      (static_cast<std::uint64_t>(key & 0xff) << 32) |
+      (static_cast<std::uint64_t>(a) << 16) | static_cast<std::uint64_t>(b));
+}
+
+bool is_register_command(Command c) noexcept {
+  return c > 0 && ((static_cast<std::uint64_t>(c) >> 62) & 1u) != 0;
+}
+
+std::uint8_t reg_command_func(Command c) noexcept {
+  return static_cast<std::uint8_t>((static_cast<std::uint64_t>(c) >> 60) &
+                                   0x3u);
+}
+
+int reg_command_rid(Command c) noexcept {
+  return static_cast<int>((static_cast<std::uint64_t>(c) >> 48) & 0xfffu);
+}
+
+ProcessId reg_command_client(Command c) noexcept {
+  return static_cast<ProcessId>((static_cast<std::uint64_t>(c) >> 40) &
+                                0xffu);
+}
+
+std::int32_t reg_command_key(Command c) noexcept {
+  return static_cast<std::int32_t>((static_cast<std::uint64_t>(c) >> 32) &
+                                   0xffu);
+}
+
+Value reg_command_a(Command c) noexcept {
+  return static_cast<Value>((static_cast<std::uint64_t>(c) >> 16) & 0xffffu);
+}
+
+Value reg_command_b(Command c) noexcept {
+  return static_cast<Value>(static_cast<std::uint64_t>(c) & 0xffffu);
+}
+
+void RegisterStateMachine::apply(Command cmd) {
+  ++applied_;
+  if (cmd == kNoopCommand) return;
+  TM_CHECK(is_register_command(cmd), "non-register command on a register "
+                                     "machine");
+  const ProcessId client = reg_command_client(cmd);
+  const int rid = reg_command_rid(cmd);
+  const auto session = sessions_.find(client);
+  if (session != sessions_.end() && session->second.first == rid) {
+    return;  // duplicate re-submit: keep the cached result, no re-apply
+  }
+  const std::int32_t key = reg_command_key(cmd);
+  const StepResult step =
+      register_step(value(key), reg_command_func(cmd), reg_command_a(cmd),
+                    reg_command_b(cmd));
+  regs_[key] = step.state;
+  sessions_[client] = {rid, step.result};
+  ++effective_;
+}
+
+std::uint64_t RegisterStateMachine::fingerprint() const {
+  std::uint64_t h = 0x13198a2e03707344ULL ^
+                    static_cast<std::uint64_t>(applied_) ^
+                    (static_cast<std::uint64_t>(effective_) << 32);
+  for (const auto& [k, v] : regs_) {
+    std::uint64_t x = static_cast<std::uint64_t>(k) ^
+                      (static_cast<std::uint64_t>(v) << 8) ^ h;
+    h = splitmix64(x);
+  }
+  for (const auto& [c, s] : sessions_) {
+    std::uint64_t x = static_cast<std::uint64_t>(c) ^
+                      (static_cast<std::uint64_t>(s.first) << 16) ^
+                      (static_cast<std::uint64_t>(s.second) << 24) ^ h;
+    h = splitmix64(x);
+  }
+  return h;
+}
+
+std::string RegisterStateMachine::describe() const {
+  std::ostringstream os;
+  os << "regs{";
+  bool first = true;
+  for (const auto& [k, v] : regs_) {
+    os << (first ? "" : ", ") << k << "=" << v;
+    first = false;
+  }
+  os << "} after " << applied_ << " commands (" << effective_
+     << " effective)";
+  return os.str();
+}
+
+Value RegisterStateMachine::value(std::int32_t key) const {
+  const auto it = regs_.find(key);
+  return it == regs_.end() ? kRegInitial : it->second;
+}
+
+bool RegisterStateMachine::last_result(ProcessId client, Value& out) const {
+  const auto it = sessions_.find(client);
+  if (it == sessions_.end()) return false;
+  out = it->second.second;
+  return true;
+}
+
 std::uint64_t JournalStateMachine::fingerprint() const {
   std::uint64_t h = 0x452821e638d01377ULL;
   for (Command c : journal_) {

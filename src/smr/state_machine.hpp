@@ -11,9 +11,11 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
+#include "history/model.hpp"
 
 namespace timing {
 
@@ -59,6 +61,64 @@ class KvStateMachine final : public StateMachine {
  private:
   std::map<std::uint32_t, std::uint32_t> kv_;
   long long applied_ = 0;
+};
+
+/// Command encoding for the register machine (the client-facing object
+/// model of src/history/). Bit 62 tags register commands so they stay
+/// disjoint from KV commands (which keep bit 62 clear) and from
+/// kNoopCommand; the sign bit stays clear so commands remain valid
+/// positive consensus values.
+///
+///   bit  62      register tag (1)
+///   bits 60..61  func (op_func:: constant, 2 bits)
+///   bits 48..59  rid — per-client request id (12 bits)
+///   bits 40..47  client id (8 bits)
+///   bits 32..39  key (8 bits)
+///   bits 16..31  a — write value / cas expected / append value (16 bits)
+///   bits  0..15  b — cas replacement (16 bits)
+Command make_register_command(std::uint8_t func, int rid, ProcessId client,
+                              std::int32_t key, std::uint16_t a,
+                              std::uint16_t b) noexcept;
+bool is_register_command(Command c) noexcept;
+std::uint8_t reg_command_func(Command c) noexcept;
+int reg_command_rid(Command c) noexcept;
+ProcessId reg_command_client(Command c) noexcept;
+std::int32_t reg_command_key(Command c) noexcept;
+Value reg_command_a(Command c) noexcept;
+Value reg_command_b(Command c) noexcept;
+
+/// The linearizability harness's replicated object: a set of registers
+/// (keyed, initial value kRegInitial) stepped by history/model.hpp's
+/// register_step — the SAME sequential spec the checker replays, so
+/// "op events match machine effects" is a meaningful assertion.
+///
+/// Client sessions provide idempotent re-submission: a command whose
+/// (client, rid) equals the client's last applied request is a duplicate
+/// and is NOT re-applied (its cached result is retained), mirroring the
+/// dedup a real SMR service performs when a client retries after a
+/// timeout.
+class RegisterStateMachine final : public StateMachine {
+ public:
+  void apply(Command cmd) override;
+  std::uint64_t fingerprint() const override;
+  std::string describe() const override;
+
+  /// Current register value; kRegInitial when never touched.
+  Value value(std::int32_t key) const;
+  /// Result of the client's last applied request; false if the client
+  /// never had a request applied.
+  bool last_result(ProcessId client, Value& out) const;
+
+  long long applied() const noexcept { return applied_; }
+  /// Non-noop, non-duplicate applies.
+  long long effective() const noexcept { return effective_; }
+
+ private:
+  std::map<std::int32_t, Value> regs_;
+  /// client -> (rid, result) of the last applied request.
+  std::map<ProcessId, std::pair<int, Value>> sessions_;
+  long long applied_ = 0;
+  long long effective_ = 0;
 };
 
 /// An append-only register machine recording every command (useful for

@@ -1,0 +1,404 @@
+// Tests for src/history/: the register model, history construction from
+// op events, the Wing–Gong linearizability checker with its golden
+// fixture corpus, and the end-to-end properties the chaos gate relies
+// on — fault-free SMR histories check clean, mutated histories are
+// rejected, and verdicts are byte-identical across thread counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <initializer_list>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "history/history.hpp"
+#include "history/linearizability.hpp"
+#include "history/model.hpp"
+#include "history/recorder.hpp"
+#include "models/schedule.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/trace_analysis.hpp"
+#include "smr/client.hpp"
+
+namespace timing {
+namespace {
+
+// ------------------------------------------------------- register model --
+
+TEST(RegisterModelTest, ReadWriteCasSemantics) {
+  StepResult r = register_step(kRegInitial, op_func::kRead, kNoValue, kNoValue);
+  EXPECT_EQ(r.state, kRegInitial);
+  EXPECT_EQ(r.result, kRegInitial);
+
+  r = register_step(kRegInitial, op_func::kWrite, 42, kNoValue);
+  EXPECT_EQ(r.state, 42);
+  EXPECT_EQ(r.result, 42);
+
+  r = register_step(42, op_func::kCas, 42, 99);
+  EXPECT_EQ(r.state, 99);
+  EXPECT_EQ(r.result, 1);  // fired
+
+  r = register_step(99, op_func::kCas, 42, 7);
+  EXPECT_EQ(r.state, 99);  // unchanged
+  EXPECT_EQ(r.result, 0);  // did not fire
+}
+
+TEST(RegisterModelTest, AppendChainsAreOddNonzeroAndOrderSensitive) {
+  const Value c1 = register_step(kRegInitial, op_func::kAppend, 5, kNoValue).state;
+  const Value c12 = register_step(c1, op_func::kAppend, 6, kNoValue).state;
+  const Value c2 = register_step(kRegInitial, op_func::kAppend, 6, kNoValue).state;
+  const Value c21 = register_step(c2, op_func::kAppend, 5, kNoValue).state;
+  EXPECT_NE(c1, kRegInitial);
+  EXPECT_EQ(c1 % 2, 1);  // odd, hence nonzero and disjoint from writes
+  EXPECT_EQ(c12 % 2, 1);
+  EXPECT_GT(c12, 0);
+  EXPECT_NE(c12, c21);  // append order is visible in the state
+}
+
+// ------------------------------------------- recorder + build_history --
+
+TEST(HistoryBuildTest, RecorderRoundTripsThroughBuildHistory) {
+  HistoryRecorder rec;
+  rec.invoke(0, op_func::kWrite, 0, 1, 10);
+  rec.invoke(1, op_func::kRead, 0, 1);
+  rec.ok(0, 10);
+  rec.fail(1);
+  rec.invoke(2, op_func::kCas, 1, 7, 3, 4);  // left open -> info
+
+  const History h = build_history(rec.events());
+  ASSERT_TRUE(h.well_formed()) << h.error;
+  ASSERT_EQ(h.ops.size(), 3u);
+  EXPECT_TRUE(h.ops[0].ok());
+  EXPECT_EQ(h.ops[0].result, 10);
+  EXPECT_TRUE(h.ops[1].failed());
+  EXPECT_TRUE(h.ops[2].is_info());
+  EXPECT_EQ(h.ops[2].complete_ts, -1);
+  EXPECT_EQ(h.ops[2].id, 7);
+  // info ops precede nothing.
+  EXPECT_GT(h.ops[2].ret(), h.ops[0].ret());
+}
+
+TEST(HistoryBuildTest, RejectsCompletionWithoutInvoke) {
+  std::vector<TraceEvent> events;
+  events.push_back(
+      TraceEvent::op(1, 0, op_phase::kOk, op_func::kRead, 0, 1, kNoValue,
+                     kNoValue, 0));
+  const History h = build_history(events);
+  EXPECT_FALSE(h.well_formed());
+}
+
+TEST(HistoryBuildTest, RejectsDoubleOutstandingOp) {
+  std::vector<TraceEvent> events;
+  events.push_back(TraceEvent::op(1, 0, op_phase::kInvoke, op_func::kRead, 0, 1));
+  events.push_back(TraceEvent::op(2, 0, op_phase::kInvoke, op_func::kRead, 0, 2));
+  const History h = build_history(events);
+  EXPECT_FALSE(h.well_formed());
+}
+
+TEST(HistoryBuildTest, MalformedHistoryIsNotLinearizable) {
+  std::vector<TraceEvent> events;
+  events.push_back(
+      TraceEvent::op(1, 0, op_phase::kOk, op_func::kRead, 0, 1, kNoValue,
+                     kNoValue, 0));
+  const CheckResult r = check_history(build_history(events));
+  EXPECT_FALSE(r.linearizable);
+  EXPECT_NE(r.witness.explanation.find("malformed"), std::string::npos);
+}
+
+// ------------------------------------------------------------ checker --
+
+History sequential(std::initializer_list<Operation> ops) {
+  History h;
+  h.ops = ops;
+  return h;
+}
+
+Operation op(ProcessId c, std::uint8_t func, Round inv, Round ret,
+             std::uint8_t completion, Value a = kNoValue, Value b = kNoValue,
+             Value result = kNoValue) {
+  Operation o;
+  o.client = c;
+  o.id = inv;  // unique enough for hand-built histories
+  o.func = func;
+  o.key = 0;
+  o.a = a;
+  o.b = b;
+  o.result = result;
+  o.invoke_ts = inv;
+  o.complete_ts = ret;
+  o.completion = completion;
+  return o;
+}
+
+TEST(CheckerTest, ConcurrentReadMayLinearizeBeforeWrite) {
+  // write(10) over [1,4], read -> 0 over [2,3]: the read linearizes first.
+  const History h = sequential({
+      op(0, op_func::kWrite, 1, 4, op_phase::kOk, 10, kNoValue, 10),
+      op(1, op_func::kRead, 2, 3, op_phase::kOk, kNoValue, kNoValue, 0),
+  });
+  EXPECT_TRUE(check_history(h).linearizable);
+}
+
+TEST(CheckerTest, SequentialStaleReadRejected) {
+  const History h = sequential({
+      op(0, op_func::kWrite, 1, 2, op_phase::kOk, 10, kNoValue, 10),
+      op(1, op_func::kRead, 3, 4, op_phase::kOk, kNoValue, kNoValue, 0),
+  });
+  const CheckResult r = check_history(h);
+  EXPECT_FALSE(r.linearizable);
+  EXPECT_EQ(r.witness.key, 0);
+  EXPECT_EQ(r.witness.ops.size(), 2u);
+}
+
+TEST(CheckerTest, FailedWriteIsDropped) {
+  const History h = sequential({
+      op(0, op_func::kWrite, 1, 2, op_phase::kFail, 10),
+      op(1, op_func::kRead, 3, 4, op_phase::kOk, kNoValue, kNoValue, 0),
+  });
+  EXPECT_TRUE(check_history(h).linearizable);
+}
+
+TEST(CheckerTest, InfoWriteIsOptional) {
+  // The open write may or may not have taken effect: both reads accept.
+  const History may_apply = sequential({
+      op(0, op_func::kWrite, 1, -1, op_phase::kInfo, 10),
+      op(1, op_func::kRead, 2, 3, op_phase::kOk, kNoValue, kNoValue, 10),
+  });
+  const History may_skip = sequential({
+      op(0, op_func::kWrite, 1, -1, op_phase::kInfo, 10),
+      op(1, op_func::kRead, 2, 3, op_phase::kOk, kNoValue, kNoValue, 0),
+  });
+  EXPECT_TRUE(check_history(may_apply).linearizable);
+  EXPECT_TRUE(check_history(may_skip).linearizable);
+}
+
+TEST(CheckerTest, WitnessIsOneMinimal) {
+  const History h = sequential({
+      op(0, op_func::kWrite, 1, 2, op_phase::kOk, 10, kNoValue, 10),
+      op(1, op_func::kRead, 3, 4, op_phase::kOk, kNoValue, kNoValue, 0),
+  });
+  const CheckResult r = check_history(h);
+  ASSERT_FALSE(r.linearizable);
+  // Dropping any single witness op must make the remainder linearizable.
+  for (std::size_t drop = 0; drop < r.witness.ops.size(); ++drop) {
+    std::vector<Operation> rest;
+    for (std::size_t i = 0; i < r.witness.ops.size(); ++i) {
+      if (i != drop) rest.push_back(r.witness.ops[i]);
+    }
+    EXPECT_TRUE(linearizable_key(rest)) << "witness not 1-minimal";
+  }
+}
+
+// ---------------------------------------------------- golden fixtures --
+
+struct GoldenCase {
+  const char* file;
+  bool linearizable;
+  std::int32_t witness_key;  ///< only checked when !linearizable
+};
+
+class GoldenHistoryTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenHistoryTest, VerdictAndWitnessMatch) {
+  const GoldenCase& c = GetParam();
+  const std::string path =
+      std::string(HISTORY_FIXTURES_DIR) + "/" + c.file;
+  const ParsedTrace trace = parse_trace_file(path);
+  // Op events are exempt from round/phase ordering, so a pure op trace
+  // must pass structural validation as-is.
+  EXPECT_EQ(validate_trace(trace), "");
+  ASSERT_EQ(trace.trials.size(), 1u);
+
+  const History h = build_history(trace.trials[0].events);
+  ASSERT_TRUE(h.well_formed()) << h.error;
+  const CheckResult r = check_history(h);
+  EXPECT_EQ(r.linearizable, c.linearizable) << c.file;
+  if (!c.linearizable) {
+    EXPECT_EQ(r.witness.key, c.witness_key) << c.file;
+    EXPECT_FALSE(r.witness.ops.empty());
+    EXPECT_FALSE(r.witness.explanation.empty());
+    // Every witness op is one of the history's ops, rendered replayable.
+    for (const Operation& w : r.witness.ops) {
+      EXPECT_NE(std::find(h.ops.begin(), h.ops.end(), w), h.ops.end());
+      EXPECT_NE(to_jsonl(w).find("\"e\":\"op\""), std::string::npos);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, GoldenHistoryTest,
+    ::testing::Values(GoldenCase{"linearizable_basic.jsonl", true, -1},
+                      GoldenCase{"stale_read.jsonl", false, 0},
+                      GoldenCase{"lost_update.jsonl", false, 0},
+                      GoldenCase{"split_brain.jsonl", false, 0},
+                      GoldenCase{"ok_after_fail.jsonl", false, 0}),
+    [](const ::testing::TestParamInfo<GoldenCase>& info) {
+      std::string name = info.param.file;
+      return name.substr(0, name.find('.'));
+    });
+
+// ------------------------------------------- end-to-end SMR histories --
+
+/// Fault-free instance environments: a conforming schedule from round 1,
+/// independently seeded per instance.
+InstanceEnvFactory fault_free_env(const SmrClientConfig& cfg,
+                                  std::uint64_t seed) {
+  const int n = cfg.n;
+  const ProcessId leader = cfg.leader;
+  return [n, leader, seed](int index) {
+    InstanceEnv env;
+    ScheduleConfig scfg;
+    scfg.n = n;
+    scfg.model = TimingModel::kWlm;
+    scfg.leader = leader;
+    scfg.gsr = 1;
+    scfg.seed = substream_seed(seed, static_cast<std::uint64_t>(index));
+    env.sampler = std::make_unique<ScheduleSampler>(scfg);
+    return env;
+  };
+}
+
+SmrClientConfig client_config(std::uint64_t seed) {
+  SmrClientConfig cfg;
+  cfg.seed = seed;
+  return cfg;  // defaults: n=5, 4 clients, 2 register + 1 append keys
+}
+
+TEST(SmrHistoryPropertyTest, FaultFreeHistoriesAreLinearizable) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const SmrClientConfig cfg = client_config(seed);
+    const SmrClientReport rep =
+        run_smr_clients(cfg, fault_free_env(cfg, substream_seed(seed, 99)));
+    EXPECT_TRUE(rep.consistent);
+    EXPECT_GT(rep.ops_ok, 0);
+    const History h = build_history(rep.events);
+    ASSERT_TRUE(h.well_formed()) << h.error;
+    EXPECT_TRUE(check_history(h).linearizable) << "seed " << seed;
+  }
+}
+
+TEST(SmrHistoryPropertyTest, SwappedDecidedValueIsRejected) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const SmrClientConfig cfg = client_config(seed);
+    SmrClientReport rep =
+        run_smr_clients(cfg, fault_free_env(cfg, substream_seed(seed, 99)));
+    // Corrupt the last ok read with a nonzero observed value (the probe
+    // reads anchor final state, so one always qualifies): no register
+    // state v ever has v^1 reachable alongside it — writes/cas values are
+    // even, append chains are odd 62-bit hashes.
+    bool mutated = false;
+    for (auto it = rep.events.rbegin(); it != rep.events.rend(); ++it) {
+      if (it->kind == EventKind::kClientOp &&
+          it->op_phase == op_phase::kOk && it->op_func == op_func::kRead &&
+          it->value != kRegInitial && it->value != kNoValue) {
+        it->value ^= 1;
+        mutated = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(mutated) << "seed " << seed;
+    const History h = build_history(rep.events);
+    ASSERT_TRUE(h.well_formed()) << h.error;
+    EXPECT_FALSE(check_history(h).linearizable) << "seed " << seed;
+  }
+}
+
+TEST(SmrHistoryPropertyTest, OkFlippedToFailIsRejected) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const SmrClientConfig cfg = client_config(seed);
+    SmrClientReport rep =
+        run_smr_clients(cfg, fault_free_env(cfg, substream_seed(seed, 99)));
+    // The probe read of the append key observes the full hash chain, so
+    // retro-claiming any committed append "definitely did not happen"
+    // leaves the chain value underivable.
+    const std::int32_t append_key = cfg.reg_keys;
+    bool probe_ok = false;
+    for (const TraceEvent& e : rep.events) {
+      if (e.kind == EventKind::kClientOp && e.op_phase == op_phase::kOk &&
+          e.op_func == op_func::kRead && e.op_key == append_key &&
+          e.proc == cfg.clients + append_key &&
+          e.value != kRegInitial) {
+        probe_ok = true;
+      }
+    }
+    ASSERT_TRUE(probe_ok) << "seed " << seed;
+    bool mutated = false;
+    for (TraceEvent& e : rep.events) {
+      if (e.kind == EventKind::kClientOp && e.op_phase == op_phase::kOk &&
+          e.op_func == op_func::kAppend && e.op_key == append_key) {
+        e.op_phase = op_phase::kFail;
+        e.value = kNoValue;
+        mutated = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(mutated) << "seed " << seed;
+    const History h = build_history(rep.events);
+    ASSERT_TRUE(h.well_formed()) << h.error;
+    EXPECT_FALSE(check_history(h).linearizable) << "seed " << seed;
+  }
+}
+
+TEST(SmrHistoryPropertyTest, CorruptionHooksAreCaught) {
+  for (CorruptMode mode : {CorruptMode::kStaleRead, CorruptMode::kLostUpdate}) {
+    SmrClientConfig cfg = client_config(7);
+    cfg.corrupt = mode;
+    const SmrClientReport rep =
+        run_smr_clients(cfg, fault_free_env(cfg, substream_seed(7, 99)));
+    const History h = build_history(rep.events);
+    ASSERT_TRUE(h.well_formed()) << h.error;
+    const CheckResult r = check_history(h);
+    EXPECT_FALSE(r.linearizable) << to_string(mode);
+    EXPECT_FALSE(r.witness.ops.empty()) << to_string(mode);
+  }
+}
+
+// ------------------------------------------------ thread determinism --
+
+/// Serialize verdict + witness for a batch of trials run through the
+/// parallel trial runner — the whole gate pipeline, not just the checker.
+std::string gate_fingerprint() {
+  struct Trial {
+    bool linearizable = true;
+    std::string witness;
+  };
+  const auto trials =
+      run_trials<Trial>(10, [](std::size_t t) {
+        const std::uint64_t seed = substream_seed(0xd1ce, t);
+        SmrClientConfig cfg;
+        cfg.seed = seed;
+        cfg.corrupt = t % 2 == 0 ? CorruptMode::kNone : CorruptMode::kStaleRead;
+        const SmrClientReport rep =
+            run_smr_clients(cfg, fault_free_env(cfg, substream_seed(seed, 99)));
+        const CheckResult r = check_history(build_history(rep.events));
+        Trial out;
+        out.linearizable = r.linearizable;
+        for (const Operation& w : r.witness.ops) out.witness += to_jsonl(w) + "\n";
+        return out;
+      });
+  std::ostringstream s;
+  for (const Trial& t : trials) {
+    s << (t.linearizable ? "ok" : "VIOLATION") << "\n" << t.witness;
+  }
+  return s.str();
+}
+
+TEST(SmrHistoryPropertyTest, VerdictsAreByteIdenticalAcrossThreadCounts) {
+  std::string base;
+  for (int threads : {1, 2, 8}) {
+    ScopedThreads st(threads);
+    const std::string fp = gate_fingerprint();
+    EXPECT_NE(fp.find("VIOLATION"), std::string::npos);
+    if (base.empty()) {
+      base = fp;
+    } else {
+      EXPECT_EQ(fp, base) << "threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace timing

@@ -272,7 +272,8 @@ TEST(RegistryTest, HasAllScenariosWithUniqueNames) {
       "fig1h", "fig1i", "appc", "ablation/paxos_recovery",
       "ablation/algorithms_live", "ablation/window_formula",
       "ablation/simulation_cost", "ablation/group_size",
-      "ablation/smr_cost", "chaos/consensus", "chaos/single"};
+      "ablation/smr_cost", "chaos/consensus", "chaos/single",
+      "smr/linearizable"};
   EXPECT_EQ(names, expected);
 }
 

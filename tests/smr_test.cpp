@@ -7,6 +7,10 @@
 #include <thread>
 #include <vector>
 
+#include "fault/injector.hpp"
+#include "history/history.hpp"
+#include "history/linearizability.hpp"
+#include "history/recorder.hpp"
 #include "models/schedule.hpp"
 #include "net/transport.hpp"
 #include "smr/smr.hpp"
@@ -228,6 +232,224 @@ TEST(SmrGroup, SurvivesMinorityCrashes) {
   // applied prefix lengths are smaller.
   const auto& kv4 = static_cast<const KvStateMachine&>(group.machine(4));
   EXPECT_LT(kv4.applied(), 6);
+}
+
+// ------------------------------------- register machine + op histories --
+
+std::vector<std::unique_ptr<StateMachine>> register_machines(int n) {
+  std::vector<std::unique_ptr<StateMachine>> ms;
+  for (int i = 0; i < n; ++i) {
+    ms.push_back(std::make_unique<RegisterStateMachine>());
+  }
+  return ms;
+}
+
+ScheduleSampler conforming_network(int n, ProcessId leader,
+                                   std::uint64_t seed, Round gsr = 1) {
+  ScheduleConfig sched;
+  sched.n = n;
+  sched.model = TimingModel::kWlm;
+  sched.leader = leader;
+  sched.gsr = gsr;
+  sched.seed = seed;
+  return ScheduleSampler(sched);
+}
+
+TEST(StateMachine, DuplicateRequestIdIsIdempotent) {
+  RegisterStateMachine m;
+  const Command cmd = make_register_command(op_func::kAppend, 5, 3, 0, 77, 0);
+  m.apply(cmd);
+  const Value chain1 = m.value(0);
+  Value r1 = kNoValue;
+  ASSERT_TRUE(m.last_result(3, r1));
+
+  // A duplicate (client 3, rid 5) is recognized via the session table and
+  // NOT re-executed: same state, same cached result.
+  m.apply(cmd);
+  EXPECT_EQ(m.value(0), chain1);
+  EXPECT_EQ(m.effective(), 1);
+  EXPECT_EQ(m.applied(), 2);
+  Value r2 = kNoValue;
+  ASSERT_TRUE(m.last_result(3, r2));
+  EXPECT_EQ(r2, r1);
+
+  // A fresh rid from the same client re-executes.
+  m.apply(make_register_command(op_func::kAppend, 6, 3, 0, 77, 0));
+  EXPECT_EQ(m.effective(), 2);
+  EXPECT_NE(m.value(0), chain1);
+}
+
+TEST(SmrGroup, IdempotentResubmitAcrossInstances) {
+  // A client that lost the ack re-submits the same (client, rid) command;
+  // it wins a second instance, but replicas apply the effect once. The
+  // recorded history stays linearizable: one invoke, one ok.
+  const int n = 5;
+  SmrGroupConfig cfg;
+  cfg.n = n;
+  cfg.leader = 0;
+  SmrGroup group(cfg, register_machines(n));
+  HistoryRecorder rec;
+
+  const Command cmd = make_register_command(op_func::kWrite, 1, 0, 0, 42, 0);
+  rec.invoke(0, op_func::kWrite, 0, 1, 42);
+  for (int inst = 0; inst < 2; ++inst) {
+    std::vector<Command> proposals(static_cast<std::size_t>(n), cmd);
+    ScheduleSampler network =
+        conforming_network(n, 0, 700 + static_cast<std::uint64_t>(inst));
+    const auto r = group.run_instance(proposals, network);
+    ASSERT_TRUE(r.decided) << "instance " << inst;
+    EXPECT_EQ(r.command, cmd);
+  }
+  const auto& m = static_cast<const RegisterStateMachine&>(group.machine(0));
+  Value result = kNoValue;
+  ASSERT_TRUE(m.last_result(0, result));
+  rec.ok(0, result);
+
+  EXPECT_TRUE(group.consistent());
+  EXPECT_EQ(m.applied(), 2);    // both log entries applied...
+  EXPECT_EQ(m.effective(), 1);  // ...but the write executed once
+  EXPECT_EQ(m.value(0), 42);
+  const History h = build_history(rec.events());
+  ASSERT_TRUE(h.well_formed()) << h.error;
+  EXPECT_TRUE(check_history(h).linearizable);
+}
+
+TEST(SmrGroup, RequestOutstandingAcrossLeaderFailover) {
+  // The op is invoked, then the initial leader crashes mid-instance; the
+  // online election fails over and the SAME instance still decides the
+  // op. Its completion and the machine effect must agree.
+  const int n = 5;
+  SmrGroupConfig cfg;
+  cfg.n = n;
+  cfg.use_election = true;
+  SmrGroup group(cfg, register_machines(n));
+  HistoryRecorder rec;
+
+  const Command cmd = make_register_command(op_func::kWrite, 1, 2, 0, 66, 0);
+  rec.invoke(2, op_func::kWrite, 0, 1, 66);
+
+  std::vector<Round> crashes(static_cast<std::size_t>(n), 0);
+  crashes[0] = 3;  // initial (lowest-id) leader dies mid-instance
+  ScheduleConfig sched;
+  sched.n = n;
+  sched.model = TimingModel::kWlm;
+  sched.leader = 1;  // post-failover stable leader
+  sched.gsr = 8;
+  sched.seed = 41;
+  sched.crash_rounds = crashes;
+  ScheduleSampler network(sched);
+
+  std::vector<Command> proposals(static_cast<std::size_t>(n), cmd);
+  const auto r = group.run_instance(proposals, network, &crashes);
+  ASSERT_TRUE(r.decided);
+  EXPECT_EQ(r.command, cmd);
+  EXPECT_FALSE(r.applied[0]) << "crashed leader must not have applied";
+  ASSERT_TRUE(r.applied[1]);
+
+  const auto& m = static_cast<const RegisterStateMachine&>(group.machine(1));
+  Value result = kNoValue;
+  ASSERT_TRUE(m.last_result(2, result));
+  rec.ok(2, result);
+  EXPECT_EQ(result, 66);
+  EXPECT_EQ(m.value(0), 66);
+  EXPECT_EQ(m.effective(), 1);
+
+  const History h = build_history(rec.events());
+  ASSERT_TRUE(h.well_formed()) << h.error;
+  EXPECT_TRUE(check_history(h).linearizable);
+}
+
+TEST(SmrGroup, PartitionedMinorityReadTimesOutAsInfo) {
+  // A read submitted through a replica cut off in a minority partition
+  // never decides — it must close as info (unknown), never fabricate an
+  // ok, and the register state must be untouched by the attempt.
+  const int n = 5;
+  SmrGroupConfig cfg;
+  cfg.n = n;
+  cfg.leader = 0;
+  SmrGroup group(cfg, register_machines(n));
+  HistoryRecorder rec;
+
+  // Committed baseline write through the majority side.
+  const Command wcmd = make_register_command(op_func::kWrite, 1, 0, 0, 42, 0);
+  rec.invoke(0, op_func::kWrite, 0, 1, 42);
+  {
+    std::vector<Command> proposals(static_cast<std::size_t>(n), kNoopCommand);
+    proposals[0] = wcmd;
+    ScheduleSampler network = conforming_network(n, 0, 11);
+    const auto r = group.run_instance(proposals, network);
+    ASSERT_TRUE(r.decided);
+    ASSERT_EQ(r.command, wcmd);
+    const auto& m =
+        static_cast<const RegisterStateMachine&>(group.machine(0));
+    Value result = kNoValue;
+    ASSERT_TRUE(m.last_result(0, result));
+    rec.ok(0, result);
+  }
+
+  // Read submitted via replica 1, which is partitioned into {1, 3} for
+  // the whole instance; the majority {0, 2, 4} decides the leader's noop.
+  const Command rcmd = make_register_command(op_func::kRead, 1, 1, 0, 0, 0);
+  rec.invoke(1, op_func::kRead, 0, 1);
+  {
+    fault::FaultPlan plan;
+    fault::FaultEvent part;
+    part.kind = fault::FaultKind::kPartition;
+    part.groups = {{1, 3}, {0, 2, 4}};
+    part.from = 1;
+    part.to = 1 << 20;
+    plan.events.push_back(part);  // no gsr marker: a pure-safety plan
+    ASSERT_EQ(fault::validate(plan, n, 0), "");
+
+    ScheduleConfig sched;
+    sched.n = n;
+    sched.model = TimingModel::kWlm;
+    sched.leader = 0;
+    sched.gsr = 1;
+    sched.seed = 12;
+    ScheduleSampler inner(sched);
+    fault::InjectorConfig icfg;
+    icfg.n = n;
+    icfg.leader = 0;
+    icfg.seed = 13;
+    fault::FaultInjector injector(plan, icfg);
+    fault::FaultInjectedSampler network(inner, injector);
+
+    std::vector<Command> proposals(static_cast<std::size_t>(n), kNoopCommand);
+    proposals[1] = rcmd;
+    const auto r = group.run_instance(proposals, network, nullptr, 60);
+    EXPECT_FALSE(r.decided) << "partitioned instance must not decide";
+    EXPECT_NE(r.command, rcmd) << "minority proposal must not win";
+    rec.info(1);  // the client times out: unknown outcome, not a fail
+  }
+
+  // Fault-free retry through the majority-side replica completes ok and
+  // observes the committed write.
+  rec.invoke(1, op_func::kRead, 0, 2);
+  const Command rcmd2 = make_register_command(op_func::kRead, 2, 1, 0, 0, 0);
+  {
+    std::vector<Command> proposals(static_cast<std::size_t>(n), kNoopCommand);
+    proposals[0] = rcmd2;
+    ScheduleSampler network = conforming_network(n, 0, 14);
+    const auto r = group.run_instance(proposals, network);
+    ASSERT_TRUE(r.decided);
+    ASSERT_EQ(r.command, rcmd2);
+    const auto& m =
+        static_cast<const RegisterStateMachine&>(group.machine(0));
+    Value result = kNoValue;
+    ASSERT_TRUE(m.last_result(1, result));
+    EXPECT_EQ(result, 42) << "retry must observe the committed write";
+    rec.ok(1, result);
+  }
+
+  const auto& m = static_cast<const RegisterStateMachine&>(group.machine(0));
+  EXPECT_EQ(m.effective(), 2);  // write + retry read; the partitioned
+                                // read never decided, noops don't count
+  EXPECT_EQ(m.value(0), 42);
+  EXPECT_TRUE(group.consistent());
+  const History h = build_history(rec.events());
+  ASSERT_TRUE(h.well_formed()) << h.error;
+  EXPECT_TRUE(check_history(h).linearizable);
 }
 
 // ------------------------------------------------------------- SmrNode --

@@ -11,6 +11,10 @@
 //       leader-stability intervals from OracleOutput events
 //   trace_tool validate <trace>
 //       parse + structural event-ordering checks; exit 0 iff valid
+//   trace_tool check    <trace> [--trial K]
+//       linearizability of the recorded op histories ("e":"op" events,
+//       docs/HISTORY.md); prints a minimal witness per failing trial and
+//       exits 0 iff every checked history is linearizable
 //   trace_tool diff     <a> <b>
 //       first divergent event and summary deltas; exit 0 iff identical
 #include <algorithm>
@@ -22,6 +26,8 @@
 #include <vector>
 
 #include "common/parse.hpp"
+#include "history/history.hpp"
+#include "history/linearizability.hpp"
 #include "obs/trace_analysis.hpp"
 
 namespace {
@@ -37,6 +43,7 @@ int usage() {
                "       trace_tool links    <trace.jsonl> [--trial K] [--top N]\n"
                "       trace_tool leader   <trace.jsonl> [--trial K]\n"
                "       trace_tool validate <trace.jsonl>\n"
+               "       trace_tool check    <trace.jsonl> [--trial K]\n"
                "       trace_tool diff     <a.jsonl> <b.jsonl>\n");
   return 2;
 }
@@ -85,11 +92,20 @@ int cmd_summary(const ParsedTrace& trace,
                 completed, s.trials.size());
   }
   long long faults = 0;
-  for (const TrialSummary& t : s.trials) faults += t.fault_events;
+  long long ops = 0;
+  for (const TrialSummary& t : s.trials) {
+    faults += t.fault_events;
+    ops += t.op_events;
+  }
   std::printf("fault events: %lld total, %.1f per trial\n", faults,
               s.trials.empty()
                   ? 0.0
                   : static_cast<double>(faults) /
+                        static_cast<double>(s.trials.size()));
+  std::printf("op events: %lld total, %.1f per trial\n", ops,
+              s.trials.empty()
+                  ? 0.0
+                  : static_cast<double>(ops) /
                         static_cast<double>(s.trials.size()));
   if (per_trial) {
     for (const TrialSummary& t : s.trials) print_trial_summary(t, needed);
@@ -183,6 +199,42 @@ int cmd_validate(const char* path) {
   return 0;
 }
 
+int cmd_check(const ParsedTrace& trace, int trial) {
+  int checked = 0;
+  int failed = 0;
+  for (const TrialTrace& t : trace.trials) {
+    if (trial >= 0 && t.id != trial) continue;
+    std::vector<TraceEvent> ops;
+    for (const TraceEvent& e : t.events) {
+      if (e.kind == EventKind::kClientOp) ops.push_back(e);
+    }
+    if (ops.empty()) continue;  // trials without op histories are skipped
+    ++checked;
+    const History h = build_history(ops);
+    const CheckResult r = check_history(h);
+    if (r.linearizable) {
+      std::printf("trial %d: linearizable (%zu op(s))\n", t.id,
+                  h.ops.size());
+      continue;
+    }
+    ++failed;
+    std::printf("trial %d: NOT linearizable: %s\n", t.id,
+                r.witness.explanation.c_str());
+    if (!r.witness.ops.empty()) {
+      std::printf("minimal witness (key %d):\n", r.witness.key);
+      for (const Operation& op : r.witness.ops) {
+        std::printf("%s\n", to_jsonl(op).c_str());
+      }
+    }
+  }
+  if (checked == 0) {
+    std::fprintf(stderr, "check: no op events in the selected trial(s)\n");
+    return 2;
+  }
+  std::printf("%d trial(s) checked, %d non-linearizable\n", checked, failed);
+  return failed == 0 ? 0 : 1;
+}
+
 int cmd_diff(const char* a_path, const char* b_path) {
   const ParsedTrace a = parse_trace_file(a_path);
   const ParsedTrace b = parse_trace_file(b_path);
@@ -235,13 +287,15 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (cmd != "summary" && cmd != "links" && cmd != "leader") {
+    if (cmd != "summary" && cmd != "links" && cmd != "leader" &&
+        cmd != "check") {
       return usage();
     }
     const ParsedTrace trace = parse_trace_file(argv[2]);
     if (cmd == "summary") return cmd_summary(trace, needed, per_trial);
     if (cmd == "links") return cmd_links(trace, trial, top);
     if (cmd == "leader") return cmd_leader(trace, trial);
+    if (cmd == "check") return cmd_check(trace, trial);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "trace_tool: %s\n", ex.what());
     return 1;
