@@ -24,6 +24,14 @@
 #include "obs/trace_sink.hpp"
 #include "sim/sampler.hpp"
 
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define TIMING_BENCH_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define TIMING_BENCH_SANITIZED 1
+#endif
+#endif
+
 using namespace timing;
 
 namespace {
@@ -34,6 +42,14 @@ constexpr int kN = 8;          // the paper's group size
 constexpr int kRounds = 8000;  // long runs so timing dominates setup
 constexpr int kReps = 7;       // best-of to shed scheduler noise
 constexpr double kP = 0.95;
+// The null-sink budget; relaxed under sanitizers, whose shadow-memory
+// instrumentation inflates the isolated branch cost far more than the
+// surrounding sampling work.
+#ifdef TIMING_BENCH_SANITIZED
+constexpr double kNullBudgetPct = 6.0;
+#else
+constexpr double kNullBudgetPct = 2.0;
+#endif
 
 double once_ms(const std::function<void()>& body) {
   const auto t0 = Clock::now();
@@ -180,7 +196,8 @@ int main() {
       delta_ns > 0.0 ? delta_ns : 0.0, per_event_ns);
   std::printf(
       "null-sink overhead: %.2f%% (branch cost scaled to %zu events; "
-      "budget 2%%) -> %s   [checksum %lld]\n",
-      null_pct, events, null_pct < 2.0 ? "OK" : "OVER BUDGET", checksum);
-  return null_pct < 2.0 ? 0 : 1;
+      "budget %.0f%%) -> %s   [checksum %lld]\n",
+      null_pct, events, kNullBudgetPct,
+      null_pct < kNullBudgetPct ? "OK" : "OVER BUDGET", checksum);
+  return null_pct < kNullBudgetPct ? 0 : 1;
 }

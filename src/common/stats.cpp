@@ -146,6 +146,77 @@ double Histogram::bin_hi(std::size_t bin) const noexcept {
                    static_cast<double>(counts_.size());
 }
 
+std::size_t LogHistogram::bucket_of(unsigned long long v) noexcept {
+  if (v < static_cast<unsigned long long>(kSub)) {
+    return static_cast<std::size_t>(v);
+  }
+  // bit_width(v) > kSubBits here. Shift so the top kSubBits bits remain:
+  // the sub-index lands in [kSub/2, kSub), giving kSub/2 linear
+  // sub-buckets per power-of-two range.
+  int width = 0;
+  for (unsigned long long t = v; t != 0; t >>= 1) ++width;
+  const int e = width - kSubBits;
+  const auto sub = static_cast<std::size_t>(v >> e);  // in [kSub/2, kSub)
+  return static_cast<std::size_t>(kSub) +
+         static_cast<std::size_t>(e - 1) * (kSub / 2) + (sub - kSub / 2);
+}
+
+long long LogHistogram::bucket_lo(std::size_t bucket) noexcept {
+  if (bucket < static_cast<std::size_t>(kSub)) {
+    return static_cast<long long>(bucket);
+  }
+  const std::size_t off = bucket - static_cast<std::size_t>(kSub);
+  const int e = static_cast<int>(off / (kSub / 2)) + 1;
+  const auto sub = static_cast<unsigned long long>(off % (kSub / 2)) +
+                   static_cast<unsigned long long>(kSub / 2);
+  return static_cast<long long>(sub << e);
+}
+
+void LogHistogram::record(long long v) noexcept {
+  if (v < 0) v = 0;
+  const std::size_t b = bucket_of(static_cast<unsigned long long>(v));
+  if (b >= counts_.size()) counts_.resize(b + 1, 0);
+  ++counts_[b];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1 || v > max_) max_ = v;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  if (counts_.size() < other.counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double LogHistogram::mean() const noexcept {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+long long LogHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  if (q <= 0.0) q = 0.0;
+  if (q >= 1.0) return max_;
+  // Rank of the target observation, 1-based: ceil(q * count), at least 1.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (rank == 0) rank = 1;
+  if (rank >= count_) return max_;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    cum += counts_[b];
+    if (cum >= rank) return bucket_lo(b);
+  }
+  return max_;  // unreachable when counts are consistent
+}
+
 double quantile_of(std::span<double> xs, double p) noexcept {
   if (xs.empty()) return 0.0;
   std::sort(xs.begin(), xs.end());

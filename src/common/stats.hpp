@@ -106,4 +106,51 @@ class Histogram {
   std::vector<std::uint64_t> counts_;
 };
 
+/// HDR-style log-bucketed latency histogram over non-negative integer
+/// values (nanoseconds in practice). The first 2^kSubBits values are
+/// exact; beyond that each power-of-two range is split into
+/// 2^(kSubBits-1) linear sub-buckets, so the bucket lower bound is
+/// within 2^-(kSubBits-1) (≈3% at kSubBits=6) of any value it holds.
+/// Counts are integers, so merge() is exactly associative and
+/// commutative; the true maximum (and count) are tracked exactly.
+/// quantile() returns the bucket lower bound — a deterministic
+/// representative — which is what makes online percentiles and
+/// percentiles rebuilt offline from the same recorded values *equal*,
+/// not merely close.
+class LogHistogram {
+ public:
+  static constexpr int kSubBits = 6;         ///< values < 64 are exact
+  static constexpr int kSub = 1 << kSubBits;
+
+  /// Record one value; negatives clamp to 0.
+  void record(long long v) noexcept;
+  /// Elementwise sum; always well defined (no shape to mismatch).
+  void merge(const LogHistogram& other);
+
+  std::uint64_t count() const noexcept { return count_; }
+  long long max() const noexcept { return max_; }
+  long long sum() const noexcept { return sum_; }
+  double mean() const noexcept;
+  /// Deterministic q-quantile (0 <= q <= 1): the lower bound of the
+  /// bucket holding the ceil(q*count)-th smallest value; exact max for
+  /// q covering the last observation. 0 when empty.
+  long long quantile(double q) const noexcept;
+
+  bool empty() const noexcept { return count_ == 0; }
+
+  /// Index of the bucket holding v, and the smallest value a bucket can
+  /// hold (its deterministic representative). Exposed for the offline
+  /// span analysis, which rebuilds the online histogram bit-for-bit.
+  static std::size_t bucket_of(unsigned long long v) noexcept;
+  static long long bucket_lo(std::size_t bucket) noexcept;
+
+  friend bool operator==(const LogHistogram&, const LogHistogram&) = default;
+
+ private:
+  std::vector<std::uint64_t> counts_;  ///< grown on demand
+  std::uint64_t count_ = 0;
+  long long sum_ = 0;
+  long long max_ = 0;
+};
+
 }  // namespace timing

@@ -16,6 +16,11 @@
 // "network" ate the datagram — except the recipient-crash check, which
 // also runs on the recv side to cover senders that are not themselves
 // decorated. Every action emits a FaultInjected trace event.
+//
+// Span contexts (Envelope::span, obs/span.hpp) ride inside the frames
+// this decorator forwards or drops as opaque bytes: delivered envelopes
+// keep their message-span id untouched, so causal tracing composes with
+// fault injection with no code here knowing about spans.
 #pragma once
 
 #include <vector>

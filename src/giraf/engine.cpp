@@ -62,6 +62,12 @@ Round RoundEngine::step_impl(const Matrix& fates) {
   lazy_initialize();
   ++k_;
   trace_emit(trace_, TraceEvent::round_start(k_));
+  const bool sp_on = spans_ != nullptr && spans_->enabled();
+  const std::uint64_t rs_id =
+      sp_on ? make_span_id(span_kind::kRound, static_cast<std::uint64_t>(k_),
+                           span_ctx_)
+            : 0;
+  if (sp_on) spans_->begin(rs_id, span_parent_, span_kind::kRound, k_);
   if (trace_ != nullptr) {
     for (ProcessId i = 0; i < n(); ++i) {
       if (crash_round_[i] == k_) trace_->record(TraceEvent::crash(k_, i));
@@ -123,6 +129,7 @@ Round RoundEngine::step_impl(const Matrix& fates) {
       decision_round_[i] = k_;
     }
   }
+  if (sp_on) spans_->end(rs_id, span_kind::kRound, k_);
   trace_emit(trace_, TraceEvent::round_end(k_));
   return k_;
 }

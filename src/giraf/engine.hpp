@@ -24,6 +24,7 @@
 
 #include "giraf/oracle.hpp"
 #include "giraf/protocol.hpp"
+#include "obs/span.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/link_matrix.hpp"
 #include "sim/sampler.hpp"
@@ -102,6 +103,18 @@ class RoundEngine {
   /// paths, so the sink is forwarded to every process.
   void set_trace_sink(TraceSink* sink) noexcept;
 
+  /// Install a span tracer (null disables). Each subsequent round becomes
+  /// a `round` span under `parent` — id make_span_id(kRound, k, ctx) —
+  /// bracketing the whole round body (dispatch + compute). `ctx`
+  /// distinguishes engines sharing one trace (e.g. consecutive consensus
+  /// instances reusing round numbers).
+  void set_span_tracer(SpanTracer* spans, std::uint64_t parent = 0,
+                       std::uint32_t ctx = 0) noexcept {
+    spans_ = spans;
+    span_parent_ = parent;
+    span_ctx_ = ctx;
+  }
+
   /// The row each process saw last round (test introspection).
   const RoundMsgs& last_row(ProcessId i) const { return rows_[i]; }
 
@@ -121,6 +134,9 @@ class RoundEngine {
   std::vector<InFlight> in_flight_;
   EngineStats stats_;
   TraceSink* trace_ = nullptr;
+  SpanTracer* spans_ = nullptr;
+  std::uint64_t span_parent_ = 0;
+  std::uint32_t span_ctx_ = 0;
   long long msgs_last_round_ = 0;
   Round k_ = 0;
   bool initialized_ = false;

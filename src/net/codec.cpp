@@ -121,6 +121,7 @@ bool decode_message(Reader& r, Message& m, int depth) {
 void encode(const Envelope& e, std::vector<std::uint8_t>& out) {
   put_i32(out, e.round);
   put_i32(out, e.sender);
+  put_u64(out, e.span);
   encode_message(e.msg, out);
 }
 
@@ -129,6 +130,7 @@ std::optional<Envelope> decode(std::span<const std::uint8_t> in) {
   Envelope e;
   e.round = r.i32();
   e.sender = r.i32();
+  e.span = r.u64();
   if (!decode_message(r, e.msg, 0)) return std::nullopt;
   if (!r.ok() || !r.done()) return std::nullopt;
   return e;

@@ -21,6 +21,12 @@ struct Envelope {
   Round round = 0;
   ProcessId sender = kNoProcess;
   Message msg;
+  /// Causal span context (obs/span.hpp): the sender's message-span id,
+  /// 0 when span tracing is off. Rides the wire so the receiver can
+  /// record a causality edge from the arriving message to its round;
+  /// FaultInjectedTransport forwards raw frames, so the field passes
+  /// through every transport decorator untouched.
+  std::uint64_t span = 0;
 
   bool operator==(const Envelope&) const = default;
 };

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -25,8 +26,52 @@ const char* to_string(EventKind k) noexcept {
     case EventKind::kCrash: return "crash";
     case EventKind::kFaultInjected: return "fault";
     case EventKind::kClientOp: return "op";
+    case EventKind::kSpan: return "span";
+    case EventKind::kMetricsSnapshot: return "metrics";
   }
   return "unknown";
+}
+
+const char* span_kind_name(std::uint8_t kind) noexcept {
+  switch (kind) {
+    case span_kind::kOp: return "op";
+    case span_kind::kQueue: return "queue";
+    case span_kind::kCommit: return "commit";
+    case span_kind::kApply: return "apply";
+    case span_kind::kInstance: return "instance";
+    case span_kind::kRound: return "round";
+    case span_kind::kMsg: return "msg";
+  }
+  return nullptr;  // kNone and out-of-range: invalid on the wire
+}
+
+const char* span_phase_name(std::uint8_t phase) noexcept {
+  switch (phase) {
+    case span_phase::kBegin: return "begin";
+    case span_phase::kEnd: return "end";
+    case span_phase::kCause: return "cause";
+  }
+  return nullptr;
+}
+
+bool span_kind_from_string(const char* s, std::uint8_t& out) noexcept {
+  for (std::uint8_t k = 1; k < span_kind::kCount; ++k) {
+    if (std::string(span_kind_name(k)) == s) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool span_phase_from_string(const char* s, std::uint8_t& out) noexcept {
+  for (std::uint8_t p = 0; p < span_phase::kCount; ++p) {
+    if (std::string(span_phase_name(p)) == s) {
+      out = p;
+      return true;
+    }
+  }
+  return false;
 }
 
 const char* op_phase_name(std::uint8_t phase) noexcept {
@@ -137,7 +182,7 @@ std::optional<std::string> find_str(const std::string& line,
 }
 
 std::optional<EventKind> kind_from_string(const std::string& s) {
-  for (int k = 0; k <= static_cast<int>(EventKind::kClientOp); ++k) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kMetricsSnapshot); ++k) {
     const auto kind = static_cast<EventKind>(k);
     if (s == to_string(kind)) return kind;
   }
@@ -211,6 +256,37 @@ std::string to_jsonl(const TraceEvent& e) {
       if (e.arg2 != kNoValue) append_field(s, "b", e.arg2);
       if (e.value != kNoValue) append_field(s, "v", e.value);
       break;
+    case EventKind::kSpan: {
+      // "k" above is the round the span belongs to (0 = round-free).
+      // "pa" is omitted at 0 (root) and "t" below 0 (ids mode), keeping
+      // the sentinel-default round-trip injective.
+      append_field(s, "sp", static_cast<long long>(e.span_id));
+      const char* sk = span_kind_name(e.span_kind);
+      append_str_field(s, "sk", sk != nullptr ? sk : "unknown");
+      const char* sph = span_phase_name(e.span_phase);
+      append_str_field(s, "sph", sph != nullptr ? sph : "unknown");
+      if (e.span_parent != 0) {
+        append_field(s, "pa", static_cast<long long>(e.span_parent));
+      }
+      if (e.t_ns >= 0) append_field(s, "t", e.t_ns);
+      break;
+    }
+    case EventKind::kMetricsSnapshot: {
+      // "k" above is the snapshot sequence number. Quantiles are the
+      // LogHistogram's deterministic bucket representatives, always
+      // written (0 is a legal value, not a sentinel).
+      const char* m = (e.op_key >= 0 && e.op_key < kSpanMetricCount)
+                          ? kSpanMetricNames[e.op_key]
+                          : "unknown";
+      append_str_field(s, "m", m);
+      append_field(s, "c", e.op_id);
+      append_field(s, "p50", e.value);
+      append_field(s, "p90", e.arg);
+      append_field(s, "p99", e.arg2);
+      append_field(s, "p999", e.t_ns);
+      append_field(s, "max", static_cast<long long>(e.span_id));
+      break;
+    }
   }
   s += "}";
   return s;
@@ -229,11 +305,19 @@ void write_trial(std::ostream& out, int trial_id,
   for (const TraceEvent& e : events) out << to_jsonl(e) << "\n";
 }
 
+namespace {
+/// Per-trial span lifecycle state for the structural checks below.
+enum class SpanState : std::uint8_t { kBegun = 1, kEnded = 2 };
+}  // namespace
+
 ParsedTrace parse_trace(std::istream& in) {
   ParsedTrace trace;
   bool have_header = false;
   std::string line;
   std::size_t line_no = 0;
+  // Span lifecycle per trial: every span id may begin once and end once,
+  // and may not end before it begins. Reset at each trial marker.
+  std::map<std::uint64_t, SpanState> span_state;
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#') continue;
@@ -269,6 +353,7 @@ ParsedTrace parse_trace(std::istream& in) {
         t.n = static_cast<int>(*tn);
       }
       trace.trials.push_back(std::move(t));
+      span_state.clear();
       continue;
     }
     const auto kind = kind_from_string(*name);
@@ -368,6 +453,79 @@ ParsedTrace parse_trace(std::istream& in) {
         if (const auto a = find_int(line, "a", line_no)) e.arg = *a;
         if (const auto b = find_int(line, "b", line_no)) e.arg2 = *b;
         if (const auto v = find_int(line, "v", line_no)) e.value = *v;
+        break;
+      }
+      case EventKind::kSpan: {
+        const long long sp = require_int(line, "sp", line_no);
+        if (sp <= 0) fail(line_no, "span id must be positive");
+        e.span_id = static_cast<std::uint64_t>(sp);
+        const auto sk = find_str(line, "sk");
+        if (!sk || !span_kind_from_string(sk->c_str(), e.span_kind)) {
+          fail(line_no, "bad or missing span kind 'sk'");
+        }
+        const auto sph = find_str(line, "sph");
+        if (!sph || !span_phase_from_string(sph->c_str(), e.span_phase)) {
+          fail(line_no, "bad or missing span phase 'sph'");
+        }
+        if (const auto pa = find_int(line, "pa", line_no)) {
+          if (*pa <= 0) fail(line_no, "span parent must be positive");
+          e.span_parent = static_cast<std::uint64_t>(*pa);
+        }
+        if (const auto t = find_int(line, "t", line_no)) {
+          if (*t < 0) fail(line_no, "negative span timestamp");
+          e.t_ns = *t;
+        }
+        if (e.span_phase == span_phase::kCause && e.span_parent == 0) {
+          fail(line_no, "cause edge without 'pa'");
+        }
+        // Lifecycle checks, line-accurate: a span begins at most once,
+        // ends at most once, and never ends before it begins.
+        if (e.span_phase == span_phase::kBegin) {
+          if (!span_state.try_emplace(e.span_id, SpanState::kBegun).second) {
+            fail(line_no,
+                 "duplicate span begin for id " + std::to_string(sp));
+          }
+        } else if (e.span_phase == span_phase::kEnd) {
+          const auto it = span_state.find(e.span_id);
+          if (it == span_state.end()) {
+            fail(line_no,
+                 "span end before begin for id " + std::to_string(sp));
+          }
+          if (it->second == SpanState::kEnded) {
+            fail(line_no, "duplicate span end for id " + std::to_string(sp));
+          }
+          it->second = SpanState::kEnded;
+        }
+        break;
+      }
+      case EventKind::kMetricsSnapshot: {
+        const auto m = find_str(line, "m");
+        int metric = -1;
+        if (m) {
+          for (int i = 0; i < kSpanMetricCount; ++i) {
+            if (*m == kSpanMetricNames[i]) metric = i;
+          }
+        }
+        if (metric < 0) fail(line_no, "bad or missing metric name 'm'");
+        e.op_key = metric;
+        e.op_id = require_int(line, "c", line_no);
+        if (e.op_id < 1) fail(line_no, "metrics count must be >= 1");
+        const long long p50 = require_int(line, "p50", line_no);
+        const long long p90 = require_int(line, "p90", line_no);
+        const long long p99 = require_int(line, "p99", line_no);
+        const long long p999 = require_int(line, "p999", line_no);
+        const long long mx = require_int(line, "max", line_no);
+        if (p50 < 0 || p90 < 0 || p99 < 0 || p999 < 0 || mx < 0) {
+          fail(line_no, "negative metrics quantile");
+        }
+        if (p50 > p90 || p90 > p99 || p99 > p999 || p999 > mx) {
+          fail(line_no, "metrics quantiles not monotone");
+        }
+        e.value = p50;
+        e.arg = p90;
+        e.arg2 = p99;
+        e.t_ns = p999;
+        e.span_id = static_cast<std::uint64_t>(mx);
         break;
       }
     }

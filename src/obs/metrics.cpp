@@ -14,7 +14,9 @@ long long MetricsRegistry::counter(const std::string& name) const noexcept {
 Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
                                       double hi, std::size_t bins) {
   auto [it, inserted] = histograms_.try_emplace(name);
-  if (inserted) {
+  if (inserted || !it->second.configured()) {
+    // First use — or an unconfigured placeholder that arrived through
+    // merge(); either way this call's shape wins.
     it->second = Histogram(lo, hi, bins);
   } else {
     TM_CHECK(it->second.lo() == lo && it->second.hi() == hi &&
@@ -24,13 +26,30 @@ Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
   return it->second;
 }
 
+const LogHistogram* MetricsRegistry::find_latency(
+    const std::string& name) const noexcept {
+  const auto it = latencies_.find(name);
+  return it == latencies_.end() ? nullptr : &it->second;
+}
+
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, v] : other.counters_) counters_[name] += v;
   for (const auto& [name, s] : other.stats_) stats_[name].merge(s);
   for (const auto& [name, h] : other.histograms_) {
-    auto [it, inserted] = histograms_.try_emplace(name, h);
-    if (!inserted) it->second.merge(h);
+    // Explicit three-way logic instead of try_emplace-then-merge: a
+    // never-touched (unconfigured) histogram on either side must not
+    // erase the configured side's shape, and merging two configured
+    // histograms stays exactly associative (integer bins).
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else if (!it->second.configured()) {
+      it->second = h;
+    } else {
+      it->second.merge(h);
+    }
   }
+  for (const auto& [name, h] : other.latencies_) latencies_[name].merge(h);
   for (const auto& [name, t] : other.timers_) {
     auto& mine = timers_[name];
     mine.ns += t.ns;
@@ -50,6 +69,11 @@ std::string MetricsRegistry::to_string() const {
   for (const auto& [name, h] : histograms_) {
     out << name << " = histogram[" << h.lo() << ", " << h.hi() << ") total "
         << h.total() << "\n";
+  }
+  for (const auto& [name, h] : latencies_) {
+    out << name << " = p50 " << h.quantile(0.50) << " p90 " << h.quantile(0.90)
+        << " p99 " << h.quantile(0.99) << " p999 " << h.quantile(0.999)
+        << " max " << h.max() << " n " << h.count() << "\n";
   }
   for (const auto& [name, t] : timers_) {
     out << name << " = " << t.ms() << " ms over " << t.count

@@ -46,9 +46,17 @@ class MetricsRegistry {
   void observe(const std::string& name, double x) { stats_[name].add(x); }
 
   /// Get-or-create a histogram. The shape is fixed on first use; a
-  /// mismatched re-request is a checked error.
+  /// mismatched re-request is a checked error. An unconfigured entry
+  /// (possible only through merging a registry holding one) is adopted
+  /// and configured rather than treated as a shape mismatch.
   Histogram& histogram(const std::string& name, double lo, double hi,
                        std::size_t bins);
+
+  /// Get-or-create a log-bucketed latency histogram (obs spans record
+  /// nanoseconds here). Shapeless, so there is nothing to mismatch.
+  LogHistogram& latency(const std::string& name) { return latencies_[name]; }
+  /// Lookup without creating; nullptr for unknown names.
+  const LogHistogram* find_latency(const std::string& name) const noexcept;
 
   /// Accumulate a timed interval into the named phase timer.
   void add_time(const std::string& phase, std::chrono::nanoseconds dt) {
@@ -71,18 +79,22 @@ class MetricsRegistry {
   const std::map<std::string, Histogram>& histograms() const noexcept {
     return histograms_;
   }
+  const std::map<std::string, LogHistogram>& latencies() const noexcept {
+    return latencies_;
+  }
   const std::map<std::string, TimerTotal>& timers() const noexcept {
     return timers_;
   }
 
   bool empty() const noexcept {
     return counters_.empty() && stats_.empty() && histograms_.empty() &&
-           timers_.empty();
+           latencies_.empty() && timers_.empty();
   }
   void clear() noexcept {
     counters_.clear();
     stats_.clear();
     histograms_.clear();
+    latencies_.clear();
     timers_.clear();
   }
 
@@ -93,6 +105,7 @@ class MetricsRegistry {
   std::map<std::string, long long> counters_;
   std::map<std::string, RunningStats> stats_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::string, LogHistogram> latencies_;
   std::map<std::string, TimerTotal> timers_;
 };
 

@@ -1,0 +1,329 @@
+#include "obs/span_analysis.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "obs/span.hpp"
+
+namespace timing {
+
+const SpanRecord* SpanIndex::find(std::uint64_t id) const noexcept {
+  const auto it = spans.find(id);
+  return it == spans.end() ? nullptr : &it->second;
+}
+
+SpanIndex index_spans(const TrialTrace& trial) {
+  SpanIndex out;
+  auto record_of = [&out](std::uint64_t id) -> SpanRecord& {
+    auto [it, fresh] = out.spans.try_emplace(id);
+    if (fresh) {
+      it->second.id = id;
+      out.order.push_back(id);
+    }
+    return it->second;
+  };
+  for (const TraceEvent& e : trial.events) {
+    if (e.kind != EventKind::kSpan) continue;
+    SpanRecord& r = record_of(e.span_id);
+    r.kind = e.span_kind;
+    if (e.t_ns >= 0) out.timed = true;
+    switch (e.span_phase) {
+      case span_phase::kBegin:
+        r.begun = true;
+        r.parent = e.span_parent;
+        r.round = e.round;
+        r.t_begin = e.t_ns;
+        break;
+      case span_phase::kEnd:
+        r.ended = true;
+        r.t_end = e.t_ns;
+        break;
+      case span_phase::kCause:
+        r.causes.push_back(e.span_parent);
+        break;
+      default:
+        break;
+    }
+  }
+  for (const std::uint64_t id : out.order) {
+    const std::uint64_t parent = out.spans.at(id).parent;
+    const auto pit = parent != 0 ? out.spans.find(parent) : out.spans.end();
+    if (pit != out.spans.end()) {
+      pit->second.children.push_back(id);
+    } else {
+      // Root, or the parent is not in this trial (cross-node edge on
+      // the live path) — either way it renders as a root.
+      out.roots.push_back(id);
+    }
+  }
+  return out;
+}
+
+SpanIdParts split_span_id(std::uint64_t id) noexcept {
+  SpanIdParts p;
+  p.kind = static_cast<std::uint8_t>(id >> 60);
+  p.a = (id >> 32) & 0xFFFFFFFULL;
+  p.b = (id >> 16) & 0xFFFFULL;
+  p.c = id & 0xFFFFULL;
+  return p;
+}
+
+std::string span_label(std::uint64_t id) {
+  const SpanIdParts p = split_span_id(id);
+  std::ostringstream s;
+  switch (p.kind) {
+    case span_kind::kOp:
+      s << "op(c=" << p.a << ",rid=" << p.b << ")";
+      break;
+    case span_kind::kQueue:
+      s << "queue(c=" << p.a << ",rid=" << p.b << ")";
+      break;
+    case span_kind::kCommit:
+      s << "commit(c=" << p.a << ",rid=" << p.b << ")";
+      break;
+    case span_kind::kApply:
+      s << "apply(inst=" << p.a << ")";
+      break;
+    case span_kind::kInstance:
+      s << "instance(" << p.a << ")";
+      break;
+    case span_kind::kRound:
+      s << "round(k=" << p.a << ",at=" << p.b << ")";
+      break;
+    case span_kind::kMsg:
+      s << "msg(k=" << p.a << "," << p.b << "->" << p.c << ")";
+      break;
+    default:
+      s << "span(0x" << std::hex << id << ")";
+      break;
+  }
+  return s.str();
+}
+
+SpanLatencies rebuild_latencies(const TrialTrace& trial) {
+  SpanLatencies out;
+  const SpanIndex idx = index_spans(trial);
+  if (!idx.timed) return out;
+  // The set of (client, rid) pairs that completed ok: exactly the ops
+  // the harness records op.commit_ns for.
+  std::set<std::uint64_t> ok_ops;
+  for (const TraceEvent& e : trial.events) {
+    if (e.kind == EventKind::kClientOp && e.op_phase == op_phase::kOk) {
+      ok_ops.insert(make_span_id(span_kind::kOp,
+                                 static_cast<std::uint64_t>(e.proc),
+                                 static_cast<std::uint64_t>(e.op_id)));
+    }
+  }
+  for (const std::uint64_t id : idx.order) {
+    const SpanRecord& r = idx.spans.at(id);
+    if (!r.complete() || r.duration() < 0) continue;
+    if (r.kind == span_kind::kOp && ok_ops.count(id) != 0) {
+      out.commit.record(r.duration());
+    } else if (r.kind == span_kind::kQueue) {
+      out.queue.record(r.duration());
+    }
+  }
+  return out;
+}
+
+LatencyRow latency_row(const LogHistogram& h) noexcept {
+  LatencyRow r;
+  r.count = static_cast<long long>(h.count());
+  r.p50 = h.quantile(0.50);
+  r.p90 = h.quantile(0.90);
+  r.p99 = h.quantile(0.99);
+  r.p999 = h.quantile(0.999);
+  r.max = h.max();
+  return r;
+}
+
+std::map<int, LatencyRow> snapshot_rows(const TrialTrace& trial) {
+  std::map<int, LatencyRow> out;
+  for (const TraceEvent& e : trial.events) {
+    if (e.kind != EventKind::kMetricsSnapshot) continue;
+    LatencyRow r;
+    r.count = e.op_id;
+    r.p50 = e.value;
+    r.p90 = e.arg;
+    r.p99 = e.arg2;
+    r.p999 = e.t_ns;
+    r.max = static_cast<long long>(e.span_id);
+    out[e.op_key] = r;  // later snapshots of one metric supersede
+  }
+  return out;
+}
+
+namespace {
+
+void render_subtree(const SpanIndex& idx, std::uint64_t id, int depth,
+                    std::ostringstream& out) {
+  const SpanRecord& r = idx.spans.at(id);
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << span_label(id);
+  if (r.round > 0) out << " k=" << r.round;
+  if (r.duration() >= 0) {
+    out << " dur=" << r.duration() << "ns";
+  } else if (!r.complete()) {
+    out << (r.begun ? " [open]" : " [no-begin]");
+  }
+  if (!r.causes.empty()) {
+    out << " <-";
+    for (const std::uint64_t c : r.causes) out << " " << span_label(c);
+  }
+  out << "\n";
+  for (const std::uint64_t child : r.children) {
+    render_subtree(idx, child, depth + 1, out);
+  }
+}
+
+/// Number of spans reachable through child edges (ids-mode chain
+/// weight); visited guard against malformed inputs.
+std::size_t subtree_size(const SpanIndex& idx, std::uint64_t id,
+                         std::set<std::uint64_t>& visited) {
+  if (!visited.insert(id).second) return 0;
+  const SpanRecord* r = idx.find(id);
+  if (r == nullptr) return 0;
+  std::size_t total = 1;
+  for (const std::uint64_t child : r->children) {
+    total += subtree_size(idx, child, visited);
+  }
+  return total;
+}
+
+/// Greedy longest causal chain: from `id`, repeatedly descend into the
+/// child or cause with the largest duration (timed) or largest subtree
+/// (ids mode).
+std::vector<std::uint64_t> causal_chain(const SpanIndex& idx,
+                                        std::uint64_t id) {
+  std::vector<std::uint64_t> chain;
+  std::set<std::uint64_t> visited;
+  std::uint64_t cur = id;
+  while (visited.insert(cur).second) {
+    chain.push_back(cur);
+    const SpanRecord* r = idx.find(cur);
+    if (r == nullptr) break;
+    std::uint64_t best = 0;
+    long long best_weight = -1;
+    auto consider = [&](std::uint64_t cand) {
+      if (cand == 0 || visited.count(cand) != 0) return;
+      const SpanRecord* cr = idx.find(cand);
+      if (cr == nullptr) return;
+      long long w;
+      if (idx.timed) {
+        w = cr->duration() >= 0 ? cr->duration() : 0;
+      } else {
+        std::set<std::uint64_t> scratch = visited;
+        w = static_cast<long long>(subtree_size(idx, cand, scratch));
+      }
+      if (w > best_weight) {
+        best_weight = w;
+        best = cand;
+      }
+    };
+    for (const std::uint64_t child : r->children) consider(child);
+    for (const std::uint64_t cause : r->causes) consider(cause);
+    if (best == 0) break;
+    cur = best;
+  }
+  return chain;
+}
+
+}  // namespace
+
+std::string render_span_trees(const TrialTrace& trial, int max_roots) {
+  const SpanIndex idx = index_spans(trial);
+  std::ostringstream out;
+  if (idx.spans.empty()) {
+    out << "(no spans)\n";
+    return out.str();
+  }
+  int shown = 0;
+  for (const std::uint64_t root : idx.roots) {
+    if (max_roots > 0 && shown >= max_roots) {
+      out << "... (" << idx.roots.size() - static_cast<std::size_t>(shown)
+          << " more roots)\n";
+      break;
+    }
+    render_subtree(idx, root, 0, out);
+    ++shown;
+  }
+  return out.str();
+}
+
+std::string render_critpath(const TrialTrace& trial, int top) {
+  const SpanIndex idx = index_spans(trial);
+  std::ostringstream out;
+  if (idx.spans.empty()) {
+    out << "(no spans)\n";
+    return out.str();
+  }
+
+  // Per-kind duration/count table.
+  LogHistogram per_kind[span_kind::kCount];
+  long long kind_count[span_kind::kCount] = {};
+  for (const std::uint64_t id : idx.order) {
+    const SpanRecord& r = idx.spans.at(id);
+    if (r.kind >= span_kind::kCount) continue;
+    ++kind_count[r.kind];
+    if (r.duration() >= 0) per_kind[r.kind].record(r.duration());
+  }
+  out << "phase        count    p50(ns)    p99(ns)    max(ns)\n";
+  for (int k = 1; k < span_kind::kCount; ++k) {
+    if (kind_count[k] == 0) continue;
+    out << span_kind_name(static_cast<std::uint8_t>(k));
+    for (std::size_t pad = std::string(span_kind_name(
+             static_cast<std::uint8_t>(k))).size();
+         pad < 13; ++pad) {
+      out << " ";
+    }
+    out << kind_count[k];
+    if (per_kind[k].count() > 0) {
+      out << "  " << per_kind[k].quantile(0.50) << "  "
+          << per_kind[k].quantile(0.99) << "  " << per_kind[k].max();
+    } else {
+      out << "  (untimed)";
+    }
+    out << "\n";
+  }
+
+  // The longest causal chain of the `top` slowest ops (all ops in ids
+  // mode, where there is no duration to rank by — then first-seen
+  // order, which is deterministic).
+  std::vector<std::uint64_t> ops;
+  for (const std::uint64_t id : idx.order) {
+    if (idx.spans.at(id).kind == span_kind::kOp) ops.push_back(id);
+  }
+  if (idx.timed) {
+    std::stable_sort(ops.begin(), ops.end(),
+                     [&idx](std::uint64_t a, std::uint64_t b) {
+                       return idx.spans.at(a).duration() >
+                              idx.spans.at(b).duration();
+                     });
+  }
+  if (top > 0 && static_cast<std::size_t>(top) < ops.size()) {
+    ops.resize(static_cast<std::size_t>(top));
+  }
+  for (const std::uint64_t op : ops) {
+    const std::vector<std::uint64_t> chain = causal_chain(idx, op);
+    out << "critpath";
+    if (idx.spans.at(op).duration() >= 0) {
+      out << " (" << idx.spans.at(op).duration() << "ns)";
+    }
+    out << ":";
+    for (const std::uint64_t id : chain) out << " " << span_label(id);
+    out << "\n";
+  }
+
+  // The line the online harness must agree with (tests assert this).
+  const SpanLatencies lat = rebuild_latencies(trial);
+  if (lat.commit.count() > 0) {
+    const LatencyRow r = latency_row(lat.commit);
+    out << "op.commit_ns: n=" << r.count << " p50=" << r.p50
+        << " p90=" << r.p90 << " p99=" << r.p99 << " p999=" << r.p999
+        << " max=" << r.max << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace timing

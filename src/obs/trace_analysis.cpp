@@ -27,6 +27,8 @@ int phase_rank(EventKind k) noexcept {
     case EventKind::kRoundEnd: return 4;
     case EventKind::kFaultInjected: return -1;  // exempt, see validate_trace
     case EventKind::kClientOp: return -1;       // exempt, see validate_trace
+    case EventKind::kSpan: return -1;           // exempt, see validate_trace
+    case EventKind::kMetricsSnapshot: return -1;
   }
   return 5;
 }
@@ -75,9 +77,11 @@ TrialSummary summarize_trial(const TrialTrace& trial, int n,
   };
 
   for (const TraceEvent& e : trial.events) {
-    // Op events carry a logical timestamp, not an engine round; they
-    // must not inflate the trial's round count.
-    if (e.kind != EventKind::kClientOp) {
+    // Op events carry a logical timestamp, not an engine round; span
+    // and metrics events annotate rounds rather than defining them.
+    // None of those may inflate the trial's round count.
+    if (e.kind != EventKind::kClientOp && e.kind != EventKind::kSpan &&
+        e.kind != EventKind::kMetricsSnapshot) {
       out.rounds = std::max(out.rounds, e.round);
     }
     switch (e.kind) {
@@ -132,6 +136,12 @@ TrialSummary summarize_trial(const TrialTrace& trial, int n,
         break;
       case EventKind::kClientOp:
         ++out.op_events;
+        break;
+      case EventKind::kSpan:
+        ++out.span_events;
+        break;
+      case EventKind::kMetricsSnapshot:
+        ++out.metrics_events;
         break;
       case EventKind::kRoundStart:
       case EventKind::kRoundEnd:
@@ -195,6 +205,10 @@ std::string validate_trace(const ParsedTrace& trace) {
     }
     std::set<std::pair<ProcessId, ProcessId>> sent_this_round;
     std::set<ProcessId> decided, crashed;
+    // Span lifecycle (0 = unseen, 1 = begun, 2 = ended); mirrors the
+    // parser's checks so programmatically-built traces are held to the
+    // same contract.
+    std::map<std::uint64_t, int> span_state;
 
     for (std::size_t i = 0; i < trial.events.size(); ++i) {
       const TraceEvent& e = trial.events[i];
@@ -215,6 +229,30 @@ std::string validate_trace(const ParsedTrace& trace) {
         op_ts = e.round;
         continue;
       }
+      if (e.kind == EventKind::kSpan) {
+        // Spans annotate rounds (or are round-free, k = 0) and carry
+        // monotonic timestamps, not engine rounds: exempt from the
+        // open-round/phase checks. Their lifecycle must still be sound.
+        if (e.span_id == 0) return fail("span id must be positive");
+        if (span_kind_name(e.span_kind) == nullptr) {
+          return fail("invalid span kind");
+        }
+        int& st = span_state[e.span_id];
+        if (e.span_phase == span_phase::kBegin) {
+          if (st != 0) return fail("duplicate span begin");
+          st = 1;
+        } else if (e.span_phase == span_phase::kEnd) {
+          if (st == 0) return fail("span end before begin");
+          if (st == 2) return fail("duplicate span end");
+          st = 2;
+        } else if (e.span_phase == span_phase::kCause) {
+          if (e.span_parent == 0) return fail("cause edge without a cause");
+        } else {
+          return fail("invalid span phase");
+        }
+        continue;
+      }
+      if (e.kind == EventKind::kMetricsSnapshot) continue;  // exempt
       if (e.kind == EventKind::kFaultInjected) {
         // Sim-path injection happens while round k is being *sampled*,
         // i.e. after RoundEnd(k-1) and before the engine's RoundStart(k),

@@ -61,6 +61,8 @@ struct TrialSummary {
   std::vector<TraceEvent> crashes;
   long long fault_events = 0;            ///< FaultInjected events recorded
   long long op_events = 0;               ///< ClientOp events recorded
+  long long span_events = 0;             ///< Span events recorded
+  long long metrics_events = 0;          ///< MetricsSnapshot events recorded
   Round global_decision_round = -1;      ///< max decide round, -1 if none
 
   double incidence(int model) const noexcept {

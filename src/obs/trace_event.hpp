@@ -44,6 +44,8 @@ enum class EventKind : std::uint8_t {
   kCrash,         ///< proc stopped taking steps from round k on
   kFaultInjected, ///< a fault-plan event acted on round k (rule = FaultKind)
   kClientOp,      ///< client-visible SMR operation event ("round" = logical ts)
+  kSpan,          ///< causal span begin/end/cause (obs/span.hpp)
+  kMetricsSnapshot, ///< latency-histogram snapshot ("m"/"c"/percentiles)
 };
 
 /// Stable wire names (the "e" field of the JSONL encoding).
@@ -71,6 +73,19 @@ struct TraceEvent {
   long long op_id = -1;         ///< client-unique operation id
   Value arg = kNoValue;         ///< write value / cas expected / append value
   Value arg2 = kNoValue;        ///< cas replacement value
+
+  // Span fields (kSpan / kMetricsSnapshot only; obs/span.hpp). For span
+  // events `round` carries the engine round the span belongs to (0 for
+  // round-free spans such as ops) and `span_parent` is the parent span
+  // for begin events or the *cause* span for cause events. `t_ns` is a
+  // monotonic timestamp relative to the trial's tracer epoch, -1 (and
+  // omitted on the wire) in `ids` mode. For metrics snapshots the span
+  // fields are repurposed per the table in obs/span.hpp.
+  std::uint64_t span_id = 0;    ///< deterministic span id (never 0 on wire)
+  std::uint64_t span_parent = 0;///< parent (begin) or cause (cause) span id
+  long long t_ns = -1;          ///< monotonic ns since tracer epoch, -1 = none
+  std::uint8_t span_kind = 0;   ///< span_kind:: value
+  std::uint8_t span_phase = 0;  ///< span_phase:: value (begin/end/cause)
 
   bool operator==(const TraceEvent&) const = default;
 
@@ -155,6 +170,43 @@ struct TraceEvent {
     e.value = result;
     return e;
   }
+  /// Span lifecycle event (obs/span.hpp). `phase` is a span_phase::
+  /// value; for kBegin `parent` is the enclosing span (0 = root), for
+  /// kCause it is the causally-preceding span (e.g. the message span
+  /// whose arrival enabled this span's round). `t` is -1 in ids mode.
+  static TraceEvent span(std::uint8_t phase, std::uint64_t id,
+                         std::uint64_t parent, std::uint8_t kind,
+                         Round k = 0, long long t = -1) {
+    TraceEvent e;
+    e.kind = EventKind::kSpan;
+    e.round = k;
+    e.span_id = id;
+    e.span_parent = parent;
+    e.span_kind = kind;
+    e.span_phase = phase;
+    e.t_ns = t;
+    return e;
+  }
+  /// Latency-histogram snapshot: metric `metric_id` (index into
+  /// kSpanMetricNames) observed `count` values with the given quantile
+  /// representatives. `seq` keeps multiple snapshots of one trial
+  /// ordered. Field reuse: op_key=metric, op_id=count, value=p50,
+  /// arg=p90, arg2=p99, t_ns=p999, span_id=max.
+  static TraceEvent metrics(Round seq, std::int32_t metric_id,
+                            long long count, long long p50, long long p90,
+                            long long p99, long long p999, long long max) {
+    TraceEvent e;
+    e.kind = EventKind::kMetricsSnapshot;
+    e.round = seq;
+    e.op_key = metric_id;
+    e.op_id = count;
+    e.value = static_cast<Value>(p50);
+    e.arg = static_cast<Value>(p90);
+    e.arg2 = static_cast<Value>(p99);
+    e.t_ns = p999;
+    e.span_id = static_cast<std::uint64_t>(max);
+    return e;
+  }
   static TraceEvent fault(Round k, std::uint8_t fault_kind,
                           ProcessId proc = kNoProcess,
                           ProcessId src = kNoProcess,
@@ -212,5 +264,43 @@ const char* op_phase_name(std::uint8_t phase) noexcept;
 const char* op_func_name(std::uint8_t func) noexcept;
 bool op_phase_from_string(const char* s, std::uint8_t& out) noexcept;
 bool op_func_from_string(const char* s, std::uint8_t& out) noexcept;
+
+/// Span kinds (TraceEvent::span_kind): what stage of an operation's life
+/// a span covers. Non-zero values only — the kind tag is the top nibble
+/// of every span id (obs/span.hpp), and id 0 means "no span".
+namespace span_kind {
+inline constexpr std::uint8_t kNone = 0;     ///< invalid on the wire
+inline constexpr std::uint8_t kOp = 1;       ///< client op, invoke -> done
+inline constexpr std::uint8_t kQueue = 2;    ///< invoke -> first proposal
+inline constexpr std::uint8_t kCommit = 3;   ///< first proposal -> decided
+inline constexpr std::uint8_t kApply = 4;    ///< decided log applied to SM
+inline constexpr std::uint8_t kInstance = 5; ///< one consensus instance
+inline constexpr std::uint8_t kRound = 6;    ///< one engine/roundsync round
+inline constexpr std::uint8_t kMsg = 7;      ///< one framed envelope on a link
+inline constexpr int kCount = 8;
+}  // namespace span_kind
+
+/// Span lifecycle phases (TraceEvent::span_phase).
+namespace span_phase {
+inline constexpr std::uint8_t kBegin = 0;
+inline constexpr std::uint8_t kEnd = 1;
+inline constexpr std::uint8_t kCause = 2;  ///< causality edge, no time
+inline constexpr int kCount = 3;
+}  // namespace span_phase
+
+/// Stable wire names for span_kind / span_phase (the "sk" and "sph"
+/// JSONL fields); nullptr on out-of-range input.
+const char* span_kind_name(std::uint8_t kind) noexcept;
+const char* span_phase_name(std::uint8_t phase) noexcept;
+bool span_kind_from_string(const char* s, std::uint8_t& out) noexcept;
+bool span_phase_from_string(const char* s, std::uint8_t& out) noexcept;
+
+/// Latency metrics a kMetricsSnapshot line may carry (the "m" field);
+/// TraceEvent::op_key holds the index into this table.
+inline constexpr const char* kSpanMetricNames[] = {
+    "op.commit_ns",  ///< invoke -> ok, per committed client op
+    "op.queue_ns",   ///< invoke -> first proposal into an instance
+};
+inline constexpr int kSpanMetricCount = 2;
 
 }  // namespace timing

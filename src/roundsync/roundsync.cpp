@@ -59,6 +59,9 @@ void RoundSyncRunner::receiver_loop() {
     if (!slot.row[static_cast<std::size_t>(env->sender)]) {
       slot.row[static_cast<std::size_t>(env->sender)] = env->msg;
       ++slot.count;
+      // Remember the sender's message-span id; the driver turns it into
+      // a round <- msg causality edge when it consumes the row.
+      if (env->span != 0) slot.causes.push_back(env->span);
     }
     if (env->round > current_round_ && env->round > future_round_) {
       future_round_ = env->round;
@@ -68,11 +71,13 @@ void RoundSyncRunner::receiver_loop() {
   }
 }
 
-RoundMsgs RoundSyncRunner::take_row(Round k) {
+RoundMsgs RoundSyncRunner::take_row(Round k,
+                                    std::vector<std::uint64_t>* causes) {
   RoundMsgs row;
   auto it = buffer_.find(k);
   if (it != buffer_.end()) {
     row = std::move(it->second.row);
+    if (causes != nullptr) *causes = std::move(it->second.causes);
   } else {
     row.assign(static_cast<std::size_t>(n_), std::nullopt);
   }
@@ -85,6 +90,8 @@ RoundSyncResult RoundSyncRunner::run() {
   RoundSyncResult result;
   const ProcessId self = transport_.self();
   const auto t0 = Clock::now();
+  SpanTracer* spans = cfg_.spans;
+  const bool sp_on = spans != nullptr && spans->enabled();
 
   std::thread receiver([this] { receiver_loop(); });
 
@@ -116,11 +123,33 @@ RoundSyncResult RoundSyncRunner::run() {
       }
     }
     // Start of round k: send the pending message, record our own copy.
+    const std::uint64_t rs_id =
+        sp_on ? make_span_id(span_kind::kRound,
+                             static_cast<std::uint64_t>(k),
+                             static_cast<std::uint64_t>(self))
+              : 0;
+    if (sp_on) spans->begin(rs_id, cfg_.parent_span, span_kind::kRound, k);
     Bytes wire;
-    frame_envelope(Envelope{k, self, out.msg}, wire);
+    if (!sp_on) frame_envelope(Envelope{k, self, out.msg}, wire);
     for (ProcessId d : out.dests) {
       if (d == self) continue;
-      transport_.send(d, wire);
+      if (sp_on) {
+        // Each destination gets its own message span whose id rides the
+        // wire, so the receiver can attribute the arrival to this exact
+        // send. Re-encoding per destination only happens with spans on.
+        Envelope env{k, self, out.msg};
+        env.span = make_span_id(span_kind::kMsg,
+                                static_cast<std::uint64_t>(k),
+                                static_cast<std::uint64_t>(self),
+                                static_cast<std::uint64_t>(d));
+        wire.clear();
+        frame_envelope(env, wire);
+        spans->begin(env.span, rs_id, span_kind::kMsg, k);
+        transport_.send(d, wire);
+        spans->end(env.span, span_kind::kMsg, k);
+      } else {
+        transport_.send(d, wire);
+      }
       ++result.messages_sent;
     }
     {
@@ -147,15 +176,25 @@ RoundSyncResult RoundSyncRunner::run() {
 
     // End of round k: compute.
     RoundMsgs row;
+    std::vector<std::uint64_t> causes;
     {
       std::lock_guard lk(mu_);
-      row = take_row(k);
+      row = take_row(k, sp_on ? &causes : nullptr);
+    }
+    if (sp_on && !causes.empty()) {
+      // Cause edges from the peer message spans this round consumed.
+      // Sorted so trace bytes don't depend on arrival interleaving.
+      std::sort(causes.begin(), causes.end());
+      for (const std::uint64_t c : causes) {
+        spans->cause(rs_id, c, span_kind::kRound, k);
+      }
     }
     if (!row[static_cast<std::size_t>(self)]) {
       row[static_cast<std::size_t>(self)] = out.msg;
     }
     const bool was_decided = protocol_.has_decided();
     out = protocol_.compute(k, row, hint(k));
+    if (sp_on) spans->end(rs_id, span_kind::kRound, k);
     ++result.rounds_executed;
     if (!was_decided && protocol_.has_decided()) {
       result.decided = true;

@@ -29,6 +29,7 @@
 #include "roundsync/adaptive_timeout.hpp"
 #include "giraf/protocol.hpp"
 #include "net/transport.hpp"
+#include "obs/span.hpp"
 
 namespace timing {
 
@@ -53,6 +54,13 @@ struct RoundSyncConfig {
   /// re-reads the timeout at each round boundary - the Section 5.3
   /// tuning methodology running live.
   AdaptiveTimeout* adaptive = nullptr;
+  /// Optional span tracer (not owned; one per node, driver thread only).
+  /// When set, each round becomes a `round` span under `parent_span`,
+  /// each outgoing envelope a `msg` child span whose id rides the wire
+  /// (Envelope::span), and each arriving envelope a causality edge from
+  /// its message span to the round that consumed it.
+  SpanTracer* spans = nullptr;
+  std::uint64_t parent_span = 0;  ///< e.g. the enclosing instance span
 };
 
 struct RoundSyncResult {
@@ -81,10 +89,14 @@ class RoundSyncRunner {
   struct Buffered {
     RoundMsgs row;
     int count = 0;
+    /// Wire span ids of the envelopes buffered for this round; drained
+    /// by the driver (with the row) and emitted as cause edges there,
+    /// keeping all span emission on the driver thread.
+    std::vector<std::uint64_t> causes;
   };
 
   void receiver_loop();
-  RoundMsgs take_row(Round k);
+  RoundMsgs take_row(Round k, std::vector<std::uint64_t>* causes);
 
   Protocol& protocol_;
   Oracle* oracle_;

@@ -22,7 +22,10 @@
 #include "history/linearizability.hpp"
 #include "models/schedule.hpp"
 #include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace_config.hpp"
+#include "obs/trace_sink.hpp"
 #include "scenario/runners.hpp"
 #include "smr/client.hpp"
 
@@ -124,6 +127,10 @@ int run_smr_linearizable(const ScenarioSpec& spec, const RunContext& ctx) {
   }
 
   const TraceConfig trace = TraceConfig::from_env();
+  // Span tracing rides the trace file: TIMING_SPANS=ids|timed adds span
+  // (and, for timed, metrics-snapshot) events to each trial's stream.
+  const SpanMode span_mode =
+      trace.enabled() ? span_mode_from_env() : SpanMode::kOff;
   const int bound = fault::bound_after_gsr(spec.algorithm);
 
   const auto trials = run_trials<Trial>(
@@ -139,6 +146,16 @@ int run_smr_linearizable(const ScenarioSpec& spec, const RunContext& ctx) {
         ccfg.append_keys = spec.append_keys;
         ccfg.seed = substream_seed(trial_seed, 1);
         ccfg.corrupt = corrupt;
+
+        // Per-trial sink/tracer/registry: single-writer on this trial's
+        // pool thread, drained below in trial order (determinism rule).
+        BufferSink span_sink;
+        SpanTracer tracer(&span_sink, span_mode);
+        MetricsRegistry metrics;
+        if (span_mode != SpanMode::kOff) {
+          ccfg.spans = &tracer;
+          ccfg.metrics = &metrics;
+        }
 
         const InstanceEnvFactory env_of = [&](int index) {
           InstanceEnv env;
@@ -213,7 +230,16 @@ int run_smr_linearizable(const ScenarioSpec& spec, const RunContext& ctx) {
                "\n";
           out.report = r;
         }
-        if (trace.enabled()) out.events = rep.events;
+        if (trace.enabled()) {
+          out.events = rep.events;
+          if (span_mode != SpanMode::kOff) {
+            // Op history first (ts order), then the span stream, then the
+            // trial's final latency snapshot (timed mode only).
+            emit_metrics_snapshot(&tracer, metrics);
+            out.events.insert(out.events.end(), span_sink.events().begin(),
+                              span_sink.events().end());
+          }
+        }
         return out;
       });
 

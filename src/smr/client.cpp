@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "history/model.hpp"
 #include "history/recorder.hpp"
+#include "obs/metrics.hpp"
 #include "smr/smr.hpp"
 
 namespace timing {
@@ -50,6 +51,9 @@ struct ClientState {
   Value b = kNoValue;
   Command cmd = kNoopCommand;
   bool sabotaged = false;  ///< kLostUpdate: this proposal went out as noop
+  bool queued = false;     ///< span state: current op reached a proposal
+  long long t_op = 0;      ///< op-span begin reading (timed tracer)
+  long long t_queue = 0;   ///< queue-span begin reading
 };
 
 /// Nonzero even 16-bit value — the update-value domain of the harness.
@@ -80,6 +84,12 @@ SmrClientReport run_smr_clients(const SmrClientConfig& cfg,
     machines.push_back(std::make_unique<RegisterStateMachine>());
   }
   SmrGroup group(gcfg, std::move(machines));
+
+  SpanTracer* spans = cfg.spans;
+  const bool sp_on = spans != nullptr && spans->enabled();
+  const bool record_lat =
+      sp_on && spans->timed() && cfg.metrics != nullptr;
+  group.set_span_tracer(spans);
 
   Rng rng(cfg.seed);
   HistoryRecorder rec;
@@ -166,6 +176,66 @@ SmrClientReport run_smr_clients(const SmrClientConfig& cfg,
     cs.b = has_b ? static_cast<Value>(b16) : kNoValue;
     cs.cmd = make_register_command(cs.func, cs.rid, c, cs.key, a16, b16);
     rec.invoke(c, cs.func, cs.key, cs.rid, cs.a, cs.b);
+    if (sp_on) {
+      const std::uint64_t op_span =
+          make_span_id(span_kind::kOp, static_cast<std::uint64_t>(c),
+                       static_cast<std::uint64_t>(cs.rid));
+      cs.queued = false;
+      cs.t_op = spans->begin(op_span, 0, span_kind::kOp);
+      cs.t_queue = spans->begin(
+          make_span_id(span_kind::kQueue, static_cast<std::uint64_t>(c),
+                       static_cast<std::uint64_t>(cs.rid)),
+          op_span, span_kind::kQueue);
+    }
+  };
+
+  // The op reached its first proposal: the queue phase ends and the
+  // commit phase begins.
+  auto mark_queued = [&](ProcessId c) {
+    ClientState& cs = clients[static_cast<std::size_t>(c)];
+    if (!sp_on || cs.queued) return;
+    cs.queued = true;
+    const long long tq = spans->end(
+        make_span_id(span_kind::kQueue, static_cast<std::uint64_t>(c),
+                     static_cast<std::uint64_t>(cs.rid)),
+        span_kind::kQueue);
+    if (record_lat) {
+      cfg.metrics->latency("op.queue_ns").record(tq - cs.t_queue);
+    }
+    spans->begin(
+        make_span_id(span_kind::kCommit, static_cast<std::uint64_t>(c),
+                     static_cast<std::uint64_t>(cs.rid)),
+        make_span_id(span_kind::kOp, static_cast<std::uint64_t>(c),
+                     static_cast<std::uint64_t>(cs.rid)),
+        span_kind::kCommit);
+  };
+
+  // Close the op's spans; ok completions feed op.commit_ns from the very
+  // readings the span events carry (the offline-rebuild equality).
+  auto end_op_spans = [&](ProcessId c, bool committed_ok) {
+    if (!sp_on) return;
+    ClientState& cs = clients[static_cast<std::size_t>(c)];
+    if (cs.queued) {
+      spans->end(
+          make_span_id(span_kind::kCommit, static_cast<std::uint64_t>(c),
+                       static_cast<std::uint64_t>(cs.rid)),
+          span_kind::kCommit);
+    } else {
+      const long long tq = spans->end(
+          make_span_id(span_kind::kQueue, static_cast<std::uint64_t>(c),
+                       static_cast<std::uint64_t>(cs.rid)),
+          span_kind::kQueue);
+      if (record_lat) {
+        cfg.metrics->latency("op.queue_ns").record(tq - cs.t_queue);
+      }
+    }
+    const long long t = spans->end(
+        make_span_id(span_kind::kOp, static_cast<std::uint64_t>(c),
+                     static_cast<std::uint64_t>(cs.rid)),
+        span_kind::kOp);
+    if (committed_ok && record_lat) {
+      cfg.metrics->latency("op.commit_ns").record(t - cs.t_op);
+    }
   };
 
   auto close_op = [&](ProcessId c) {
@@ -211,9 +281,25 @@ SmrClientReport run_smr_clients(const SmrClientConfig& cfg,
         cs.sabotaged = false;
       }
       proposed.insert(c);
+      mark_queued(c);
     }
 
     const SmrInstanceResult r = run_one(proposals);
+    if (sp_on) {
+      // Each proposed op's commit span is caused by the instance that
+      // carried it (`proposed` is a sorted set, so edge order is stable).
+      const std::uint64_t inst_span = make_span_id(
+          span_kind::kInstance,
+          static_cast<std::uint64_t>(rep.instances_run - 1));
+      for (ProcessId c : proposed) {
+        spans->cause(
+            make_span_id(
+                span_kind::kCommit, static_cast<std::uint64_t>(c),
+                static_cast<std::uint64_t>(
+                    clients[static_cast<std::size_t>(c)].rid)),
+            inst_span, span_kind::kCommit);
+      }
+    }
     for (ProcessId c = 0; c < cfg.clients; ++c) {
       ClientState& cs = clients[static_cast<std::size_t>(c)];
       if (cs.busy) ++cs.open_instances;
@@ -231,6 +317,7 @@ SmrClientReport run_smr_clients(const SmrClientConfig& cfg,
                  "winner must have a session result");
         rec.ok(wc, result);
         ++rep.ops_ok;
+        end_op_spans(wc, true);
         close_op(wc);
       }
       if (sabotaged_this_instance) {
@@ -249,6 +336,7 @@ SmrClientReport run_smr_clients(const SmrClientConfig& cfg,
           rec.ok(c, fabricated);
           ++rep.ops_ok;
           lost_done = true;
+          end_op_spans(c, true);
           close_op(c);
           break;
         }
@@ -259,6 +347,7 @@ SmrClientReport run_smr_clients(const SmrClientConfig& cfg,
         if (!clients[static_cast<std::size_t>(c)].busy) continue;
         rec.fail(c);
         ++rep.ops_fail;
+        end_op_spans(c, false);
         close_op(c);
       }
     } else {
@@ -271,6 +360,7 @@ SmrClientReport run_smr_clients(const SmrClientConfig& cfg,
         }
         rec.info(c);
         ++rep.ops_info;
+        end_op_spans(c, false);
         close_op(c);
       }
     }
@@ -287,12 +377,40 @@ SmrClientReport run_smr_clients(const SmrClientConfig& cfg,
     const ProcessId pc = cfg.clients + k;
     const Command cmd = make_register_command(op_func::kRead, 1, pc, k, 0, 0);
     rec.invoke(pc, op_func::kRead, k, 1);
+    const std::uint64_t p_op =
+        make_span_id(span_kind::kOp, static_cast<std::uint64_t>(pc), 1);
+    const std::uint64_t p_queue =
+        make_span_id(span_kind::kQueue, static_cast<std::uint64_t>(pc), 1);
+    const std::uint64_t p_commit =
+        make_span_id(span_kind::kCommit, static_cast<std::uint64_t>(pc), 1);
+    long long p_t0 = 0;
+    long long p_tq0 = 0;
+    bool p_queued = false;
+    if (sp_on) {
+      p_t0 = spans->begin(p_op, 0, span_kind::kOp);
+      p_tq0 = spans->begin(p_queue, p_op, span_kind::kQueue);
+    }
     bool done = false;
     for (int attempt = 0; attempt < cfg.probe_attempts && !done; ++attempt) {
       std::vector<Command> proposals(static_cast<std::size_t>(cfg.n),
                                      kNoopCommand);
       proposals[static_cast<std::size_t>(pc % cfg.n)] = cmd;
+      if (sp_on && !p_queued) {
+        p_queued = true;
+        const long long tq = spans->end(p_queue, span_kind::kQueue);
+        if (record_lat) {
+          cfg.metrics->latency("op.queue_ns").record(tq - p_tq0);
+        }
+        spans->begin(p_commit, p_op, span_kind::kCommit);
+      }
       const SmrInstanceResult r = run_one(proposals);
+      if (sp_on) {
+        spans->cause(p_commit,
+                     make_span_id(span_kind::kInstance,
+                                  static_cast<std::uint64_t>(
+                                      rep.instances_run - 1)),
+                     span_kind::kCommit);
+      }
       if (!r.decided || r.command != cmd) continue;
       Value result = kNoValue;
       TM_CHECK(observer(r.applied).last_result(pc, result),
@@ -304,9 +422,16 @@ SmrClientReport run_smr_clients(const SmrClientConfig& cfg,
       }
       rec.ok(pc, result);
       ++rep.ops_ok;
+      if (sp_on) {
+        spans->end(p_commit, span_kind::kCommit);
+        const long long t = spans->end(p_op, span_kind::kOp);
+        if (record_lat) {
+          cfg.metrics->latency("op.commit_ns").record(t - p_t0);
+        }
+      }
       done = true;
     }
-    if (!done) ++rep.ops_info;  // probe left open
+    if (!done) ++rep.ops_info;  // probe left open (its spans stay open too)
   }
 
   rep.events = rec.events();

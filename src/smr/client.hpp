@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "consensus/factory.hpp"
+#include "obs/span.hpp"
 #include "obs/trace_event.hpp"
 #include "sim/sampler.hpp"
 
@@ -63,6 +64,18 @@ struct SmrClientConfig {
   int probe_attempts = 4;
   std::uint64_t seed = 1;
   CorruptMode corrupt = CorruptMode::kNone;
+  /// Optional span tracer (not owned). Every op becomes an `op` span
+  /// keyed (client, rid) with `queue` (invoke -> first proposal) and
+  /// `commit` (first proposal -> completion) children; each commit span
+  /// is cause-annotated with every consensus instance the op was
+  /// proposed into. Instance/round spans come from the group.
+  SpanTracer* spans = nullptr;
+  /// Optional latency registry (not owned). With a TIMED tracer, every
+  /// ok op's invoke->completion reading goes into
+  /// metrics->latency("op.commit_ns") and every first-proposal wait into
+  /// "op.queue_ns", using the very timestamps the span events carry —
+  /// so an offline rebuild from the trace matches this registry exactly.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Network environment for one consensus instance. The factory keeps the

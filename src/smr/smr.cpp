@@ -48,7 +48,19 @@ SmrInstanceResult SmrGroup::run_instance(
   if (!cfg_.use_election) {
     oracle = std::make_shared<DesignatedOracle>(cfg_.leader);
   }
+  const int ordinal = instances_run_++;
+  const bool sp_on = spans_ != nullptr && spans_->enabled();
+  const std::uint64_t inst_span =
+      sp_on ? make_span_id(span_kind::kInstance,
+                           static_cast<std::uint64_t>(ordinal))
+            : 0;
+  if (sp_on) spans_->begin(inst_span, 0, span_kind::kInstance);
+
   RoundEngine engine(std::move(group), oracle);
+  if (sp_on) {
+    engine.set_span_tracer(spans_, inst_span,
+                           static_cast<std::uint32_t>(ordinal));
+  }
   if (crash_rounds != nullptr) {
     TM_CHECK(static_cast<int>(crash_rounds->size()) == cfg_.n,
              "one crash entry per replica");
@@ -62,7 +74,10 @@ SmrInstanceResult SmrGroup::run_instance(
 
   SmrInstanceResult result;
   result.rounds = engine.current_round();
-  if (decided < 0) return result;  // nothing applied anywhere
+  if (decided < 0) {
+    if (sp_on) spans_->end(inst_span, span_kind::kInstance);
+    return result;  // nothing applied anywhere
+  }
 
   result.decided = true;
   Value agreed = kNoValue;
@@ -75,6 +90,11 @@ SmrInstanceResult SmrGroup::run_instance(
   }
   result.command = agreed;
   log_.push_back(agreed);
+  const std::uint64_t apply_span =
+      sp_on ? make_span_id(span_kind::kApply,
+                           static_cast<std::uint64_t>(ordinal))
+            : 0;
+  if (sp_on) spans_->begin(apply_span, inst_span, span_kind::kApply);
   result.applied.assign(static_cast<std::size_t>(cfg_.n), false);
   for (ProcessId i = 0; i < cfg_.n; ++i) {
     if (!engine.alive(i)) continue;  // crashed: replays when it recovers
@@ -86,6 +106,10 @@ SmrInstanceResult SmrGroup::run_instance(
       ++upto;
     }
     result.applied[static_cast<std::size_t>(i)] = true;
+  }
+  if (sp_on) {
+    spans_->end(apply_span, span_kind::kApply);
+    spans_->end(inst_span, span_kind::kInstance);
   }
   ++instances_decided_;
   return result;
@@ -125,17 +149,27 @@ std::vector<SmrNodeInstance> SmrNode::run(
     int instances, const std::function<Command(int)>& next_command) {
   std::vector<SmrNodeInstance> log;
   log.reserve(static_cast<std::size_t>(instances));
+  SpanTracer* spans = cfg_.spans;
+  const bool sp_on = spans != nullptr && spans->enabled();
   for (int inst = 0; inst < instances; ++inst) {
     const Command proposal = next_command(inst);
     auto protocol = build_protocol(AlgorithmKind::kWlm, cfg_.self, cfg_.n,
                                    proposal, cfg_.use_election);
     DesignatedOracle designated(cfg_.leader);
 
+    const std::uint64_t inst_span =
+        sp_on ? make_span_id(span_kind::kInstance,
+                             static_cast<std::uint64_t>(inst))
+              : 0;
+    if (sp_on) spans->begin(inst_span, 0, span_kind::kInstance);
+
     RoundSyncConfig rcfg;
     rcfg.timeout_ms = cfg_.timeout_ms;
     rcfg.max_rounds = cfg_.max_rounds_per_instance;
     rcfg.first_round = 1 + static_cast<Round>(inst) * cfg_.instance_round_stride;
     rcfg.one_way_ms = cfg_.one_way_ms;
+    rcfg.spans = spans;
+    rcfg.parent_span = inst_span;
     RoundSyncRunner runner(*protocol,
                            cfg_.use_election ? nullptr : &designated,
                            transport_, cfg_.n, rcfg);
@@ -147,8 +181,15 @@ std::vector<SmrNodeInstance> SmrNode::run(
     rec.elapsed_ms = r.elapsed_ms;
     if (r.decided) {
       rec.command = protocol->decision();
+      const std::uint64_t apply_span =
+          sp_on ? make_span_id(span_kind::kApply,
+                               static_cast<std::uint64_t>(inst))
+                : 0;
+      if (sp_on) spans->begin(apply_span, inst_span, span_kind::kApply);
       machine_->apply(rec.command);
+      if (sp_on) spans->end(apply_span, span_kind::kApply);
     }
+    if (sp_on) spans->end(inst_span, span_kind::kInstance);
     log.push_back(rec);
   }
   return log;

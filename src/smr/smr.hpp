@@ -79,6 +79,12 @@ class SmrGroup {
   int instances_decided() const noexcept { return instances_decided_; }
   const StateMachine& machine(ProcessId i) const { return *machines_[i]; }
 
+  /// Install a span tracer (null disables). Each run_instance call becomes
+  /// an `instance` span (keyed by a monotone per-group ordinal) with the
+  /// engine's `round` spans as children and an `apply` span around the
+  /// log-application loop.
+  void set_span_tracer(SpanTracer* spans) noexcept { spans_ = spans; }
+
   /// True iff all replicas' fingerprints agree.
   bool consistent() const;
   /// Consistency restricted to a subset (e.g. the survivors of a crash).
@@ -90,6 +96,8 @@ class SmrGroup {
   std::vector<Command> log_;          ///< decided commands, in order
   std::vector<std::size_t> applied_;  ///< per replica: log prefix applied
   int instances_decided_ = 0;
+  SpanTracer* spans_ = nullptr;
+  int instances_run_ = 0;  ///< span ordinal (counts undecided runs too)
 };
 
 // ---------------------------------------------------------------------
@@ -106,6 +114,10 @@ struct SmrNodeConfig {
   /// Wire-round stride between instances; must exceed any instance's
   /// round count and be identical across replicas.
   Round instance_round_stride = 1 << 20;
+  /// Optional span tracer (not owned; one per node). Each instance
+  /// becomes an `instance` span; the round-sync runner hangs its `round`
+  /// and `msg` spans beneath it, and applies get `apply` spans.
+  SpanTracer* spans = nullptr;
 };
 
 struct SmrNodeInstance {

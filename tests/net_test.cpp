@@ -13,6 +13,7 @@
 #include "net/ping.hpp"
 #include "net/transport.hpp"
 #include "net/udp_transport.hpp"
+#include "obs/span.hpp"
 
 namespace timing {
 namespace {
@@ -95,7 +96,9 @@ TEST(Codec, RejectsBadTypeAndHostileFanout) {
   Bytes buf;
   encode(e, buf);
   Bytes bad = buf;
-  bad[8] = 0xff;  // message type byte
+  // Message type byte: after the round (4), sender (4) and span (8)
+  // header fields.
+  bad[16] = 0xff;
   EXPECT_FALSE(decode(bad).has_value());
 
   // Hostile relay fanout: huge count with no payload.
@@ -183,6 +186,39 @@ TEST(Codec, RandomMessagesRoundTrip) {
     ASSERT_TRUE(back.has_value()) << "trial " << t;
     ASSERT_EQ(*back, e) << "trial " << t;
   }
+}
+
+TEST(Codec, RoundTripCarriesSpanContext) {
+  // The causal span id (obs/span.hpp) must survive the wire exactly:
+  // the receiver records a causality edge keyed on the very id the
+  // sender minted. Exercised through both the raw codec and the framed
+  // transport path.
+  Envelope e{3, 1, sample_message()};
+  e.span = make_span_id(span_kind::kMsg, /*round=*/3, /*src=*/1, /*dst=*/2);
+  Bytes buf;
+  encode(e, buf);
+  const auto back = decode(buf);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->span, e.span);
+  EXPECT_EQ(*back, e);
+
+  Bytes framed;
+  frame_envelope(e, framed);
+  const auto f = parse_frame(framed);
+  ASSERT_TRUE(f.has_value());
+  ASSERT_TRUE(std::holds_alternative<Envelope>(*f));
+  EXPECT_EQ(std::get<Envelope>(*f), e);
+
+  // span = 0 ("tracing off") round-trips too, and the two encodings
+  // differ only in the span bytes.
+  Envelope off = e;
+  off.span = 0;
+  Bytes off_buf;
+  encode(off, off_buf);
+  EXPECT_EQ(off_buf.size(), buf.size());
+  const auto off_back = decode(off_buf);
+  ASSERT_TRUE(off_back.has_value());
+  EXPECT_EQ(off_back->span, 0u);
 }
 
 TEST(Frame, RoundTrips) {

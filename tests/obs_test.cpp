@@ -12,10 +12,13 @@
 #include <limits>
 #include <memory>
 #include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "consensus/factory.hpp"
 #include "giraf/engine.hpp"
 #include "harness/algorithm_runs.hpp"
@@ -25,11 +28,15 @@
 #include "net/transport.hpp"
 #include "obs/jsonl.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/span_analysis.hpp"
 #include "obs/trace_analysis.hpp"
 #include "obs/trace_config.hpp"
 #include "obs/trace_sink.hpp"
 #include "oracles/omega.hpp"
+#include "roundsync/roundsync.hpp"
 #include "sim/sampler.hpp"
+#include "smr/client.hpp"
 
 namespace timing {
 namespace {
@@ -669,6 +676,639 @@ TEST(NetTrace, PingDropsMalformedFrames) {
     }
   }
   EXPECT_TRUE(saw_drop);
+}
+
+// ---------------------------------------------------------------------
+// LogHistogram: the latency accumulator behind op.commit_ns/op.queue_ns.
+
+TEST(LogHistogram, SmallValuesAreExactAndNegativesClampToZero) {
+  LogHistogram h;
+  for (long long v = 0; v < LogHistogram::kSub; ++v) h.record(v);
+  h.record(-17);  // clamps to 0
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(LogHistogram::kSub + 1));
+  EXPECT_EQ(h.max(), LogHistogram::kSub - 1);
+  // Below kSub every bucket holds exactly one value, so quantiles are
+  // exact: the median of {0, 0, 1, ..., 63} is 31.
+  EXPECT_EQ(h.quantile(0.5), 31);
+  EXPECT_EQ(h.quantile(1.0), h.max());
+  EXPECT_EQ(h.quantile(0.0), 0);
+}
+
+TEST(LogHistogram, QuantileReturnsBucketLowerBound) {
+  LogHistogram h;
+  const long long v = 123456789;
+  h.record(v);
+  // One observation: every quantile is that value's deterministic
+  // bucket representative, within the documented ~3% of the true value
+  // -- except the max-covering quantile, which is exact.
+  const long long lo = LogHistogram::bucket_lo(LogHistogram::bucket_of(
+      static_cast<unsigned long long>(v)));
+  EXPECT_LE(lo, v);
+  EXPECT_GE(lo, static_cast<long long>(static_cast<double>(v) * 0.96));
+  EXPECT_EQ(h.quantile(0.5), h.max());  // rank 1 covers the last observation
+  EXPECT_EQ(h.quantile(1.0), v);
+  EXPECT_EQ(h.sum(), v);
+}
+
+TEST(LogHistogram, MergeIsExactlyAssociativeAndEmptySafe) {
+  const auto fill = [](LogHistogram& h, std::uint64_t seed) {
+    Rng rng(seed);
+    for (int i = 0; i < 200; ++i) {
+      h.record(static_cast<long long>(rng.uniform_int(1u << 20)));
+    }
+  };
+  LogHistogram a, b, c;
+  fill(a, 1);
+  fill(b, 2);
+  fill(c, 3);
+  LogHistogram left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  LogHistogram bc = b;     // a + (b + c)
+  bc.merge(c);
+  LogHistogram right = a;
+  right.merge(bc);
+  EXPECT_EQ(left, right);
+  // Merging a never-touched histogram is the identity, both ways.
+  LogHistogram empty;
+  LogHistogram a2 = a;
+  a2.merge(empty);
+  EXPECT_EQ(a2, a);
+  empty.merge(a);
+  EXPECT_EQ(empty, a);
+}
+
+// Satellite regression: merging registries where one side's histogram
+// was configured but never observed a value must keep counts exact and
+// must not disturb the configured shape, in either direction.
+TEST(Metrics, MergeWithNeverTouchedHistogramsIsExact) {
+  MetricsRegistry touched, untouched;
+  touched.histogram("h", 0.0, 10.0, 5).add(3.0);
+  untouched.histogram("h", 0.0, 10.0, 5);  // configured, zero observations
+  untouched.latency("lat");                // created, zero observations
+
+  MetricsRegistry a = touched;
+  a.merge(untouched);
+  EXPECT_EQ(a.histograms().at("h"), touched.histograms().at("h"));
+  EXPECT_TRUE(a.latencies().at("lat").empty());
+
+  MetricsRegistry b = untouched;
+  b.merge(touched);
+  EXPECT_EQ(b.histograms().at("h"), touched.histograms().at("h"));
+
+  // Merging into a registry that never saw the name adopts it verbatim.
+  MetricsRegistry fresh;
+  fresh.merge(touched);
+  EXPECT_EQ(fresh.histograms().at("h"), touched.histograms().at("h"));
+  touched.latency("lat2").record(42);
+  fresh.merge(touched);
+  EXPECT_EQ(fresh.latencies().at("lat2"), touched.latencies().at("lat2"));
+}
+
+TEST(Metrics, PhaseTimersNest) {
+  MetricsRegistry reg;
+  {
+    PhaseTimer outer(&reg, "phase.outer");
+    {
+      PhaseTimer inner(&reg, "phase.inner");
+    }
+    {
+      PhaseTimer again(&reg, "phase.inner");  // same phase, nested twice
+    }
+  }
+  EXPECT_EQ(reg.timers().at("phase.outer").count, 1);
+  EXPECT_EQ(reg.timers().at("phase.inner").count, 2);
+  // The outer interval encloses both inner ones.
+  EXPECT_GE(reg.timers().at("phase.outer").ns,
+            reg.timers().at("phase.inner").ns);
+}
+
+// ---------------------------------------------------------------------
+// Span ids and the span/metrics JSONL encoding.
+
+TEST(SpanId, PacksCoordinatesAndLabels) {
+  const std::uint64_t id = make_span_id(span_kind::kMsg, 3, 0, 2);
+  const SpanIdParts p = split_span_id(id);
+  EXPECT_EQ(p.kind, span_kind::kMsg);
+  EXPECT_EQ(p.a, 3u);
+  EXPECT_EQ(p.b, 0u);
+  EXPECT_EQ(p.c, 2u);
+  EXPECT_EQ(span_label(id), "msg(k=3,0->2)");
+  EXPECT_EQ(span_label(make_span_id(span_kind::kOp, 1, 2)), "op(c=1,rid=2)");
+  EXPECT_EQ(span_label(make_span_id(span_kind::kInstance, 4)), "instance(4)");
+  EXPECT_EQ(span_label(make_span_id(span_kind::kRound, 7, 1)),
+            "round(k=7,at=1)");
+  // Distinct kinds with equal coordinates never collide, and the id
+  // stays within the positive range of the JSONL integer encoding.
+  EXPECT_NE(id, make_span_id(span_kind::kRound, 3, 0, 2));
+  EXPECT_GT(static_cast<long long>(make_span_id(span_kind::kMsg, 0xFFFFFFF,
+                                                0xFFFF, 0xFFFF)),
+            0);
+}
+
+std::vector<TraceEvent> span_one_of_each() {
+  const std::uint64_t op = make_span_id(span_kind::kOp, 0, 1);
+  const std::uint64_t q = make_span_id(span_kind::kQueue, 0, 1);
+  const std::uint64_t cm = make_span_id(span_kind::kCommit, 0, 1);
+  const std::uint64_t inst = make_span_id(span_kind::kInstance, 0);
+  const std::uint64_t rs = make_span_id(span_kind::kRound, 1, 0);
+  return {
+      TraceEvent::span(span_phase::kBegin, op, 0, span_kind::kOp),
+      TraceEvent::span(span_phase::kBegin, q, op, span_kind::kQueue, 0, 10),
+      TraceEvent::span(span_phase::kEnd, q, 0, span_kind::kQueue, 0, 25),
+      TraceEvent::span(span_phase::kBegin, cm, op, span_kind::kCommit),
+      TraceEvent::span(span_phase::kBegin, inst, 0, span_kind::kInstance),
+      TraceEvent::span(span_phase::kBegin, rs, inst, span_kind::kRound, 1),
+      TraceEvent::span(span_phase::kEnd, rs, 0, span_kind::kRound, 1),
+      TraceEvent::span(span_phase::kEnd, inst, 0, span_kind::kInstance),
+      TraceEvent::span(span_phase::kCause, cm, inst, span_kind::kCommit),
+      TraceEvent::span(span_phase::kEnd, cm, 0, span_kind::kCommit),
+      TraceEvent::span(span_phase::kEnd, op, 0, span_kind::kOp),
+      TraceEvent::metrics(0, 0, 5, 10, 20, 30, 40, 55),
+      TraceEvent::metrics(0, 1, 5, 1, 2, 3, 4, 5),
+  };
+}
+
+TEST(Jsonl, SpanAndMetricsEventsRoundTripLosslessly) {
+  const std::vector<TraceEvent> events = span_one_of_each();
+  std::ostringstream out;
+  write_trace_header(out, 3);
+  write_trial(out, 0, events);
+  std::istringstream in(out.str());
+  const ParsedTrace trace = parse_trace(in);
+  ASSERT_EQ(trace.trials.size(), 1u);
+  EXPECT_EQ(trace.trials[0].events, events);
+  // Re-encoding is byte-identical (the golden-trace property extends to
+  // the span schema).
+  std::ostringstream again;
+  write_trace_header(again, 3);
+  write_trial(again, 0, trace.trials[0].events);
+  EXPECT_EQ(out.str(), again.str());
+}
+
+/// Runs the strict parser on `text` and returns the error message, or ""
+/// when it parsed cleanly — lets the negative tests pin the line number.
+std::string parse_error(const std::string& text) {
+  std::istringstream in(text);
+  try {
+    (void)parse_trace(in);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(Jsonl, SpanLifecycleErrorsAreLineAccurate) {
+  const std::string header = "{\"schema\":\"timing-trace\",\"v\":1,\"n\":3}\n";
+  const std::string trial = "{\"e\":\"trial\",\"id\":0}\n";
+  const std::string begin =
+      "{\"e\":\"span\",\"k\":0,\"sp\":5,\"sk\":\"op\",\"sph\":\"begin\"}\n";
+  const std::string end =
+      "{\"e\":\"span\",\"k\":0,\"sp\":5,\"sk\":\"op\",\"sph\":\"end\"}\n";
+
+  // Lines 1-2 are header and trial marker, so the duplicated begin on
+  // line 4 (and so on) must be named exactly.
+  EXPECT_NE(parse_error(header + trial + begin + begin)
+                .find("trace line 4: duplicate span begin for id 5"),
+            std::string::npos);
+  EXPECT_NE(parse_error(header + trial + end)
+                .find("trace line 3: span end before begin for id 5"),
+            std::string::npos);
+  EXPECT_NE(parse_error(header + trial + begin + end + end)
+                .find("trace line 5: duplicate span end for id 5"),
+            std::string::npos);
+  // The lifecycle map resets at each trial marker: a begin in trial 0
+  // does not license an end in trial 1.
+  EXPECT_NE(parse_error(header + trial + begin +
+                        "{\"e\":\"trial\",\"id\":1}\n" + end)
+                .find("span end before begin"),
+            std::string::npos);
+  // A cause edge after the cause span ended is legal (commit <- instance
+  // edges are emitted after the instance completed).
+  const std::string cause =
+      "{\"e\":\"span\",\"k\":0,\"sp\":9,\"sk\":\"commit\",\"sph\":\"cause\","
+      "\"pa\":5}\n";
+  EXPECT_EQ(parse_error(header + trial + begin + end + cause), "");
+}
+
+TEST(Jsonl, RejectsMalformedSpanAndMetricsLines) {
+  const std::string header = "{\"schema\":\"timing-trace\",\"v\":1,\"n\":3}\n";
+  const std::string trial = "{\"e\":\"trial\",\"id\":0}\n";
+  const auto bad = [&](const std::string& line, const char* why) {
+    const std::string err = parse_error(header + trial + line + "\n");
+    EXPECT_NE(err.find("trace line 3"), std::string::npos) << line;
+    EXPECT_NE(err.find(why), std::string::npos) << line << "\n  got: " << err;
+  };
+  bad("{\"e\":\"span\",\"k\":0,\"sk\":\"op\",\"sph\":\"begin\"}",
+      "missing field 'sp'");
+  bad("{\"e\":\"span\",\"k\":0,\"sp\":0,\"sk\":\"op\",\"sph\":\"begin\"}",
+      "span id must be positive");
+  bad("{\"e\":\"span\",\"k\":0,\"sp\":5,\"sk\":\"warp\",\"sph\":\"begin\"}",
+      "bad or missing span kind 'sk'");
+  bad("{\"e\":\"span\",\"k\":0,\"sp\":5,\"sk\":\"op\",\"sph\":\"during\"}",
+      "bad or missing span phase 'sph'");
+  bad("{\"e\":\"span\",\"k\":0,\"sp\":5,\"sk\":\"op\",\"sph\":\"begin\","
+      "\"pa\":0}",
+      "span parent must be positive");
+  bad("{\"e\":\"span\",\"k\":0,\"sp\":5,\"sk\":\"op\",\"sph\":\"begin\","
+      "\"t\":-3}",
+      "negative span timestamp");
+  bad("{\"e\":\"span\",\"k\":0,\"sp\":5,\"sk\":\"commit\",\"sph\":\"cause\"}",
+      "cause edge without 'pa'");
+  bad("{\"e\":\"metrics\",\"k\":0,\"m\":\"op.bogus_ns\",\"c\":1,\"p50\":1,"
+      "\"p90\":1,\"p99\":1,\"p999\":1,\"max\":1}",
+      "bad or missing metric name 'm'");
+  bad("{\"e\":\"metrics\",\"k\":0,\"m\":\"op.commit_ns\",\"c\":0,\"p50\":1,"
+      "\"p90\":1,\"p99\":1,\"p999\":1,\"max\":1}",
+      "metrics count must be >= 1");
+  bad("{\"e\":\"metrics\",\"k\":0,\"m\":\"op.commit_ns\",\"c\":1,\"p50\":-1,"
+      "\"p90\":1,\"p99\":1,\"p999\":1,\"max\":1}",
+      "negative metrics quantile");
+  bad("{\"e\":\"metrics\",\"k\":0,\"m\":\"op.commit_ns\",\"c\":1,\"p50\":9,"
+      "\"p90\":1,\"p99\":1,\"p999\":1,\"max\":1}",
+      "metrics quantiles not monotone");
+}
+
+TEST(Jsonl, RejectsMalformedGeneralLines) {
+  const std::string header = "{\"schema\":\"timing-trace\",\"v\":1,\"n\":3}\n";
+  const std::string trial = "{\"e\":\"trial\",\"id\":0}\n";
+  // Previously-untested strict-parser paths.
+  EXPECT_NE(parse_error(header + header + trial).find("duplicate header"),
+            std::string::npos);
+  EXPECT_NE(parse_error(header + "round_start k=1\n")
+                .find("not a JSON object"),
+            std::string::npos);
+  EXPECT_NE(parse_error(header + "{\"e\":\"trial\",\"id\":x}\n")
+                .find("bad integer for 'id'"),
+            std::string::npos);
+  EXPECT_NE(parse_error(header + trial + "{\"e\":\"round_start\",\"k\":-1}\n")
+                .find("negative round"),
+            std::string::npos);
+  EXPECT_NE(parse_error(header + trial + "{\"k\":1}\n")
+                .find("missing event name"),
+            std::string::npos);
+  const std::string op_tail =
+      ",\"f\":\"read\",\"key\":0,\"id\":0}\n";
+  EXPECT_NE(parse_error(header + trial +
+                        "{\"e\":\"op\",\"k\":1,\"p\":0,\"ph\":\"zap\"" +
+                        op_tail)
+                .find("bad or missing op phase 'ph'"),
+            std::string::npos);
+  EXPECT_NE(parse_error(header + trial +
+                        "{\"e\":\"op\",\"k\":1,\"p\":0,\"ph\":\"ok\","
+                        "\"f\":\"frob\",\"key\":0,\"id\":0}\n")
+                .find("bad or missing op function 'f'"),
+            std::string::npos);
+  EXPECT_NE(parse_error(header + trial +
+                        "{\"e\":\"op\",\"k\":1,\"p\":-1,\"ph\":\"ok\"" +
+                        op_tail)
+                .find("negative client id"),
+            std::string::npos);
+  EXPECT_NE(parse_error(header + trial +
+                        "{\"e\":\"op\",\"k\":1,\"p\":0,\"ph\":\"ok\","
+                        "\"f\":\"read\",\"key\":-2,\"id\":0}\n")
+                .find("negative op key"),
+            std::string::npos);
+  EXPECT_NE(parse_error(header + trial +
+                        "{\"e\":\"op\",\"k\":1,\"p\":0,\"ph\":\"ok\","
+                        "\"f\":\"read\",\"key\":0,\"id\":-1}\n")
+                .find("negative op id"),
+            std::string::npos);
+  // Blank and comment lines are skipped, not errors.
+  EXPECT_EQ(parse_error(header + "\n# a comment\n" + trial +
+                        "{\"e\":\"round_start\",\"k\":1}\n"),
+            "");
+}
+
+TEST(ValidateTrace, EnforcesSpanLifecycleOnStructs) {
+  const std::uint64_t id = make_span_id(span_kind::kOp, 0, 1);
+  const auto begin = TraceEvent::span(span_phase::kBegin, id, 0, span_kind::kOp);
+  const auto end = TraceEvent::span(span_phase::kEnd, id, 0, span_kind::kOp);
+  EXPECT_EQ(validate_trace(wrap({begin, end})), "");
+  EXPECT_NE(validate_trace(wrap({begin, begin, end})), "");  // dup begin
+  EXPECT_NE(validate_trace(wrap({end})), "");                // end first
+  EXPECT_NE(validate_trace(wrap({begin, end, end})), "");    // dup end
+  TraceEvent zero = begin;
+  zero.span_id = 0;
+  EXPECT_NE(validate_trace(wrap({zero})), "");
+  TraceEvent bad_kind = begin;
+  bad_kind.span_kind = span_kind::kNone;
+  EXPECT_NE(validate_trace(wrap({bad_kind})), "");
+  TraceEvent orphan_cause =
+      TraceEvent::span(span_phase::kCause, id, 0, span_kind::kOp);
+  EXPECT_NE(validate_trace(wrap({begin, orphan_cause, end})), "");
+}
+
+// ---------------------------------------------------------------------
+// SpanTracer mechanics and the TIMING_SPANS knob.
+
+TEST(SpanTracer, ModesGateEmissionAndTimestamps) {
+  BufferSink sink;
+  SpanTracer off(&sink, SpanMode::kOff);
+  EXPECT_FALSE(off.enabled());
+  EXPECT_EQ(off.begin(1, 0, span_kind::kOp), 0);
+  EXPECT_TRUE(sink.events().empty());
+
+  SpanTracer ids(&sink, SpanMode::kIds);
+  EXPECT_TRUE(ids.enabled());
+  EXPECT_FALSE(ids.timed());
+  EXPECT_EQ(ids.begin(1, 0, span_kind::kOp), 0);
+  EXPECT_EQ(ids.end(1, span_kind::kOp), 0);
+  ASSERT_EQ(sink.events().size(), 2u);
+  EXPECT_EQ(sink.events()[0].t_ns, -1);  // ids mode: no timestamps
+  sink.clear();
+
+  SpanTracer timed(&sink, SpanMode::kTimed);
+  EXPECT_TRUE(timed.timed());
+  const long long t0 = timed.begin(2, 0, span_kind::kOp);
+  const long long t1 = timed.end(2, span_kind::kOp);
+  EXPECT_GE(t0, 0);
+  EXPECT_GE(t1, t0);
+  ASSERT_EQ(sink.events().size(), 2u);
+  // The returned reading IS the recorded one — the property the
+  // online-equals-offline latency check stands on.
+  EXPECT_EQ(sink.events()[0].t_ns, t0);
+  EXPECT_EQ(sink.events()[1].t_ns, t1);
+
+  // Null-sink tracer disables regardless of mode.
+  SpanTracer null_sink(nullptr, SpanMode::kTimed);
+  EXPECT_FALSE(null_sink.enabled());
+}
+
+TEST(SpanTracer, ReadsTimingSpansEnvKnob) {
+  ::unsetenv("TIMING_SPANS");
+  EXPECT_EQ(span_mode_from_env(), SpanMode::kOff);
+  ::setenv("TIMING_SPANS", "ids", 1);
+  EXPECT_EQ(span_mode_from_env(), SpanMode::kIds);
+  ::setenv("TIMING_SPANS", "timed", 1);
+  EXPECT_EQ(span_mode_from_env(), SpanMode::kTimed);
+  ::setenv("TIMING_SPANS", "sideways", 1);
+  EXPECT_EQ(span_mode_from_env(), SpanMode::kOff);  // warn-once, off
+  ::unsetenv("TIMING_SPANS");
+  std::uint8_t k = 0;
+  EXPECT_TRUE(span_kind_from_string("msg", k));
+  EXPECT_EQ(k, span_kind::kMsg);
+  EXPECT_FALSE(span_kind_from_string("", k));
+}
+
+TEST(SpanTracer, MetricsSnapshotIsTimedModeOnly) {
+  MetricsRegistry reg;
+  reg.latency("op.commit_ns").record(100);
+  reg.latency("op.commit_ns").record(200);
+
+  BufferSink sink;
+  SpanTracer ids(&sink, SpanMode::kIds);
+  EXPECT_EQ(emit_metrics_snapshot(&ids, reg), 0);  // would break ids bytes
+  EXPECT_TRUE(sink.events().empty());
+
+  SpanTracer timed(&sink, SpanMode::kTimed);
+  // Only op.commit_ns has data, so exactly one line appears.
+  EXPECT_EQ(emit_metrics_snapshot(&timed, reg, /*seq=*/2), 1);
+  ASSERT_EQ(sink.events().size(), 1u);
+  const TraceEvent& e = sink.events()[0];
+  EXPECT_EQ(e.kind, EventKind::kMetricsSnapshot);
+  EXPECT_EQ(e.round, 2);
+  EXPECT_EQ(e.op_key, 0);  // kSpanMetricNames index of op.commit_ns
+  const LogHistogram& h = *reg.find_latency("op.commit_ns");
+  EXPECT_EQ(e.op_id, static_cast<long long>(h.count()));
+  EXPECT_EQ(e.value, h.quantile(0.50));
+  EXPECT_EQ(static_cast<long long>(e.span_id), h.max());
+}
+
+// ---------------------------------------------------------------------
+// The live SMR path: client-harness spans, thread-count determinism and
+// the acceptance property that offline latency rebuilds are EQUAL to
+// the online registry.
+
+/// Fault-free instance environments (the history_test idiom): a
+/// conforming schedule from round 1, independently seeded per instance.
+InstanceEnvFactory span_env(const SmrClientConfig& cfg, std::uint64_t seed) {
+  const int n = cfg.n;
+  const ProcessId leader = cfg.leader;
+  return [n, leader, seed](int index) {
+    InstanceEnv env;
+    ScheduleConfig scfg;
+    scfg.n = n;
+    scfg.model = TimingModel::kWlm;
+    scfg.leader = leader;
+    scfg.gsr = 1;
+    scfg.seed = substream_seed(seed, static_cast<std::uint64_t>(index));
+    env.sampler = std::make_unique<ScheduleSampler>(scfg);
+    return env;
+  };
+}
+
+struct SpannedRun {
+  SmrClientReport rep;
+  MetricsRegistry metrics;
+  std::vector<TraceEvent> events;  ///< ops, then spans, then snapshots
+  int n = 0;
+};
+
+/// One client-harness trial with span tracing attached, events assembled
+/// the way runners_history.cpp assembles them.
+SpannedRun spanned_clients_run(SpanMode mode, std::uint64_t seed) {
+  SpannedRun out;
+  SmrClientConfig cfg;
+  cfg.seed = seed;
+  out.n = cfg.n;
+  BufferSink sink;
+  SpanTracer tracer(&sink, mode);
+  cfg.spans = &tracer;
+  cfg.metrics = &out.metrics;
+  out.rep = run_smr_clients(cfg, span_env(cfg, substream_seed(seed, 99)));
+  if (mode == SpanMode::kTimed) emit_metrics_snapshot(&tracer, out.metrics);
+  out.events = out.rep.events;
+  out.events.insert(out.events.end(), sink.events().begin(),
+                    sink.events().end());
+  return out;
+}
+
+/// Serialize + strict-parse one SpannedRun into a single-trial trace.
+ParsedTrace reparse(const SpannedRun& run) {
+  std::ostringstream out;
+  write_trace_header(out, run.n);
+  write_trial(out, 0, run.events);
+  std::istringstream in(out.str());
+  return parse_trace(in);
+}
+
+TEST(SpanTrace, ClientOpsFormCausalTreesInIdsMode) {
+  const SpannedRun run = spanned_clients_run(SpanMode::kIds, 3);
+  ASSERT_GT(run.rep.ops_ok, 0);
+  // ids mode records nothing into the latency registry.
+  EXPECT_TRUE(run.metrics.latencies().empty());
+
+  const ParsedTrace trace = reparse(run);  // lifecycle-checked by parsing
+  EXPECT_EQ(validate_trace(trace), "");
+  const SpanIndex idx = index_spans(trace.trials[0]);
+  EXPECT_FALSE(idx.timed);
+
+  int ops = 0, commits_with_cause = 0;
+  for (const auto& [id, rec] : idx.spans) {
+    const SpanIdParts p = split_span_id(id);
+    if (p.kind == span_kind::kOp) {
+      ++ops;
+      EXPECT_EQ(rec.parent, 0u);  // op spans are roots
+      // Every op owns its queue child, keyed by the same (client, rid).
+      const SpanRecord* q =
+          idx.find(make_span_id(span_kind::kQueue, p.a, p.b));
+      ASSERT_NE(q, nullptr) << span_label(id);
+      EXPECT_EQ(q->parent, id);
+    } else if (p.kind == span_kind::kCommit && !rec.causes.empty()) {
+      ++commits_with_cause;
+      // Commit spans are caused by the consensus instances the op was
+      // proposed into — never by anything else.
+      for (const std::uint64_t c : rec.causes) {
+        EXPECT_EQ(split_span_id(c).kind, span_kind::kInstance)
+            << span_label(id) << " <- " << span_label(c);
+        EXPECT_NE(idx.find(c), nullptr);
+      }
+    }
+  }
+  EXPECT_GT(ops, 0);
+  EXPECT_GT(commits_with_cause, 0);
+  EXPECT_FALSE(render_span_trees(trace.trials[0], 3).empty());
+}
+
+TEST(SpanTrace, IdsModeBytesAreThreadCountInvariant) {
+  const auto spanned_bytes = [] {
+    const auto trials = run_trials<std::string>(6, [](std::size_t t) {
+      SmrClientConfig cfg;
+      cfg.seed = substream_seed(0x5eed, t);
+      BufferSink sink;
+      SpanTracer tracer(&sink, SpanMode::kIds);
+      MetricsRegistry metrics;
+      cfg.spans = &tracer;
+      cfg.metrics = &metrics;
+      const SmrClientReport rep =
+          run_smr_clients(cfg, span_env(cfg, substream_seed(cfg.seed, 99)));
+      std::vector<TraceEvent> events = rep.events;
+      events.insert(events.end(), sink.events().begin(),
+                    sink.events().end());
+      std::ostringstream out;
+      write_trial(out, static_cast<int>(t), events);
+      return out.str();
+    });
+    std::string all;
+    for (const std::string& s : trials) all += s;
+    return all;
+  };
+  std::string base;
+  {
+    ScopedThreads serial(1);
+    base = spanned_bytes();
+  }
+  ASSERT_NE(base.find("\"e\":\"span\""), std::string::npos);
+  for (int threads : {2, 8}) {
+    ScopedThreads st(threads);
+    EXPECT_EQ(base, spanned_bytes()) << "threads=" << threads;
+  }
+}
+
+// The PR's acceptance property: the percentiles trace_tool rebuilds from
+// the recorded trace alone are the SAME numbers the online harness
+// reported — histogram-for-histogram equality, not approximation.
+TEST(SpanTrace, OfflineLatencyRebuildEqualsOnlineRegistryExactly) {
+  const SpannedRun run = spanned_clients_run(SpanMode::kTimed, 4);
+  ASSERT_GT(run.rep.ops_ok, 0);
+  const LogHistogram* commit = run.metrics.find_latency("op.commit_ns");
+  const LogHistogram* queue = run.metrics.find_latency("op.queue_ns");
+  ASSERT_NE(commit, nullptr);
+  ASSERT_NE(queue, nullptr);
+  // Every ok op recorded exactly one commit-latency observation.
+  EXPECT_EQ(commit->count(), static_cast<std::uint64_t>(run.rep.ops_ok));
+  EXPECT_GE(queue->count(), commit->count());
+
+  const ParsedTrace trace = reparse(run);
+  EXPECT_EQ(validate_trace(trace), "");
+  const SpanIndex idx = index_spans(trace.trials[0]);
+  EXPECT_TRUE(idx.timed);
+
+  const SpanLatencies lat = rebuild_latencies(trace.trials[0]);
+  EXPECT_EQ(lat.commit, *commit);
+  EXPECT_EQ(lat.queue, *queue);
+  EXPECT_EQ(latency_row(lat.commit), latency_row(*commit));
+
+  // The snapshot rows embedded in the trace agree with both.
+  const std::map<int, LatencyRow> rows = snapshot_rows(trace.trials[0]);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows.at(0), latency_row(*commit));
+  EXPECT_EQ(rows.at(1), latency_row(*queue));
+
+  // And the critpath report quotes the same percentile line.
+  const std::string report = render_critpath(trace.trials[0], 3);
+  std::ostringstream want;
+  want << "op.commit_ns: n=" << commit->count();
+  EXPECT_NE(report.find(want.str()), std::string::npos) << report;
+}
+
+// ---------------------------------------------------------------------
+// The live roundsync path: message spans ride the wire and come back as
+// causality edges on the receiving node's round spans.
+
+TEST(RoundSyncSpans, LiveMessageSpansCarryCausality) {
+  constexpr int kNodes = 3;
+  auto hub = std::make_shared<InProcHub>(kNodes);
+  std::vector<BufferSink> sinks(kNodes);
+  std::vector<RoundSyncResult> results(kNodes);
+  std::vector<std::thread> threads;
+  for (ProcessId i = 0; i < kNodes; ++i) {
+    threads.emplace_back([&, i] {
+      auto protocol = make_protocol(AlgorithmKind::kWlm, i, kNodes, 100 + i);
+      DesignatedOracle oracle(0);
+      InProcTransport transport(hub, i);
+      SpanTracer tracer(&sinks[static_cast<std::size_t>(i)], SpanMode::kIds);
+      RoundSyncConfig cfg;
+      cfg.timeout_ms = 25.0;
+      cfg.max_rounds = 200;
+      cfg.spans = &tracer;
+      cfg.parent_span = make_span_id(span_kind::kInstance, 0);
+      RoundSyncRunner runner(*protocol, &oracle, transport, kNodes, cfg);
+      results[static_cast<std::size_t>(i)] = runner.run();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (ProcessId i = 0; i < kNodes; ++i) {
+    ASSERT_TRUE(results[static_cast<std::size_t>(i)].decided) << "node " << i;
+    // Each node's stream must be a valid single-trial span trace.
+    std::ostringstream out;
+    write_trace_header(out, kNodes);
+    write_trial(out, i, sinks[static_cast<std::size_t>(i)].events());
+    std::istringstream in(out.str());
+    const ParsedTrace trace = parse_trace(in);
+    EXPECT_EQ(validate_trace(trace), "");
+
+    const SpanIndex idx = index_spans(trace.trials[0]);
+    int rounds = 0, msgs = 0, causes = 0;
+    for (const auto& [id, rec] : idx.spans) {
+      const SpanIdParts p = split_span_id(id);
+      if (p.kind == span_kind::kRound) {
+        ++rounds;
+        EXPECT_EQ(rec.parent, make_span_id(span_kind::kInstance, 0));
+        EXPECT_EQ(p.b, static_cast<std::uint64_t>(i));  // our own rounds
+        for (const std::uint64_t c : rec.causes) {
+          ++causes;
+          // A round's causes are the arriving envelopes' message spans:
+          // msg ids pack (round, src, dst), so dst must be us and src a
+          // peer — the id the SENDER minted crossed the wire intact.
+          const SpanIdParts cp = split_span_id(c);
+          EXPECT_EQ(cp.kind, span_kind::kMsg);
+          EXPECT_EQ(cp.c, static_cast<std::uint64_t>(i));
+          EXPECT_NE(cp.b, static_cast<std::uint64_t>(i));
+        }
+      } else if (p.kind == span_kind::kMsg) {
+        ++msgs;
+        // We only begin/end msg spans for envelopes we sent.
+        EXPECT_EQ(p.b, static_cast<std::uint64_t>(i));
+        EXPECT_TRUE(rec.complete());
+      }
+    }
+    EXPECT_GT(rounds, 0) << "node " << i;
+    EXPECT_GT(msgs, 0) << "node " << i;
+    EXPECT_GT(causes, 0) << "node " << i;
+  }
 }
 
 }  // namespace

@@ -17,6 +17,14 @@
 //       exits 0 iff every checked history is linearizable
 //   trace_tool diff     <a> <b>
 //       first divergent event and summary deltas; exit 0 iff identical
+//   trace_tool spans    <trace> [--trial K] [--top N]
+//       per-op causal span trees ("e":"span" events, TIMING_SPANS)
+//   trace_tool critpath <trace> [--trial K] [--top N]
+//       per-phase latency table + the longest causal chain of the N
+//       slowest ops, rebuilt from the recorded spans alone
+//   trace_tool latency  <trace> [--trial K] [--csv]
+//       commit/queue latency percentiles rebuilt from spans; cross-checks
+//       any recorded "e":"metrics" snapshots and exits 1 on disagreement
 #include <algorithm>
 #include <array>
 #include <cstdio>
@@ -28,6 +36,7 @@
 #include "common/parse.hpp"
 #include "history/history.hpp"
 #include "history/linearizability.hpp"
+#include "obs/span_analysis.hpp"
 #include "obs/trace_analysis.hpp"
 
 namespace {
@@ -44,7 +53,10 @@ int usage() {
                "       trace_tool leader   <trace.jsonl> [--trial K]\n"
                "       trace_tool validate <trace.jsonl>\n"
                "       trace_tool check    <trace.jsonl> [--trial K]\n"
-               "       trace_tool diff     <a.jsonl> <b.jsonl>\n");
+               "       trace_tool diff     <a.jsonl> <b.jsonl>\n"
+               "       trace_tool spans    <trace.jsonl> [--trial K] [--top N]\n"
+               "       trace_tool critpath <trace.jsonl> [--trial K] [--top N]\n"
+               "       trace_tool latency  <trace.jsonl> [--trial K] [--csv]\n");
   return 2;
 }
 
@@ -235,6 +247,97 @@ int cmd_check(const ParsedTrace& trace, int trial) {
   return failed == 0 ? 0 : 1;
 }
 
+int cmd_spans(const ParsedTrace& trace, int trial, int top) {
+  int shown = 0;
+  for (const TrialTrace& t : trace.trials) {
+    if (trial >= 0 && t.id != trial) continue;
+    std::printf("trial %d:\n%s", t.id, render_span_trees(t, top).c_str());
+    ++shown;
+  }
+  if (shown == 0) {
+    std::fprintf(stderr, "spans: no matching trial\n");
+    return 2;
+  }
+  return 0;
+}
+
+int cmd_critpath(const ParsedTrace& trace, int trial, int top) {
+  int shown = 0;
+  for (const TrialTrace& t : trace.trials) {
+    if (trial >= 0 && t.id != trial) continue;
+    std::printf("trial %d:\n%s", t.id,
+                render_critpath(t, top > 0 ? top : 3).c_str());
+    ++shown;
+  }
+  if (shown == 0) {
+    std::fprintf(stderr, "critpath: no matching trial\n");
+    return 2;
+  }
+  return 0;
+}
+
+void print_latency_row(const char* metric, int trial_id, const LatencyRow& r,
+                       bool csv) {
+  if (csv) {
+    std::printf("%d,%s,%lld,%lld,%lld,%lld,%lld,%lld\n", trial_id, metric,
+                r.count, r.p50, r.p90, r.p99, r.p999, r.max);
+  } else {
+    std::printf("  %-13s %8lld %10lld %10lld %10lld %10lld %10lld\n",
+                metric, r.count, r.p50, r.p90, r.p99, r.p999, r.max);
+  }
+}
+
+int cmd_latency(const ParsedTrace& trace, int trial, bool csv) {
+  if (csv) std::printf("trial,metric,count,p50,p90,p99,p999,max\n");
+  int mismatches = 0;
+  int with_spans = 0;
+  for (const TrialTrace& t : trace.trials) {
+    if (trial >= 0 && t.id != trial) continue;
+    const SpanLatencies lat = rebuild_latencies(t);
+    const std::map<int, LatencyRow> snaps = snapshot_rows(t);
+    if (lat.commit.count() == 0 && lat.queue.count() == 0 &&
+        snaps.empty()) {
+      continue;  // no timed spans in this trial
+    }
+    ++with_spans;
+    if (!csv) {
+      std::printf("trial %d:\n  %-13s %8s %10s %10s %10s %10s %10s\n",
+                  t.id, "metric", "count", "p50(ns)", "p90(ns)", "p99(ns)",
+                  "p999(ns)", "max(ns)");
+    }
+    const LogHistogram* rebuilt[kSpanMetricCount] = {&lat.commit,
+                                                     &lat.queue};
+    for (int m = 0; m < kSpanMetricCount; ++m) {
+      const LatencyRow row = latency_row(*rebuilt[m]);
+      if (row.count > 0) {
+        print_latency_row(kSpanMetricNames[m], t.id, row, csv);
+      }
+      // Cross-check: a recorded snapshot must equal the offline rebuild
+      // (the online/offline percentile-equality contract).
+      const auto snap = snaps.find(m);
+      if (snap == snaps.end()) continue;
+      if (snap->second == row) continue;
+      ++mismatches;
+      std::fprintf(stderr,
+                   "trial %d: %s snapshot disagrees with the rebuild: "
+                   "snapshot n=%lld p50=%lld p90=%lld p99=%lld p999=%lld "
+                   "max=%lld, rebuilt n=%lld p50=%lld p90=%lld p99=%lld "
+                   "p999=%lld max=%lld\n",
+                   t.id, kSpanMetricNames[m], snap->second.count,
+                   snap->second.p50, snap->second.p90, snap->second.p99,
+                   snap->second.p999, snap->second.max, row.count, row.p50,
+                   row.p90, row.p99, row.p999, row.max);
+    }
+  }
+  if (with_spans == 0) {
+    std::fprintf(stderr,
+                 "latency: no timed spans in the selected trial(s) (record "
+                 "with TIMING_SPANS=timed)\n");
+    return 2;
+  }
+  return mismatches == 0 ? 0 : 1;
+}
+
 int cmd_diff(const char* a_path, const char* b_path) {
   const ParsedTrace a = parse_trace_file(a_path);
   const ParsedTrace b = parse_trace_file(b_path);
@@ -261,11 +364,14 @@ int main(int argc, char** argv) {
 
     std::array<int, kTraceNumModels> needed = kDefaultNeeded;
     bool per_trial = false;
+    bool csv = false;
     int trial = -1;
     int top = 0;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--per-trial") == 0) {
         per_trial = true;
+      } else if (std::strcmp(argv[i], "--csv") == 0) {
+        csv = true;
       } else if (std::strcmp(argv[i], "--needed") == 0 && i + 1 < argc) {
         if (!parse_needed(argv[++i], needed)) return usage();
       } else if (std::strcmp(argv[i], "--trial") == 0 && i + 1 < argc) {
@@ -288,7 +394,8 @@ int main(int argc, char** argv) {
     }
 
     if (cmd != "summary" && cmd != "links" && cmd != "leader" &&
-        cmd != "check") {
+        cmd != "check" && cmd != "spans" && cmd != "critpath" &&
+        cmd != "latency") {
       return usage();
     }
     const ParsedTrace trace = parse_trace_file(argv[2]);
@@ -296,6 +403,9 @@ int main(int argc, char** argv) {
     if (cmd == "links") return cmd_links(trace, trial, top);
     if (cmd == "leader") return cmd_leader(trace, trial);
     if (cmd == "check") return cmd_check(trace, trial);
+    if (cmd == "spans") return cmd_spans(trace, trial, top);
+    if (cmd == "critpath") return cmd_critpath(trace, trial, top);
+    if (cmd == "latency") return cmd_latency(trace, trial, csv);
   } catch (const std::exception& ex) {
     std::fprintf(stderr, "trace_tool: %s\n", ex.what());
     return 1;
