@@ -1,0 +1,13 @@
+// Replicated-log load scenario: closed-loop clients drive KV commands
+// through the pipelined, batched ReplicatedLog over the calibrated
+// LAN/WAN latency testbeds; reports ops/sec and commit-latency
+// quantiles next to the serialized baseline.
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_smr_throughput; the same run is reachable as
+// `timing_lab run smr/throughput`.
+#include "scenario/cli.hpp"
+
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("smr/throughput", argc, argv);
+}

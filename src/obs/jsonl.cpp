@@ -41,6 +41,8 @@ const char* span_kind_name(std::uint8_t kind) noexcept {
     case span_kind::kInstance: return "instance";
     case span_kind::kRound: return "round";
     case span_kind::kMsg: return "msg";
+    case span_kind::kBatch: return "batch";
+    case span_kind::kSlot: return "slot";
   }
   return nullptr;  // kNone and out-of-range: invalid on the wire
 }

@@ -49,18 +49,18 @@ bool span_mode_from_string(const char* s, SpanMode& out) noexcept;
 /// treats it as off.
 SpanMode span_mode_from_env();
 
-/// Deterministic span id: kind tag in the top nibble, then three small
-/// integer coordinates (a:28, b:16, c:16 bits). Collisions within one
+/// Deterministic span id: kind tag in bits 59..62, then three small
+/// integer coordinates (a:27, b:16, c:16 bits). Collisions within one
 /// trial are impossible as long as coordinates respect those widths —
-/// rounds below 2^28, process/client ids and rids below 2^16 — which
-/// every harness in this repo satisfies by orders of magnitude. The top
-/// nibble never exceeds span_kind::kCount-1 (= 7), so ids stay within
-/// the positive range of the JSONL integer encoding.
+/// rounds and slot ordinals below 2^27, process/client ids and rids
+/// below 2^16 — which every harness in this repo satisfies by orders of
+/// magnitude. Bit 63 stays clear for every kind below span_kind::kCount,
+/// so ids stay within the positive range of the JSONL integer encoding.
 constexpr std::uint64_t make_span_id(std::uint8_t kind, std::uint64_t a,
                                      std::uint64_t b = 0,
                                      std::uint64_t c = 0) noexcept {
-  return (static_cast<std::uint64_t>(kind) << 60) |
-         ((a & 0xFFFFFFFULL) << 32) | ((b & 0xFFFFULL) << 16) |
+  return ((static_cast<std::uint64_t>(kind) & 0xFULL) << 59) |
+         ((a & 0x7FFFFFFULL) << 32) | ((b & 0xFFFFULL) << 16) |
          (c & 0xFFFFULL);
 }
 

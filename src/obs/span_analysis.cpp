@@ -62,8 +62,8 @@ SpanIndex index_spans(const TrialTrace& trial) {
 
 SpanIdParts split_span_id(std::uint64_t id) noexcept {
   SpanIdParts p;
-  p.kind = static_cast<std::uint8_t>(id >> 60);
-  p.a = (id >> 32) & 0xFFFFFFFULL;
+  p.kind = static_cast<std::uint8_t>((id >> 59) & 0xFULL);
+  p.a = (id >> 32) & 0x7FFFFFFULL;
   p.b = (id >> 16) & 0xFFFFULL;
   p.c = id & 0xFFFFULL;
   return p;
@@ -93,6 +93,12 @@ std::string span_label(std::uint64_t id) {
       break;
     case span_kind::kMsg:
       s << "msg(k=" << p.a << "," << p.b << "->" << p.c << ")";
+      break;
+    case span_kind::kBatch:
+      s << "batch(slot=" << p.a << ")";
+      break;
+    case span_kind::kSlot:
+      s << "slot(" << p.a << ")";
       break;
     default:
       s << "span(0x" << std::hex << id << ")";

@@ -266,8 +266,8 @@ bool op_phase_from_string(const char* s, std::uint8_t& out) noexcept;
 bool op_func_from_string(const char* s, std::uint8_t& out) noexcept;
 
 /// Span kinds (TraceEvent::span_kind): what stage of an operation's life
-/// a span covers. Non-zero values only — the kind tag is the top nibble
-/// of every span id (obs/span.hpp), and id 0 means "no span".
+/// a span covers. Non-zero values only — the kind tag rides in the high
+/// bits of every span id (obs/span.hpp), and id 0 means "no span".
 namespace span_kind {
 inline constexpr std::uint8_t kNone = 0;     ///< invalid on the wire
 inline constexpr std::uint8_t kOp = 1;       ///< client op, invoke -> done
@@ -277,7 +277,9 @@ inline constexpr std::uint8_t kApply = 4;    ///< decided log applied to SM
 inline constexpr std::uint8_t kInstance = 5; ///< one consensus instance
 inline constexpr std::uint8_t kRound = 6;    ///< one engine/roundsync round
 inline constexpr std::uint8_t kMsg = 7;      ///< one framed envelope on a link
-inline constexpr int kCount = 8;
+inline constexpr std::uint8_t kBatch = 8;    ///< ops pooled into one decree
+inline constexpr std::uint8_t kSlot = 9;     ///< log slot, sealed -> committed
+inline constexpr int kCount = 10;
 }  // namespace span_kind
 
 /// Span lifecycle phases (TraceEvent::span_phase).

@@ -119,6 +119,32 @@ std::string apply_override(ScenarioSpec& spec, const std::string& key,
     spec.corrupt_spec = value;
     return "";
   }
+  if (key == "pipeline") {
+    if (!parse_int(value, spec.pipeline)) return "expected an integer";
+    return "";
+  }
+  if (key == "batch") {
+    if (!parse_int(value, spec.batch)) return "expected an integer";
+    return "";
+  }
+  if (key == "profile") {
+    // Switch latency testbed wholesale: sampler, group size and a
+    // profile-appropriate round timeout (override timeouts_ms AFTER
+    // profile= to pick a different one).
+    if (value == "lan") {
+      spec.sampler = SamplerKind::kLan;
+      spec.n = spec.lan.n;
+      spec.timeouts_ms = {0.2};
+      return "";
+    }
+    if (value == "wan") {
+      spec.sampler = SamplerKind::kWan;
+      spec.n = spec.wan.n;
+      spec.timeouts_ms = {200};
+      return "";
+    }
+    return "expected lan or wan";
+  }
   return "unknown key";
 }
 
@@ -182,7 +208,15 @@ std::string override_help() {
       "  append_keys=N       append hash-chain keys (smr/linearizable)\n"
       "  corrupt=none|stale|lost\n"
       "                      test-only linearizability violation hook\n"
-      "                      (smr/linearizable; see docs/HISTORY.md)\n";
+      "                      (smr/linearizable; see docs/HISTORY.md)\n"
+      "  pipeline=K          consensus instances kept in flight by the\n"
+      "                      replicated log (smr/throughput; >1 switches\n"
+      "                      smr/linearizable to the pipelined harness)\n"
+      "  batch=B             commands per decree slot (flush deadline\n"
+      "                      still seals partial batches)\n"
+      "  profile=lan|wan     latency testbed for smr/throughput (sets\n"
+      "                      sampler, n and a matching round timeout;\n"
+      "                      put timeouts_ms= after it to re-pick)\n";
 }
 
 int runs_or_default(int paper_default) {

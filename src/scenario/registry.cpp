@@ -137,6 +137,20 @@ ScenarioSpec smr_linearizable_defaults() {
   return s;
 }
 
+ScenarioSpec smr_throughput_defaults() {
+  ScenarioSpec s;
+  s.sampler = SamplerKind::kWan;  // profile=lan switches testbeds
+  s.n = 8;
+  s.timeouts_ms = {200};  // round timeout = one virtual tick
+  s.runs = 5;             // independent seeded trials
+  s.rounds_per_run = 64;  // submission ticks per trial
+  s.seed = 0x70b5;
+  s.pipeline = 8;
+  s.batch = 4;
+  s.clients = 64;  // closed-loop clients (one outstanding op each)
+  return s;
+}
+
 ScenarioSpec smr_cost_defaults() {
   ScenarioSpec s;
   s.sampler = SamplerKind::kSchedule;
@@ -203,6 +217,10 @@ const std::vector<Scenario> kRegistry = {
      "Client op histories against the SMR layer checked for "
      "linearizability under fault injection",
      smr_linearizable_defaults, run_smr_linearizable},
+    {"smr/throughput", "smr_throughput", "smr",
+     "Pipelined, batched replicated-log load: ops/sec and commit-latency "
+     "quantiles vs the serialized baseline",
+     smr_throughput_defaults, run_smr_throughput},
 };
 
 }  // namespace

@@ -33,5 +33,6 @@ int run_ablation_smr_cost(const ScenarioSpec& spec, const RunContext& ctx);
 int run_chaos_consensus(const ScenarioSpec& spec, const RunContext& ctx);
 int run_chaos_single(const ScenarioSpec& spec, const RunContext& ctx);
 int run_smr_linearizable(const ScenarioSpec& spec, const RunContext& ctx);
+int run_smr_throughput(const ScenarioSpec& spec, const RunContext& ctx);
 
 }  // namespace timing::scenario

@@ -132,6 +132,7 @@ int run_smr_linearizable(const ScenarioSpec& spec, const RunContext& ctx) {
   const SpanMode span_mode =
       trace.enabled() ? span_mode_from_env() : SpanMode::kOff;
   const int bound = fault::bound_after_gsr(spec.algorithm);
+  const bool pipelined = spec.pipeline > 1 || spec.batch > 1;
 
   const auto trials = run_trials<Trial>(
       static_cast<std::size_t>(spec.runs), [&](std::size_t t) {
@@ -157,17 +158,16 @@ int run_smr_linearizable(const ScenarioSpec& spec, const RunContext& ctx) {
           ccfg.metrics = &metrics;
         }
 
-        const InstanceEnvFactory env_of = [&](int index) {
+        // Both harnesses draw instance environments from the same
+        // recipe; `probe` marks the fault-free tail.
+        auto make_env = [&](std::uint64_t inst_seed, bool probe,
+                            std::uint64_t probe_salt) {
           InstanceEnv env;
           ScheduleConfig scfg;
           scfg.n = n;
           scfg.model = fault::native_model(spec.algorithm);
           scfg.leader = leader;
-          if (index < ccfg.instances) {
-            // Main phase: every instance runs under its own fault plan.
-            const std::uint64_t inst_seed =
-                substream_seed(trial_seed, 100 + static_cast<std::uint64_t>(
-                                                     index));
+          if (!probe) {
             const fault::FaultPlan plan =
                 have_fixed ? fixed
                            : fault::random_fault_plan(n, leader, inst_seed);
@@ -185,17 +185,62 @@ int run_smr_linearizable(const ScenarioSpec& spec, const RunContext& ctx) {
             env.sampler =
                 std::make_unique<ChaosInstanceSampler>(scfg, plan, icfg);
           } else {
-            // Probe phase: fault-free conforming schedule from round 1.
             scfg.gsr = 1;
-            scfg.seed = substream_seed(
-                trial_seed, 1000 + static_cast<std::uint64_t>(index));
+            scfg.seed = substream_seed(trial_seed, probe_salt);
             env.max_rounds = std::max(spec.rounds_per_run, 1 + bound + 4);
             env.sampler = std::make_unique<ScheduleSampler>(scfg);
           }
           return env;
         };
 
-        const SmrClientReport rep = run_smr_clients(ccfg, env_of);
+        const InstanceEnvFactory env_of = [&](int index) {
+          if (index < ccfg.instances) {
+            // Main phase: every instance runs under its own fault plan.
+            return make_env(
+                substream_seed(trial_seed,
+                               100 + static_cast<std::uint64_t>(index)),
+                false, 0);
+          }
+          // Probe phase: fault-free conforming schedule from round 1.
+          return make_env(0, true,
+                          1000 + static_cast<std::uint64_t>(index));
+        };
+
+        SmrClientReport rep;
+        if (pipelined) {
+          // Pipelined/batched form of the gate: same clients, op mix and
+          // checker, but slots overlap and ops batch. Each (slot,
+          // attempt) gets its own fault plan; on_probe_start flips the
+          // factory to the fault-free tail.
+          SmrPipelineConfig pcfg;
+          pcfg.pipeline = spec.pipeline;
+          pcfg.batch = spec.batch;
+          bool probe_phase = false;
+          pcfg.on_probe_start = [&] { probe_phase = true; };
+          const SlotEnvFactory slot_env_of = [&](int slot, int attempt) {
+            InstanceEnv env =
+                probe_phase
+                    ? make_env(0, true,
+                               1000 +
+                                   16 * static_cast<std::uint64_t>(slot) +
+                                   static_cast<std::uint64_t>(attempt))
+                    : make_env(
+                          substream_seed(
+                              substream_seed(
+                                  trial_seed,
+                                  100 + static_cast<std::uint64_t>(slot)),
+                              static_cast<std::uint64_t>(attempt)),
+                          false, 0);
+            SlotEnv out;
+            out.sampler = std::move(env.sampler);
+            out.crash_rounds = std::move(env.crash_rounds);
+            out.max_rounds = env.max_rounds;
+            return out;
+          };
+          rep = run_pipelined_smr_clients(ccfg, pcfg, slot_env_of);
+        } else {
+          rep = run_smr_clients(ccfg, env_of);
+        }
         Trial out;
         out.consistent = rep.consistent;
         out.ops_ok = rep.ops_ok;
@@ -227,6 +272,9 @@ int run_smr_linearizable(const ScenarioSpec& spec, const RunContext& ctx) {
                (corrupt != CorruptMode::kNone
                     ? std::string(" corrupt=") + to_string(corrupt)
                     : "") +
+               (pipelined ? " pipeline=" + std::to_string(spec.pipeline) +
+                                " batch=" + std::to_string(spec.batch)
+                          : "") +
                "\n";
           out.report = r;
         }
@@ -285,7 +333,10 @@ int run_smr_linearizable(const ScenarioSpec& spec, const RunContext& ctx) {
                " append keys, algorithm " + algorithm_key(spec.algorithm) +
                (corrupt != CorruptMode::kNone
                     ? std::string(", corrupt=") + to_string(corrupt)
-                    : ""));
+                    : "") +
+               (pipelined ? ", pipeline=" + std::to_string(spec.pipeline) +
+                                ", batch=" + std::to_string(spec.batch)
+                          : ""));
 
   if (violations > 0) {
     ctx.os() << "\n" << violations << " non-linearizable trial(s):\n";

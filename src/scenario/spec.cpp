@@ -67,6 +67,8 @@ std::string validate(const ScenarioSpec& spec) {
       spec.reg_keys + spec.append_keys > 255) {
     return "clients + keys must fit the register command encoding (<= 255)";
   }
+  if (spec.pipeline < 1) return "pipeline must be >= 1";
+  if (spec.batch < 1) return "batch must be >= 1";
   if (!spec.corrupt_spec.empty() && spec.corrupt_spec != "none" &&
       spec.corrupt_spec != "stale" && spec.corrupt_spec != "lost") {
     return "corrupt must be one of none, stale, lost";

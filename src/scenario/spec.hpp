@@ -89,6 +89,13 @@ struct ScenarioSpec {
   /// "stale" = stale probe read, "lost" = acknowledged lost append
   /// (smr/linearizable only; see smr/client.hpp's CorruptMode).
   std::string corrupt_spec;
+  /// Consensus instances kept in flight by the replicated-log scenarios
+  /// (smr/throughput; smr/linearizable switches to the pipelined harness
+  /// when pipeline or batch exceeds 1). 1 = fully serialized.
+  int pipeline = 1;
+  /// Commands batched into one decree per log slot (the flush deadline
+  /// still seals partial batches). 1 = one command per slot.
+  int batch = 1;
 };
 
 /// Empty string when the spec is coherent; otherwise a one-line reason

@@ -54,6 +54,7 @@ struct ClientState {
   bool queued = false;     ///< span state: current op reached a proposal
   long long t_op = 0;      ///< op-span begin reading (timed tracer)
   long long t_queue = 0;   ///< queue-span begin reading
+  long long submit_tick = 0;  ///< pipelined harness: tick of submission
 };
 
 /// Nonzero even 16-bit value — the update-value domain of the harness.
@@ -61,6 +62,55 @@ struct ClientState {
 /// replacements) or odd (append chains), never anything else.
 std::uint16_t even16(Rng& rng) {
   return static_cast<std::uint16_t>(2 + 2 * rng.uniform_int(32766));
+}
+
+/// The op mix both harnesses draw: every client's first op is an update
+/// (so each seeded trial commits nonzero state the probe reads anchor
+/// on); afterwards registers see a 40/40/20 read/write/cas mix and
+/// append keys a 50/50 read/append mix. Fills func/key/a/b/cmd of `cs`
+/// (rid must already be assigned).
+void choose_op(Rng& rng, ClientState& cs, ProcessId c, int total_keys,
+               int reg_keys) {
+  std::uint16_t a16 = 0;
+  std::uint16_t b16 = 0;
+  if (cs.ops_done == 0) {
+    cs.key = c % total_keys;
+    if (cs.key < reg_keys) {
+      cs.func = op_func::kWrite;
+      a16 = even16(rng);
+    } else {
+      cs.func = op_func::kAppend;
+      a16 = static_cast<std::uint16_t>(1 + rng.uniform_int(65535));
+    }
+  } else {
+    cs.key = static_cast<std::int32_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(total_keys)));
+    if (cs.key < reg_keys) {
+      const std::uint64_t pick = rng.uniform_int(10);
+      if (pick < 4) {
+        cs.func = op_func::kRead;
+      } else if (pick < 8) {
+        cs.func = op_func::kWrite;
+        a16 = even16(rng);
+      } else {
+        cs.func = op_func::kCas;
+        a16 = even16(rng);
+        b16 = even16(rng);
+      }
+    } else {
+      if (rng.uniform_int(2) == 0) {
+        cs.func = op_func::kRead;
+      } else {
+        cs.func = op_func::kAppend;
+        a16 = static_cast<std::uint16_t>(1 + rng.uniform_int(65535));
+      }
+    }
+  }
+  const bool has_a = cs.func != op_func::kRead;
+  const bool has_b = cs.func == op_func::kCas;
+  cs.a = has_a ? static_cast<Value>(a16) : kNoValue;
+  cs.b = has_b ? static_cast<Value>(b16) : kNoValue;
+  cs.cmd = make_register_command(cs.func, cs.rid, c, cs.key, a16, b16);
 }
 
 }  // namespace
@@ -133,48 +183,7 @@ SmrClientReport run_smr_clients(const SmrClientConfig& cfg,
     cs.open_instances = 0;
     cs.sabotaged = false;
     cs.rid = cs.next_rid++;
-    std::uint16_t a16 = 0;
-    std::uint16_t b16 = 0;
-    if (cs.ops_done == 0) {
-      // Every client's first op is an update, so each seeded trial
-      // commits nonzero state the probe reads can anchor on.
-      cs.key = c % total_keys;
-      if (cs.key < cfg.reg_keys) {
-        cs.func = op_func::kWrite;
-        a16 = even16(rng);
-      } else {
-        cs.func = op_func::kAppend;
-        a16 = static_cast<std::uint16_t>(1 + rng.uniform_int(65535));
-      }
-    } else {
-      cs.key = static_cast<std::int32_t>(
-          rng.uniform_int(static_cast<std::uint64_t>(total_keys)));
-      if (cs.key < cfg.reg_keys) {
-        const std::uint64_t pick = rng.uniform_int(10);
-        if (pick < 4) {
-          cs.func = op_func::kRead;
-        } else if (pick < 8) {
-          cs.func = op_func::kWrite;
-          a16 = even16(rng);
-        } else {
-          cs.func = op_func::kCas;
-          a16 = even16(rng);
-          b16 = even16(rng);
-        }
-      } else {
-        if (rng.uniform_int(2) == 0) {
-          cs.func = op_func::kRead;
-        } else {
-          cs.func = op_func::kAppend;
-          a16 = static_cast<std::uint16_t>(1 + rng.uniform_int(65535));
-        }
-      }
-    }
-    const bool has_a = cs.func != op_func::kRead;
-    const bool has_b = cs.func == op_func::kCas;
-    cs.a = has_a ? static_cast<Value>(a16) : kNoValue;
-    cs.b = has_b ? static_cast<Value>(b16) : kNoValue;
-    cs.cmd = make_register_command(cs.func, cs.rid, c, cs.key, a16, b16);
+    choose_op(rng, cs, c, total_keys, cfg.reg_keys);
     rec.invoke(c, cs.func, cs.key, cs.rid, cs.a, cs.b);
     if (sp_on) {
       const std::uint64_t op_span =
@@ -438,6 +447,313 @@ SmrClientReport run_smr_clients(const SmrClientConfig& cfg,
   if (!last_applied.empty()) {
     rep.consistent = group.consistent_among(last_applied);
     const RegisterStateMachine& m = observer(last_applied);
+    for (std::int32_t k = 0; k < total_keys; ++k) {
+      rep.final_values.push_back(m.value(k));
+    }
+  } else {
+    rep.final_values.assign(static_cast<std::size_t>(total_keys),
+                            kRegInitial);
+  }
+  return rep;
+}
+
+SmrClientReport run_pipelined_smr_clients(const SmrClientConfig& cfg,
+                                          const SmrPipelineConfig& pcfg,
+                                          const SlotEnvFactory& env_of) {
+  const int total_keys = cfg.reg_keys + cfg.append_keys;
+  TM_CHECK(cfg.n > 1, "replication needs n > 1");
+  TM_CHECK(cfg.clients > 0, "need at least one client");
+  TM_CHECK(total_keys > 0, "need at least one key");
+  TM_CHECK(cfg.clients + total_keys <= 255 && total_keys <= 255,
+           "client/key ids must fit the register command encoding");
+  TM_CHECK(pcfg.ticks > 0 && pcfg.op_timeout_ticks > 0, "bad phases");
+
+  ReplicatedLogConfig lcfg;
+  lcfg.n = cfg.n;
+  lcfg.algorithm = cfg.algorithm;
+  lcfg.leader = cfg.leader;
+  lcfg.pipeline = pcfg.pipeline;
+  lcfg.batch = pcfg.batch;
+  lcfg.flush_ticks = pcfg.flush_ticks;
+  lcfg.max_attempts_per_slot = pcfg.max_attempts_per_slot;
+  lcfg.spans = cfg.spans;
+  std::vector<std::unique_ptr<StateMachine>> machines;
+  for (int i = 0; i < cfg.n; ++i) {
+    machines.push_back(std::make_unique<RegisterStateMachine>());
+  }
+  ReplicatedLog rlog(lcfg, std::move(machines), env_of);
+
+  SpanTracer* spans = cfg.spans;
+  const bool sp_on = spans != nullptr && spans->enabled();
+  const bool record_lat =
+      sp_on && spans->timed() && cfg.metrics != nullptr;
+
+  Rng rng(cfg.seed);
+  HistoryRecorder rec;
+  SmrClientReport rep;
+  std::vector<ClientState> clients(static_cast<std::size_t>(cfg.clients));
+  bool stale_done = false;
+  ProcessId lost_client = kNoProcess;  ///< client whose append went out as noop
+
+  // A replica that applied this slot (hence the whole log prefix).
+  auto observer =
+      [&](const std::vector<bool>& applied) -> const RegisterStateMachine& {
+    for (int i = 0; i < cfg.n; ++i) {
+      if (applied[static_cast<std::size_t>(i)]) {
+        return static_cast<const RegisterStateMachine&>(rlog.machine(i));
+      }
+    }
+    TM_CHECK(false, "committed slot with no live applier");
+    return static_cast<const RegisterStateMachine&>(rlog.machine(0));
+  };
+
+  auto end_op_spans = [&](ProcessId c, bool committed_ok) {
+    if (!sp_on) return;
+    ClientState& cs = clients[static_cast<std::size_t>(c)];
+    spans->end(
+        make_span_id(span_kind::kCommit, static_cast<std::uint64_t>(c),
+                     static_cast<std::uint64_t>(cs.rid)),
+        span_kind::kCommit);
+    const long long t = spans->end(
+        make_span_id(span_kind::kOp, static_cast<std::uint64_t>(c),
+                     static_cast<std::uint64_t>(cs.rid)),
+        span_kind::kOp);
+    if (committed_ok && record_lat) {
+      cfg.metrics->latency("op.commit_ns").record(t - cs.t_op);
+    }
+  };
+
+  auto close_op = [&](ProcessId c) {
+    ClientState& cs = clients[static_cast<std::size_t>(c)];
+    cs.busy = false;
+    ++cs.ops_done;
+  };
+
+  // Invoke + submit in one step: the op enters the open batch the same
+  // tick it is invoked, so the queue span covers only the client-side
+  // handoff and the commit span covers batch wait + consensus + apply.
+  auto start_and_submit = [&](ProcessId c) {
+    ClientState& cs = clients[static_cast<std::size_t>(c)];
+    cs.busy = true;
+    cs.sabotaged = false;
+    cs.submit_tick = rlog.now();
+    cs.rid = cs.next_rid++;
+    choose_op(rng, cs, c, total_keys, cfg.reg_keys);
+    rec.invoke(c, cs.func, cs.key, cs.rid, cs.a, cs.b);
+    std::uint64_t op_span = 0;
+    if (sp_on) {
+      op_span = make_span_id(span_kind::kOp, static_cast<std::uint64_t>(c),
+                             static_cast<std::uint64_t>(cs.rid));
+      const std::uint64_t q_span =
+          make_span_id(span_kind::kQueue, static_cast<std::uint64_t>(c),
+                       static_cast<std::uint64_t>(cs.rid));
+      cs.t_op = spans->begin(op_span, 0, span_kind::kOp);
+      cs.t_queue = spans->begin(q_span, op_span, span_kind::kQueue);
+      const long long tq = spans->end(q_span, span_kind::kQueue);
+      if (record_lat) {
+        cfg.metrics->latency("op.queue_ns").record(tq - cs.t_queue);
+      }
+      spans->begin(
+          make_span_id(span_kind::kCommit, static_cast<std::uint64_t>(c),
+                       static_cast<std::uint64_t>(cs.rid)),
+          op_span, span_kind::kCommit);
+    }
+    if (cfg.corrupt == CorruptMode::kLostUpdate &&
+        lost_client == kNoProcess && cs.func == op_func::kAppend) {
+      // The append is silently replaced by a noop in the batch; when its
+      // slot commits it will be acknowledged ok anyway — an acknowledged
+      // lost update the probe read of the key then exposes.
+      rlog.submit(kNoopCommand, op_span);
+      cs.sabotaged = true;
+      lost_client = c;
+    } else {
+      rlog.submit(cs.cmd, op_span);
+    }
+  };
+
+  // Probe-phase bookkeeping (one probe client per key, rid 1).
+  struct ProbeState {
+    bool open = false;
+    bool done = false;
+    int attempts = 0;
+    long long t_op = 0;
+  };
+  std::vector<ProbeState> probes(static_cast<std::size_t>(total_keys));
+
+  auto complete_probe = [&](std::int32_t key,
+                            const std::vector<bool>& applied) {
+    ProbeState& ps = probes[static_cast<std::size_t>(key)];
+    const ProcessId pc = cfg.clients + key;
+    if (!ps.open) return;
+    ps.open = false;
+    Value result = kNoValue;
+    TM_CHECK(observer(applied).last_result(pc, result),
+             "probe must have a session result");
+    if (cfg.corrupt == CorruptMode::kStaleRead && !stale_done &&
+        result != kRegInitial) {
+      result = kRegInitial;  // report none of the committed updates
+      stale_done = true;
+    }
+    rec.ok(pc, result);
+    ++rep.ops_ok;
+    ps.done = true;
+    if (sp_on) {
+      spans->end(make_span_id(span_kind::kCommit,
+                              static_cast<std::uint64_t>(pc), 1),
+                 span_kind::kCommit);
+      const long long t = spans->end(
+          make_span_id(span_kind::kOp, static_cast<std::uint64_t>(pc), 1),
+          span_kind::kOp);
+      if (record_lat) {
+        cfg.metrics->latency("op.commit_ns").record(t - ps.t_op);
+      }
+    }
+  };
+
+  // Resolve every op riding a freshly committed (or abandoned) slot.
+  auto handle_committed = [&]() {
+    for (const SlotRecord& sr : rlog.take_committed()) {
+      rep.instances_run += sr.attempts;
+      if (sr.committed) ++rep.instances_decided;
+      const std::uint64_t slot_span = make_span_id(
+          span_kind::kSlot, static_cast<std::uint64_t>(sr.slot));
+      for (const LogOp& op : sr.ops) {
+        // The sabotaged append rides as the only noop the harness ever
+        // submits; everything else decodes to its submitting client.
+        const bool is_lost = op.cmd == kNoopCommand;
+        const ProcessId c =
+            is_lost ? lost_client : reg_command_client(op.cmd);
+        if (c >= cfg.clients) {
+          // Probe read: a committed slot completes it; an abandoned slot
+          // reopens it for a resubmission in the probe loop.
+          if (sr.committed) {
+            complete_probe(c - cfg.clients, sr.applied);
+          } else {
+            probes[static_cast<std::size_t>(c - cfg.clients)].open = false;
+          }
+          continue;
+        }
+        ClientState& cs = clients[static_cast<std::size_t>(c)];
+        const bool current =
+            cs.busy && (is_lost ? cs.sabotaged : cs.cmd == op.cmd);
+        if (!current) continue;  // already closed as info (timeout)
+        if (!sr.committed) {
+          // Abandoned slots are never applied anywhere, so fail is
+          // sound (the command provably never takes effect).
+          rec.fail(c);
+          ++rep.ops_fail;
+          end_op_spans(c, false);
+          close_op(c);
+          continue;
+        }
+        if (sp_on) {
+          spans->cause(
+              make_span_id(span_kind::kCommit, static_cast<std::uint64_t>(c),
+                           static_cast<std::uint64_t>(cs.rid)),
+              slot_span, span_kind::kCommit);
+        }
+        Value result = kNoValue;
+        if (is_lost) {
+          // Fabricate the result the append WOULD have produced.
+          result = register_step(observer(sr.applied).value(cs.key),
+                                 cs.func, cs.a, cs.b)
+                       .result;
+        } else {
+          TM_CHECK(observer(sr.applied).last_result(c, result),
+                   "committed op must have a session result");
+        }
+        rec.ok(c, result);
+        ++rep.ops_ok;
+        end_op_spans(c, true);
+        close_op(c);
+      }
+    }
+  };
+
+  auto timeout_scan = [&]() {
+    for (ProcessId c = 0; c < cfg.clients; ++c) {
+      ClientState& cs = clients[static_cast<std::size_t>(c)];
+      if (!cs.busy ||
+          rlog.now() - cs.submit_tick < pcfg.op_timeout_ticks) {
+        continue;
+      }
+      // The command stays in its batch and may commit later; info keeps
+      // the op concurrent forever, which covers both outcomes.
+      rec.info(c);
+      ++rep.ops_info;
+      end_op_spans(c, false);
+      close_op(c);
+    }
+  };
+
+  // ------------------------------------------------------- main phase --
+  for (int t = 0; t < pcfg.ticks; ++t) {
+    for (ProcessId c = 0; c < cfg.clients; ++c) {
+      if (!clients[static_cast<std::size_t>(c)].busy) start_and_submit(c);
+    }
+    rlog.tick();
+    handle_committed();
+    timeout_scan();
+  }
+  // Drain: no new submissions; every accepted command resolves (commit
+  // or abandonment) within the attempt budget.
+  for (int t = 0; t < pcfg.drain_ticks && !rlog.drained(); ++t) {
+    rlog.tick();
+    handle_committed();
+    timeout_scan();
+  }
+  for (ProcessId c = 0; c < cfg.clients; ++c) {
+    if (clients[static_cast<std::size_t>(c)].busy) ++rep.ops_info;
+  }
+
+  // ------------------------------------------------------ probe phase --
+  // Fresh clients read every key. Every main-phase slot has resolved
+  // (the drain loop above), so pcfg.on_probe_start can flip the env
+  // factory to fault-free environments for all probe slots.
+  if (pcfg.on_probe_start) pcfg.on_probe_start();
+  for (int attempt = 0; attempt < cfg.probe_attempts; ++attempt) {
+    bool any = false;
+    for (std::int32_t k = 0; k < total_keys; ++k) {
+      ProbeState& ps = probes[static_cast<std::size_t>(k)];
+      if (ps.done || ps.open || ps.attempts >= cfg.probe_attempts) continue;
+      const ProcessId pc = cfg.clients + k;
+      const Command cmd =
+          make_register_command(op_func::kRead, 1, pc, k, 0, 0);
+      std::uint64_t op_span = 0;
+      if (ps.attempts == 0) {
+        rec.invoke(pc, op_func::kRead, k, 1);
+        if (sp_on) {
+          op_span = make_span_id(span_kind::kOp,
+                                 static_cast<std::uint64_t>(pc), 1);
+          ps.t_op = spans->begin(op_span, 0, span_kind::kOp);
+          spans->begin(make_span_id(span_kind::kCommit,
+                                    static_cast<std::uint64_t>(pc), 1),
+                       op_span, span_kind::kCommit);
+        }
+      } else if (sp_on) {
+        op_span = make_span_id(span_kind::kOp,
+                               static_cast<std::uint64_t>(pc), 1);
+      }
+      ps.open = true;
+      ++ps.attempts;
+      any = true;
+      rlog.submit(cmd, op_span);
+    }
+    if (!any) break;
+    for (int t = 0; t < pcfg.drain_ticks && !rlog.drained(); ++t) {
+      rlog.tick();
+      handle_committed();
+    }
+  }
+  for (const ProbeState& ps : probes) {
+    if (!ps.done) ++rep.ops_info;  // probe left open (spans stay open)
+  }
+
+  rep.events = rec.events();
+  const std::vector<bool> alive = rlog.alive_at_end();
+  rep.consistent = rlog.consistent_among(alive);
+  if (rlog.slots_committed() > 0) {
+    const RegisterStateMachine& m = observer(alive);
     for (std::int32_t k = 0; k < total_keys; ++k) {
       rep.final_values.push_back(m.value(k));
     }

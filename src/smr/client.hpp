@@ -29,6 +29,7 @@
 #include "obs/span.hpp"
 #include "obs/trace_event.hpp"
 #include "sim/sampler.hpp"
+#include "smr/replicated_log.hpp"
 
 namespace timing {
 
@@ -109,5 +110,37 @@ struct SmrClientReport {
 
 SmrClientReport run_smr_clients(const SmrClientConfig& cfg,
                                 const InstanceEnvFactory& env_of);
+
+/// Pipelined/batched variant of the harness: the same closed-loop
+/// clients and op mix, driven through a ReplicatedLog instead of one
+/// serialized instance at a time. Instances overlap and ops batch, so
+/// the completion semantics shift slightly:
+///  * ok   — the op's slot committed; the result is read back from a
+///           replica that applied it (session-deduplicated).
+///  * fail — the op's slot was abandoned after max_attempts_per_slot;
+///           abandoned slots are never applied, so fail stays sound.
+///  * info — the op out-waited op_timeout_ticks, or was still open when
+///           the trial ended. Its slot MAY still commit afterwards (the
+///           batch already holds the command), which is exactly the
+///           "unknown, concurrent forever" reading the checker gives
+///           info ops.
+struct SmrPipelineConfig {
+  int pipeline = 8;
+  int batch = 4;
+  int flush_ticks = 2;            ///< seal a waiting batch after this
+  int ticks = 24;                 ///< main-phase submission ticks
+  int op_timeout_ticks = 40;      ///< open ticks before an op goes info
+  int max_attempts_per_slot = 8;
+  int drain_ticks = 2000;  ///< tick budget after submission stops
+  /// Invoked once, after the main phase fully drains and before the
+  /// probe reads are submitted. The caller's SlotEnvFactory sees only
+  /// (slot, attempt); this hook lets its closure flip to fault-free
+  /// environments for every probe-phase slot.
+  std::function<void()> on_probe_start;
+};
+
+SmrClientReport run_pipelined_smr_clients(const SmrClientConfig& cfg,
+                                          const SmrPipelineConfig& pcfg,
+                                          const SlotEnvFactory& env_of);
 
 }  // namespace timing

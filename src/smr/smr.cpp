@@ -1,5 +1,7 @@
 #include "smr/smr.hpp"
 
+#include <limits>
+
 #include "common/check.hpp"
 #include "giraf/engine.hpp"
 #include "oracles/omega.hpp"
@@ -7,11 +9,10 @@
 
 namespace timing {
 
-namespace {
-
-std::unique_ptr<Protocol> build_protocol(AlgorithmKind kind, ProcessId self,
-                                         int n, Command proposal,
-                                         bool use_election) {
+std::unique_ptr<Protocol> make_smr_protocol(AlgorithmKind kind,
+                                            ProcessId self, int n,
+                                            Command proposal,
+                                            bool use_election) {
   // Proposals must be real values; noops are encoded as a reserved
   // command, which is a valid consensus value but must not collide with
   // kNoValue.
@@ -21,7 +22,32 @@ std::unique_ptr<Protocol> build_protocol(AlgorithmKind kind, ProcessId self,
   return std::make_unique<OmegaElection>(self, n, std::move(inner));
 }
 
-}  // namespace
+Value smr_agreed_decision(const RoundEngine& engine) {
+  Value agreed = kNoValue;
+  for (ProcessId i = 0; i < engine.n(); ++i) {
+    // Skip ANY undecided replica: reading decision() from an alive
+    // replica that is still a round behind the deciders (or crashed
+    // before deciding) would poison the agreement check with garbage.
+    if (!engine.process(i).has_decided()) continue;
+    const Value d = engine.process(i).decision();
+    if (agreed == kNoValue) agreed = d;
+    TM_CHECK(d == agreed,
+             "consensus violated agreement");  // hard stop: data corruption
+  }
+  TM_CHECK(agreed != kNoValue, "no replica decided");
+  return agreed;
+}
+
+Round smr_first_round(int inst, Round instance_round_stride) {
+  const std::int64_t first =
+      1 + static_cast<std::int64_t>(inst) *
+              static_cast<std::int64_t>(instance_round_stride);
+  TM_CHECK(first >= 1 &&
+               first <= std::numeric_limits<Round>::max() -
+                            static_cast<std::int64_t>(instance_round_stride),
+           "instance round range overflows Round");
+  return static_cast<Round>(first);
+}
 
 SmrGroup::SmrGroup(SmrGroupConfig cfg,
                    std::vector<std::unique_ptr<StateMachine>> machines)
@@ -40,9 +66,9 @@ SmrInstanceResult SmrGroup::run_instance(
            "one proposal per replica");
   std::vector<std::unique_ptr<Protocol>> group;
   for (ProcessId i = 0; i < cfg_.n; ++i) {
-    group.push_back(build_protocol(cfg_.algorithm, i, cfg_.n,
-                                   proposals[static_cast<std::size_t>(i)],
-                                   cfg_.use_election));
+    group.push_back(make_smr_protocol(cfg_.algorithm, i, cfg_.n,
+                                      proposals[static_cast<std::size_t>(i)],
+                                      cfg_.use_election));
   }
   std::shared_ptr<Oracle> oracle;
   if (!cfg_.use_election) {
@@ -80,14 +106,7 @@ SmrInstanceResult SmrGroup::run_instance(
   }
 
   result.decided = true;
-  Value agreed = kNoValue;
-  for (ProcessId i = 0; i < cfg_.n; ++i) {
-    if (!engine.alive(i) && !engine.process(i).has_decided()) continue;
-    const Value d = engine.process(i).decision();
-    if (agreed == kNoValue) agreed = d;
-    TM_CHECK(d == agreed,
-             "consensus violated agreement");  // hard stop: data corruption
-  }
+  const Value agreed = smr_agreed_decision(engine);
   result.command = agreed;
   log_.push_back(agreed);
   const std::uint64_t apply_span =
@@ -153,8 +172,8 @@ std::vector<SmrNodeInstance> SmrNode::run(
   const bool sp_on = spans != nullptr && spans->enabled();
   for (int inst = 0; inst < instances; ++inst) {
     const Command proposal = next_command(inst);
-    auto protocol = build_protocol(AlgorithmKind::kWlm, cfg_.self, cfg_.n,
-                                   proposal, cfg_.use_election);
+    auto protocol = make_smr_protocol(AlgorithmKind::kWlm, cfg_.self,
+                                      cfg_.n, proposal, cfg_.use_election);
     DesignatedOracle designated(cfg_.leader);
 
     const std::uint64_t inst_span =
@@ -166,7 +185,7 @@ std::vector<SmrNodeInstance> SmrNode::run(
     RoundSyncConfig rcfg;
     rcfg.timeout_ms = cfg_.timeout_ms;
     rcfg.max_rounds = cfg_.max_rounds_per_instance;
-    rcfg.first_round = 1 + static_cast<Round>(inst) * cfg_.instance_round_stride;
+    rcfg.first_round = smr_first_round(inst, cfg_.instance_round_stride);
     rcfg.one_way_ms = cfg_.one_way_ms;
     rcfg.spans = spans;
     rcfg.parent_span = inst_span;

@@ -29,6 +29,31 @@
 
 namespace timing {
 
+class RoundEngine;
+
+// ---------------------------------------------------------------------
+// Shared building blocks (SmrGroup, SmrNode and ReplicatedLog).
+
+/// A consensus protocol instance for one replica, optionally wrapped in
+/// OmegaElection when the deployment elects its own leader.
+std::unique_ptr<Protocol> make_smr_protocol(AlgorithmKind kind,
+                                            ProcessId self, int n,
+                                            Command proposal,
+                                            bool use_election);
+
+/// The value a decided engine agreed on. Scans every replica that HAS
+/// decided — crashed or alive — and TM_CHECKs they all agree; replicas
+/// that have not decided (crashed early, or alive but still a round
+/// behind the deciders) are skipped, never read. At least one replica
+/// must have decided.
+Value smr_agreed_decision(const RoundEngine& engine);
+
+/// First wire round of instance `inst` under a per-instance stride,
+/// computed in 64 bits and TM_CHECKed to fit Round — at throughput-scale
+/// instance counts the 32-bit product silently wrapped and violated the
+/// no-overlap invariant.
+Round smr_first_round(int inst, Round instance_round_stride);
+
 // ---------------------------------------------------------------------
 // Deterministic, engine-based replication.
 

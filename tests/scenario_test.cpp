@@ -242,6 +242,31 @@ TEST(OverrideTest, FaultPlanValidatedWithTheSpec) {
       << validate(s);
 }
 
+TEST(OverrideTest, PipelineBatchAndProfile) {
+  ScenarioSpec s = wan_spec();
+  EXPECT_TRUE(apply(s, {"pipeline=8", "batch=4"}).error.empty());
+  EXPECT_EQ(s.pipeline, 8);
+  EXPECT_EQ(s.batch, 4);
+  // Zero is rejected at validation, not parse, time.
+  EXPECT_TRUE(apply(s, {"pipeline=0"}).error.empty());
+  EXPECT_NE(validate(s), "");
+  s = wan_spec();
+  EXPECT_TRUE(apply(s, {"batch=0"}).error.empty());
+  EXPECT_NE(validate(s), "");
+
+  // profile= swaps the whole testbed: sampler kind, group size, timeout.
+  s = wan_spec();
+  EXPECT_TRUE(apply(s, {"profile=lan"}).error.empty());
+  EXPECT_EQ(s.sampler, SamplerKind::kLan);
+  EXPECT_EQ(s.n, s.lan.n);
+  EXPECT_EQ(s.timeouts_ms, (std::vector<double>{0.2}));
+  EXPECT_TRUE(apply(s, {"profile=wan"}).error.empty());
+  EXPECT_EQ(s.sampler, SamplerKind::kWan);
+  EXPECT_EQ(s.n, s.wan.n);
+  EXPECT_EQ(s.timeouts_ms, (std::vector<double>{200}));
+  EXPECT_NE(apply(s, {"profile=metro"}).error, "");
+}
+
 TEST(OverrideTest, AlgorithmKeys) {
   ScenarioSpec s = wan_spec();
   EXPECT_TRUE(apply(s, {"algorithm=paxos"}).error.empty());
@@ -273,7 +298,7 @@ TEST(RegistryTest, HasAllScenariosWithUniqueNames) {
       "ablation/algorithms_live", "ablation/window_formula",
       "ablation/simulation_cost", "ablation/group_size",
       "ablation/smr_cost", "chaos/consensus", "chaos/single",
-      "smr/linearizable"};
+      "smr/linearizable", "smr/throughput"};
   EXPECT_EQ(names, expected);
 }
 

@@ -8,11 +8,13 @@
 #include <vector>
 
 #include "fault/injector.hpp"
+#include "giraf/engine.hpp"
 #include "history/history.hpp"
 #include "history/linearizability.hpp"
 #include "history/recorder.hpp"
 #include "models/schedule.hpp"
 #include "net/transport.hpp"
+#include "oracles/omega.hpp"
 #include "smr/smr.hpp"
 
 namespace timing {
@@ -78,6 +80,49 @@ std::vector<std::unique_ptr<StateMachine>> kv_machines(int n) {
   std::vector<std::unique_ptr<StateMachine>> ms;
   for (int i = 0; i < n; ++i) ms.push_back(std::make_unique<KvStateMachine>());
   return ms;
+}
+
+// ------------------------------------------------- shared SMR helpers --
+
+// Regression: the agreement scan must skip EVERY undecided replica, not
+// just crashed ones — reading decision() from a replica that never got
+// there poisoned the check with garbage.
+TEST(SmrHelpers, AgreedDecisionSkipsUndecidedReplicas) {
+  const int n = 5;
+  const Value decree = 4242;
+  std::vector<std::unique_ptr<Protocol>> group;
+  for (ProcessId i = 0; i < n; ++i) {
+    group.push_back(make_smr_protocol(AlgorithmKind::kWlm, i, n, decree,
+                                      /*use_election=*/false));
+  }
+  RoundEngine engine(std::move(group), std::make_shared<DesignatedOracle>(0));
+  engine.crash_at(3, 1);  // executes no rounds: stays undecided forever
+  const LinkMatrix timely(n, 0);
+  while (!engine.all_alive_decided()) {
+    ASSERT_LT(engine.current_round(), 50) << "timely group must decide";
+    engine.step(timely);
+  }
+  ASSERT_FALSE(engine.process(3).has_decided());
+  EXPECT_EQ(smr_agreed_decision(engine), decree);
+}
+
+// Regression: `1 + inst * stride` used to be computed in 32-bit Round
+// arithmetic and silently wrapped at throughput-scale instance counts,
+// violating the disjoint-wire-round-range invariant.
+TEST(SmrHelpers, FirstRoundIsComputedIn64Bits) {
+  const Round stride = 1 << 20;
+  EXPECT_EQ(smr_first_round(0, stride), 1);
+  EXPECT_EQ(smr_first_round(1, stride), 1 + (1 << 20));
+  // The largest instance whose round RANGE (first..first+stride) still
+  // fits: 1 + 2046 * 2^20 + 2^20 <= INT32_MAX.
+  EXPECT_EQ(smr_first_round(2046, stride),
+            static_cast<Round>(1 + 2046LL * (1 << 20)));
+}
+
+TEST(SmrHelpersDeathTest, FirstRoundOverflowAborts) {
+  // One instance past the boundary: the range end no longer fits Round.
+  EXPECT_DEATH(smr_first_round(2047, 1 << 20),
+               "instance round range overflows Round");
 }
 
 TEST(SmrGroup, ReplicatesAcrossChaoticInstances) {
