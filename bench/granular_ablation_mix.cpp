@@ -1,0 +1,15 @@
+// Granular ablation: how the Section 4 model comparison shifts when a
+// growing fraction of links drops to asynchrony. Each sweep point builds
+// a seeded mixed LinkModelMatrix (async_fracs= / psync_frac=), measures
+// the granular P_M over IID links, and compares against the
+// Poisson-binomial prediction of analysis/granular.hpp. At async_frac=0
+// this reduces to the homogeneous IID comparison.
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_granular_ablation; the same run is reachable as
+// `timing_lab run granular/ablation`.
+#include "scenario/cli.hpp"
+
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("granular/ablation", argc, argv);
+}

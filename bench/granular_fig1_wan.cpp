@@ -1,0 +1,16 @@
+// Granular Figure 1: the WAN sweep of Figures 1(d)-(g) evaluated under
+// per-link timing assumptions (link_models=SPEC, grammar in
+// models/link_model_matrix.hpp). Async links carry no timing obligations
+// and count towards no quorums; the sweep reports the granular P_M, the
+// per-class conformance fractions, and the rounds until the granular
+// global-decision conditions hold. With link_models=sync:all the model
+// columns reproduce the homogeneous fig1e/fig1g numbers bit-for-bit.
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_granular_fig1; the same run is reachable as
+// `timing_lab run granular/fig1`.
+#include "scenario/cli.hpp"
+
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("granular/fig1", argc, argv);
+}

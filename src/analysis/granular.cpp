@@ -1,0 +1,152 @@
+#include "analysis/granular.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace timing::analysis {
+
+namespace {
+
+/// Pr(sum of independent Bernoulli(probs[i]) >= k) by the standard
+/// Poisson-binomial DP: O(|probs| * k) time, one vector of doubles.
+double poisson_binomial_tail(const std::vector<double>& probs,
+                             int k) noexcept {
+  if (k <= 0) return 1.0;
+  if (k > static_cast<int>(probs.size())) return 0.0;
+  // dp[j] = Pr(exactly j successes so far), capped at k (the cap bucket
+  // absorbs ">= k" mass so the vector stays small).
+  std::vector<double> dp(static_cast<std::size_t>(k) + 1, 0.0);
+  dp[0] = 1.0;
+  for (const double p : probs) {
+    for (int j = k; j >= 1; --j) {
+      const auto ju = static_cast<std::size_t>(j);
+      if (j == k) {
+        dp[ju] += dp[ju - 1] * p;
+      } else {
+        dp[ju] = dp[ju] * (1.0 - p) + dp[ju - 1] * p;
+      }
+    }
+    dp[0] *= 1.0 - p;
+  }
+  return dp[static_cast<std::size_t>(k)];
+}
+
+double link_prob(const LinkModelMatrix& m, const GranularLinkProbs& q,
+                 ProcessId dst, ProcessId src) noexcept {
+  if (dst == src && q.timely_self) return 1.0;
+  return q.of(m.at(dst, src));
+}
+
+/// Success probabilities of the required links of row `dst`, optionally
+/// excluding one source column (a link already conditioned timely).
+std::vector<double> required_row_probs(const LinkModelMatrix& m,
+                                       ProcessId dst,
+                                       const GranularLinkProbs& q,
+                                       ProcessId exclude_src = kNoProcess) {
+  std::vector<double> probs;
+  probs.reserve(static_cast<std::size_t>(m.n()));
+  for (ProcessId s = 0; s < m.n(); ++s) {
+    if (s == exclude_src) continue;
+    if (m.reliable(dst, s)) probs.push_back(link_prob(m, q, dst, s));
+  }
+  return probs;
+}
+
+std::vector<double> required_col_probs(const LinkModelMatrix& m,
+                                       ProcessId src,
+                                       const GranularLinkProbs& q) {
+  std::vector<double> probs;
+  probs.reserve(static_cast<std::size_t>(m.n()));
+  for (ProcessId d = 0; d < m.n(); ++d) {
+    if (m.reliable(d, src)) probs.push_back(link_prob(m, q, d, src));
+  }
+  return probs;
+}
+
+}  // namespace
+
+double granular_p_es(const LinkModelMatrix& m,
+                     const GranularLinkProbs& q) noexcept {
+  double p = 1.0;
+  for (ProcessId d = 0; d < m.n(); ++d) {
+    for (ProcessId s = 0; s < m.n(); ++s) {
+      if (m.reliable(d, s)) p *= link_prob(m, q, d, s);
+    }
+  }
+  return p;
+}
+
+double granular_p_lm(const LinkModelMatrix& m, ProcessId leader,
+                     const GranularLinkProbs& q) noexcept {
+  TM_CHECK(leader >= 0 && leader < m.n(), "leader out of range");
+  const int maj = majority_size(m.n());
+  double p = 1.0;
+  // Rows are independent: each must have its required leader entry
+  // timely (if required) and reach a required-count majority. When the
+  // leader entry is required it is conditioned timely, so the rest of
+  // the row only needs maj - 1 more.
+  for (ProcessId d = 0; d < m.n(); ++d) {
+    if (m.reliable(d, leader)) {
+      p *= link_prob(m, q, d, leader) *
+           poisson_binomial_tail(required_row_probs(m, d, q, leader),
+                                 maj - 1);
+    } else {
+      p *= poisson_binomial_tail(required_row_probs(m, d, q), maj);
+    }
+  }
+  return p;
+}
+
+double granular_p_wlm(const LinkModelMatrix& m, ProcessId leader,
+                      const GranularLinkProbs& q) noexcept {
+  TM_CHECK(leader >= 0 && leader < m.n(), "leader out of range");
+  const int maj = majority_size(m.n());
+  // Required leader column timely (includes the always-required self
+  // link, which is also the conditioned leader-row entry)...
+  double p = 1.0;
+  for (ProcessId d = 0; d < m.n(); ++d) {
+    if (m.reliable(d, leader)) p *= link_prob(m, q, d, leader);
+  }
+  // ... and the leader row reaches a majority given that entry.
+  return p * poisson_binomial_tail(required_row_probs(m, leader, q, leader),
+                                   maj - 1);
+}
+
+double granular_p_afm(const LinkModelMatrix& m,
+                      const GranularLinkProbs& q) noexcept {
+  const int maj = majority_size(m.n());
+  double p = 1.0;
+  for (ProcessId d = 0; d < m.n(); ++d) {
+    p *= poisson_binomial_tail(required_row_probs(m, d, q), maj);
+  }
+  for (ProcessId s = 0; s < m.n(); ++s) {
+    p *= poisson_binomial_tail(required_col_probs(m, s, q), maj);
+  }
+  return p;
+}
+
+double granular_p_model(TimingModel model, const LinkModelMatrix& m,
+                        ProcessId leader,
+                        const GranularLinkProbs& q) noexcept {
+  switch (model) {
+    case TimingModel::kEs: return granular_p_es(m, q);
+    case TimingModel::kLm: return granular_p_lm(m, leader, q);
+    case TimingModel::kWlm: return granular_p_wlm(m, leader, q);
+    case TimingModel::kAfm: return granular_p_afm(m, q);
+  }
+  return 0.0;
+}
+
+double granular_p_class(const LinkModelMatrix& m, LinkModelClass c,
+                        const GranularLinkProbs& q) noexcept {
+  double p = 1.0;
+  for (ProcessId d = 0; d < m.n(); ++d) {
+    for (ProcessId s = 0; s < m.n(); ++s) {
+      if (m.at(d, s) == c) p *= link_prob(m, q, d, s);
+    }
+  }
+  return p;
+}
+
+}  // namespace timing::analysis

@@ -1,0 +1,72 @@
+// Section 4.1 analysis generalized to per-link timing assumptions: the
+// probability that one round satisfies each *granular* predicate when
+// link (dst <- src) delivers timely with a probability determined by its
+// LinkModelClass. Heterogeneous links make the row/column counts
+// Poisson-binomial instead of binomial, so the closed forms of
+// equations.hpp become tail sums computed by dynamic programming.
+//
+// Structure mirrors the paper's equations exactly:
+//  * G-ES     - product of per-link probabilities over required links
+//               (Eq. (1) is the all-sync special case p^(n^2));
+//  * G-<>LM   - per row: required leader entry timely AND the row's
+//               required count reaches a majority (Eq. (3));
+//  * G-<>WLM  - required leader column timely AND the leader row's
+//               required count reaches a majority (Eq. (6));
+//  * G-<>AFM  - product of row and column majority tails, the same
+//               independence lower bound as Eq. (9).
+// With an all-sync matrix and p_sync = p these agree with p_model(...)
+// to floating-point reassociation (tests/granular_test.cpp pins it).
+//
+// Async links never enter a conformance term — they carry no obligation
+// and cannot count towards quorums — but p_async still matters to
+// granular_p_class, the analytic analog of the csat trace field.
+#pragma once
+
+#include "models/link_model_matrix.hpp"
+#include "models/timing_model.hpp"
+
+namespace timing::analysis {
+
+/// Per-class IID timeliness probabilities. The defaults make every link
+/// certain, so an unset class is conformance-neutral.
+struct GranularLinkProbs {
+  double p_sync = 1.0;
+  double p_psync = 1.0;
+  double p_async = 1.0;
+  /// The samplers force a process's link with itself timely, while the
+  /// paper's closed forms price self links like any other ("we do not
+  /// treat a process' link with itself differently"). Set true to match
+  /// measured runs; leave false to match equations.hpp exactly.
+  bool timely_self = false;
+
+  double of(LinkModelClass c) const noexcept {
+    switch (c) {
+      case LinkModelClass::kSync: return p_sync;
+      case LinkModelClass::kPartialSync: return p_psync;
+      case LinkModelClass::kAsync: return p_async;
+    }
+    return 1.0;
+  }
+};
+
+double granular_p_es(const LinkModelMatrix& m,
+                     const GranularLinkProbs& q) noexcept;
+double granular_p_lm(const LinkModelMatrix& m, ProcessId leader,
+                     const GranularLinkProbs& q) noexcept;
+double granular_p_wlm(const LinkModelMatrix& m, ProcessId leader,
+                      const GranularLinkProbs& q) noexcept;
+/// Independence lower bound, like Eq. (9).
+double granular_p_afm(const LinkModelMatrix& m,
+                      const GranularLinkProbs& q) noexcept;
+
+/// Dispatch per model. `leader` is ignored for ES and <>AFM.
+double granular_p_model(TimingModel model, const LinkModelMatrix& m,
+                        ProcessId leader,
+                        const GranularLinkProbs& q) noexcept;
+
+/// Probability that every class-`c` link is timely in one round — the
+/// analytic analog of the csat conformance bit trace_tool reports.
+double granular_p_class(const LinkModelMatrix& m, LinkModelClass c,
+                        const GranularLinkProbs& q) noexcept;
+
+}  // namespace timing::analysis

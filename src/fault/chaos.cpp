@@ -163,6 +163,63 @@ FaultPlan random_fault_plan(int n, ProcessId leader, std::uint64_t seed) {
   return plan;
 }
 
+bool granular_supports(TimingModel model, ProcessId leader,
+                       const LinkModelMatrix& m,
+                       const std::vector<bool>& alive) {
+  const int n = m.n();
+  TM_CHECK(n > 0, "granular_supports needs a sized matrix");
+  TM_CHECK(alive.empty() || static_cast<int>(alive.size()) == n,
+           "alive mask must be empty or have n entries");
+  auto is_alive = [&](ProcessId p) {
+    return alive.empty() || alive[static_cast<std::size_t>(p)];
+  };
+  const int maj = majority_size(n);
+  auto row_count = [&](ProcessId d) {
+    int c = 0;
+    for (ProcessId s = 0; s < n; ++s) {
+      if (is_alive(s) && m.reliable(d, s)) ++c;
+    }
+    return c;
+  };
+  auto col_count = [&](ProcessId s) {
+    int c = 0;
+    for (ProcessId d = 0; d < n; ++d) {
+      if (is_alive(d) && m.reliable(d, s)) ++c;
+    }
+    return c;
+  };
+
+  switch (model) {
+    case TimingModel::kEs:
+      for (ProcessId d = 0; d < n; ++d) {
+        if (!is_alive(d)) continue;
+        for (ProcessId s = 0; s < n; ++s) {
+          if (is_alive(s) && !m.reliable(d, s)) return false;
+        }
+      }
+      return true;
+    case TimingModel::kLm:
+      for (ProcessId d = 0; d < n; ++d) {
+        if (!is_alive(d)) continue;
+        if (!m.reliable(d, leader)) return false;
+        if (row_count(d) < maj) return false;
+      }
+      return true;
+    case TimingModel::kWlm:
+      for (ProcessId d = 0; d < n; ++d) {
+        if (is_alive(d) && !m.reliable(d, leader)) return false;
+      }
+      return row_count(leader) >= maj;
+    case TimingModel::kAfm:
+      for (ProcessId p = 0; p < n; ++p) {
+        if (!is_alive(p)) continue;
+        if (row_count(p) < maj || col_count(p) < maj) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
 namespace {
 
 std::string violation_report(const char* what, AlgorithmKind kind,
@@ -176,6 +233,12 @@ std::string violation_report(const char* what, AlgorithmKind kind,
      << " gsr=" << cfg.plan.gsr << " decided_at="
      << r.global_decision_round << " bound=gsr+"
      << bound_after_gsr(kind) << ")";
+  if (cfg.link_models.n() > 0 && !cfg.link_models.all_sync()) {
+    os << "\nlink models: "
+       << cfg.link_models.count(LinkModelClass::kSync) << " sync, "
+       << cfg.link_models.count(LinkModelClass::kPartialSync) << " psync, "
+       << cfg.link_models.count(LinkModelClass::kAsync) << " async";
+  }
   if (!detail.empty()) os << "\n" << detail;
   os << "\nfault plan (replayable):\n"
      << (cfg.plan.source.empty() ? cfg.plan.spec() : cfg.plan.source);
@@ -205,6 +268,9 @@ ChaosRunResult run_chaos_algorithm(AlgorithmKind kind,
   sched.gsr = cfg.plan.gsr;
   sched.pre_gsr_p = cfg.pre_gsr_p;
   sched.seed = cfg.seed;
+  TM_CHECK(cfg.link_models.n() == 0 || cfg.link_models.n() == n,
+           "link_models size must match the chaos trial's n");
+  sched.link_models = cfg.link_models;
 
   // Permanent (never-recovered) crashes stop the process itself, not
   // just its links: the engine halts it and the post-gsr schedule repair
@@ -296,7 +362,21 @@ ChaosRunResult run_chaos_algorithm(AlgorithmKind kind,
   out.fault_events = summarize_trial(trace.trials[0], n, needed).fault_events;
 
   // --- Liveness: decision within the paper bound after gsr ------------
-  if (out.safety_ok) {
+  // Only owed when the post-gsr schedule actually delivers the
+  // algorithm's native model: under a granular matrix the repair forces
+  // reliable links only, so if the reliable plane (restricted to the
+  // processes still alive at the end) cannot carry the model, the bound
+  // never applied. Safety above is unconditional either way.
+  if (cfg.link_models.n() > 0 && !cfg.link_models.all_sync()) {
+    std::vector<bool> alive_mask(static_cast<std::size_t>(n));
+    for (ProcessId i = 0; i < n; ++i) {
+      alive_mask[static_cast<std::size_t>(i)] =
+          crash_rounds[static_cast<std::size_t>(i)] <= 0;
+    }
+    out.liveness_enforced = granular_supports(native_model(kind), cfg.leader,
+                                              cfg.link_models, alive_mask);
+  }
+  if (out.safety_ok && out.liveness_enforced) {
     const Round bound = cfg.plan.gsr + bound_after_gsr(kind);
     if (decided_at < 0) {
       out.liveness_ok = false;

@@ -11,9 +11,11 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "consensus/factory.hpp"
 #include "fault/plan.hpp"
+#include "models/link_model_matrix.hpp"
 #include "models/timing_model.hpp"
 #include "obs/trace_sink.hpp"
 
@@ -35,6 +37,23 @@ int bound_after_gsr(AlgorithmKind k) noexcept;
 /// validate(plan, n, leader); plan.source carries the canonical spec.
 FaultPlan random_fault_plan(int n, ProcessId leader, std::uint64_t seed);
 
+/// Whether the reliable plane of `m`, restricted to `alive` processes,
+/// still delivers everything `model` guarantees in the homogeneous case:
+/// post-gsr the schedule repair only forces reliable links, so an
+/// algorithm's proven decision bound is only owed when this holds.
+/// Thresholds stay majority_size(m.n()) — crashes and async links both
+/// eat into the same fixed quorums.
+///  * ES:    every alive<->alive link reliable;
+///  * LM:    every alive row has a reliable leader entry and >= maj
+///           reliable alive sources;
+///  * WLM:   every alive row has a reliable leader entry and the leader
+///           row has >= maj reliable alive sources;
+///  * AFM:   every alive row and every alive column reach maj.
+/// `alive.empty()` means everyone is alive.
+bool granular_supports(TimingModel model, ProcessId leader,
+                       const LinkModelMatrix& m,
+                       const std::vector<bool>& alive);
+
 struct ChaosTrialConfig {
   int n = 5;
   ProcessId leader = 0;
@@ -44,6 +63,12 @@ struct ChaosTrialConfig {
   double pre_gsr_p = 0.4;
   int max_rounds = 500;
   FaultPlan plan;  ///< must pass validate(plan, n, leader) with a gsr
+  /// Optional per-link timing assignment (empty = homogeneous). The
+  /// post-gsr schedule then only conforms on reliable links; safety is
+  /// enforced regardless, the liveness bound only when
+  /// granular_supports() says the reliable plane can carry the
+  /// algorithm's native model. All-sync is bit-identical to homogeneous.
+  LinkModelMatrix link_models;
   /// Optional: receives the full engine + injection trace of the run.
   TraceSink* trace = nullptr;
 };
@@ -52,6 +77,10 @@ struct ChaosRunResult {
   AlgorithmKind kind = AlgorithmKind::kWlm;
   bool safety_ok = true;   ///< agreement + validity + integrity + trace
   bool liveness_ok = true; ///< decided, and by gsr + bound_after_gsr
+  /// False when the liveness bound was not owed (the granular matrix's
+  /// reliable plane cannot support the algorithm's model); liveness_ok
+  /// stays true in that case, it was simply never checked.
+  bool liveness_enforced = true;
   Round global_decision_round = -1;
   long long fault_events = 0;
   /// "" when ok; otherwise the full replayable report (config line +

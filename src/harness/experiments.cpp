@@ -27,6 +27,7 @@ struct TrialOut {
   std::array<double, kNumModels> pm{};
   std::array<double, kNumModels> rounds{};
   std::array<double, kNumModels> censored{};
+  std::array<double, kNumLinkModelClasses> class_pm{};  ///< granular only
 };
 
 }  // namespace
@@ -74,6 +75,13 @@ std::vector<TimeoutResult> run_experiment(const ExperimentConfig& cfg) {
            "leader out of range");
   const ProcessId leader = resolve_leader(cfg);
 
+  // Per-link timing assumptions, shared read-only by every trial.
+  const bool granular = cfg.link_models.n() > 0;
+  TM_CHECK(!granular || cfg.link_models.n() == group_n,
+           "link_models size must match the testbed's group size");
+  const GranularContext granular_ctx{
+      granular ? cfg.link_models : LinkModelMatrix(0)};
+
   // Fan every (timeout, run) cell out as an independent trial. A trial's
   // randomness depends only on (cfg.seed, run) — the paired design: the
   // same latency stream for every timeout — so the executing thread and
@@ -93,16 +101,29 @@ std::vector<TimeoutResult> run_experiment(const ExperimentConfig& cfg) {
         // The latency sub-stream and the start_rng draw order are the
         // ones measure_run + decision_stats consumed, so every statistic
         // below is bit-identical to the historical path (asserted by
-        // tests/harness_test.cpp).
+        // tests/harness_test.cpp). The granular variant preserves both
+        // stream orders, so an all-sync link_models matrix reproduces
+        // the homogeneous sweep bit-for-bit (tests/granular_test.cpp).
         Rng start_rng = substream(cfg.seed ^ 0xabcdef, run);
-        const StreamedRun m =
-            measure_run_streaming(sampler, cfg.rounds_per_run, leader,
-                                  cfg.decision_rounds, cfg.start_points,
-                                  start_rng);
-        out.p = m.timely_fraction();
-        out.pm = m.pm;
-        out.rounds = m.mean_rounds;
-        out.censored = m.censored;
+        if (granular) {
+          const GranularStreamedRun m = measure_run_streaming_granular(
+              sampler, cfg.rounds_per_run, leader, cfg.decision_rounds,
+              cfg.start_points, start_rng, granular_ctx);
+          out.p = m.base.timely_fraction();
+          out.pm = m.base.pm;
+          out.rounds = m.base.mean_rounds;
+          out.censored = m.base.censored;
+          out.class_pm = m.class_pm;
+        } else {
+          const StreamedRun m =
+              measure_run_streaming(sampler, cfg.rounds_per_run, leader,
+                                    cfg.decision_rounds, cfg.start_points,
+                                    start_rng);
+          out.p = m.timely_fraction();
+          out.pm = m.pm;
+          out.rounds = m.mean_rounds;
+          out.censored = m.censored;
+        }
         return out;
       });
 
@@ -119,6 +140,7 @@ std::vector<TimeoutResult> run_experiment(const ExperimentConfig& cfg) {
     std::array<RunningStats, kNumModels> pm_stats;
     std::array<RunningStats, kNumModels> rounds_stats;
     std::array<RunningStats, kNumModels> censored_stats;
+    std::array<RunningStats, kNumLinkModelClasses> class_stats;
     std::array<Histogram, kNumModels> rounds_hist;
     for (auto& h : rounds_hist) {
       h = Histogram(0.0, static_cast<double>(cfg.rounds_per_run) + 1.0,
@@ -135,9 +157,20 @@ std::vector<TimeoutResult> run_experiment(const ExperimentConfig& cfg) {
         censored_stats[i].add(t.censored[i]);
         rounds_hist[i].add(t.rounds[i]);
       }
+      for (int c = 0; c < kNumLinkModelClasses; ++c) {
+        class_stats[static_cast<std::size_t>(c)].add(
+            t.class_pm[static_cast<std::size_t>(c)]);
+      }
     }
 
     tr.mean_p = p_stats.mean();
+    tr.granular = granular;
+    if (granular) {
+      for (int c = 0; c < kNumLinkModelClasses; ++c) {
+        tr.mean_class_pm[static_cast<std::size_t>(c)] =
+            class_stats[static_cast<std::size_t>(c)].mean();
+      }
+    }
     for (int idx = 0; idx < kNumModels; ++idx) {
       auto& ms = tr.models[static_cast<std::size_t>(idx)];
       ms.mean_pm = pm_stats[idx].mean();

@@ -53,6 +53,11 @@ struct ExperimentConfig {
   /// Rounds needed for global decision per model; defaults from the
   /// paper (ES 3, LM 3, WLM 4, AFM 5).
   std::array<int, kNumModels> decision_rounds{3, 3, 4, 5};
+  /// Per-link timing assumptions. Empty (n() == 0) runs the homogeneous
+  /// predicates; otherwise every trial evaluates the granular predicates
+  /// against this matrix and the sweep reports per-class conformance.
+  /// An all-sync matrix reproduces the homogeneous results bit-for-bit.
+  LinkModelMatrix link_models;
 };
 
 /// Bin count of ModelTimeoutStats::rounds_hist.
@@ -74,6 +79,10 @@ struct TimeoutResult {
   double timeout_ms = 0.0;
   double mean_p = 0.0;  ///< Figure 1(d)
   std::array<ModelTimeoutStats, kNumModels> models;
+  /// Granular sweeps only (cfg.link_models set): mean fraction of rounds,
+  /// across runs, in which every link of the class was timely.
+  bool granular = false;
+  std::array<double, kNumLinkModelClasses> mean_class_pm{};
 };
 
 /// The leader the configuration resolves to (exposed for reporting).

@@ -316,4 +316,72 @@ StreamedRun measure_run_streaming(TimelinessSampler& sampler, int rounds,
   return out;
 }
 
+GranularStreamedRun measure_run_streaming_granular(
+    TimelinessSampler& sampler, int rounds, ProcessId leader,
+    const std::array<int, kNumModels>& needed, int start_points,
+    Rng& start_rng, const GranularContext& g) {
+  TM_CHECK(rounds > 0, "need at least one round");
+  TM_CHECK(start_points > 0, "need at least one start point");
+  const int n = sampler.n();
+  TM_CHECK(n == g.n(), "link-model matrix size must match the sampler");
+
+  // Identical pre-draw to measure_run_streaming: model-major, kAllModels
+  // order, uniform over the first half of the run.
+  std::vector<ConsecutiveWindowTracker> track;
+  track.reserve(kNumModels);
+  for (TimingModel m : kAllModels) {
+    const int idx = model_index(m);
+    std::vector<int> starts(static_cast<std::size_t>(start_points));
+    for (int s = 0; s < start_points; ++s) {
+      starts[static_cast<std::size_t>(s)] = static_cast<int>(
+          start_rng.uniform_int(
+              static_cast<std::uint64_t>(std::max(1, rounds / 2))));
+    }
+    track.emplace_back(needed[static_cast<std::size_t>(idx)],
+                       std::move(starts), rounds);
+  }
+
+  GranularStreamedRun out;
+  std::array<long long, kNumLinkModelClasses> class_sat{};
+  PackedLinkMatrix a(n);
+  for (int r = 1; r <= rounds; ++r) {
+    // Plain packed sample (per-cell RNG order equals the fused kernel's),
+    // then the one-sweep granular evaluation and a fate tally. With an
+    // all-sync matrix the sat mask equals the homogeneous fused mask.
+    sampler.sample_round(r, a);
+    FusedRoundEval fates;
+    tally_fates(a, fates);
+    out.base.messages_total += static_cast<long long>(n) * (n - 1);
+    out.base.messages_timely += fates.timely;
+    out.base.messages_late += fates.late;
+    out.base.messages_lost += fates.lost;
+    const GranularEval e = evaluate_all_granular(a, leader, g);
+    for (TimingModel m : kAllModels) {
+      const int idx = model_index(m);
+      track[static_cast<std::size_t>(idx)].observe(
+          (e.sat & (1u << idx)) != 0);
+    }
+    for (int c = 0; c < kNumLinkModelClasses; ++c) {
+      if (e.csat & (1u << c)) ++class_sat[static_cast<std::size_t>(c)];
+    }
+  }
+
+  for (TimingModel m : kAllModels) {
+    const int idx = model_index(m);
+    const auto& t = track[static_cast<std::size_t>(idx)];
+    const DecisionStats ds = t.finalize();
+    out.base.pm[static_cast<std::size_t>(idx)] =
+        static_cast<double>(t.satisfied_rounds()) /
+        static_cast<double>(rounds);
+    out.base.mean_rounds[static_cast<std::size_t>(idx)] = ds.mean_rounds;
+    out.base.censored[static_cast<std::size_t>(idx)] = ds.censored_fraction;
+  }
+  for (int c = 0; c < kNumLinkModelClasses; ++c) {
+    out.class_pm[static_cast<std::size_t>(c)] =
+        static_cast<double>(class_sat[static_cast<std::size_t>(c)]) /
+        static_cast<double>(rounds);
+  }
+  return out;
+}
+
 }  // namespace timing

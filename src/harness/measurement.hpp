@@ -178,4 +178,23 @@ StreamedRun measure_run_streaming(TimelinessSampler& sampler, int rounds,
                                   const std::array<int, kNumModels>& needed,
                                   int start_points, Rng& start_rng);
 
+/// measure_run_streaming under per-link timing assumptions: the sat bits
+/// come from the granular predicates, and the run additionally reports
+/// per-class conformance (the fraction of rounds in which every link of
+/// each LinkModelClass was timely).
+struct GranularStreamedRun {
+  StreamedRun base;
+  std::array<double, kNumLinkModelClasses> class_pm{};
+};
+
+/// The sampler's RNG is consumed in exactly the sample_round per-cell
+/// order and the start points are pre-drawn in the same model-major order
+/// as measure_run_streaming, so with an all-sync `g` the StreamedRun
+/// fields are bit-identical to the homogeneous path on the same
+/// sub-streams (tests/granular_test.cpp pins this).
+GranularStreamedRun measure_run_streaming_granular(
+    TimelinessSampler& sampler, int rounds, ProcessId leader,
+    const std::array<int, kNumModels>& needed, int start_points,
+    Rng& start_rng, const GranularContext& g);
+
 }  // namespace timing

@@ -1,0 +1,215 @@
+#include "models/link_model_matrix.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/parse.hpp"
+#include "common/rng.hpp"
+
+namespace timing {
+
+const char* to_string(LinkModelClass c) noexcept {
+  switch (c) {
+    case LinkModelClass::kSync: return "sync";
+    case LinkModelClass::kPartialSync: return "psync";
+    case LinkModelClass::kAsync: return "async";
+  }
+  return "?";
+}
+
+bool link_model_class_from_string(const std::string& s, LinkModelClass& out) {
+  if (s == "sync") {
+    out = LinkModelClass::kSync;
+  } else if (s == "psync" || s == "partial-sync") {
+    out = LinkModelClass::kPartialSync;
+  } else if (s == "async") {
+    out = LinkModelClass::kAsync;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LinkModelMatrix::LinkModelMatrix(int n)
+    : n_(n),
+      cells_(static_cast<std::size_t>(n) * n,
+             static_cast<std::uint8_t>(LinkModelClass::kSync)) {
+  TM_CHECK(n >= 0, "negative matrix size");
+}
+
+void LinkModelMatrix::set(ProcessId dst, ProcessId src,
+                          LinkModelClass c) noexcept {
+  if (dst == src) c = LinkModelClass::kSync;
+  cells_[static_cast<std::size_t>(dst) * n_ + src] =
+      static_cast<std::uint8_t>(c);
+}
+
+bool LinkModelMatrix::all_sync() const noexcept {
+  for (const std::uint8_t c : cells_) {
+    if (c != static_cast<std::uint8_t>(LinkModelClass::kSync)) return false;
+  }
+  return true;
+}
+
+int LinkModelMatrix::count(LinkModelClass c) const noexcept {
+  int k = 0;
+  for (const std::uint8_t cell : cells_) {
+    if (cell == static_cast<std::uint8_t>(c)) ++k;
+  }
+  return k;
+}
+
+LinkModelMatrix LinkModelMatrix::uniform(int n, LinkModelClass c) {
+  LinkModelMatrix m(n);
+  for (ProcessId d = 0; d < n; ++d) {
+    for (ProcessId s = 0; s < n; ++s) m.set(d, s, c);
+  }
+  return m;
+}
+
+LinkModelMatrix LinkModelMatrix::mixed(int n, double async_frac,
+                                       double psync_frac,
+                                       std::uint64_t seed) {
+  TM_CHECK(async_frac >= 0.0 && async_frac <= 1.0, "async_frac out of range");
+  TM_CHECK(psync_frac >= 0.0 && psync_frac <= 1.0, "psync_frac out of range");
+  LinkModelMatrix m(n);
+  // Off-diagonal links in row-major order, then a seeded Fisher-Yates
+  // shuffle; the first round(async_frac * L) become async, the next
+  // round(psync_frac * rest) psync.
+  std::vector<std::pair<ProcessId, ProcessId>> links;
+  links.reserve(static_cast<std::size_t>(n) * (n > 0 ? n - 1 : 0));
+  for (ProcessId d = 0; d < n; ++d) {
+    for (ProcessId s = 0; s < n; ++s) {
+      if (d != s) links.emplace_back(d, s);
+    }
+  }
+  Rng rng(substream_seed(seed, 0x6c6d6dULL));  // "lmm"
+  for (std::size_t i = links.size(); i > 1; --i) {
+    std::swap(links[i - 1], links[rng.uniform_int(i)]);
+  }
+  const auto total = static_cast<double>(links.size());
+  const auto n_async =
+      static_cast<std::size_t>(async_frac * total + 0.5);
+  const auto n_psync = static_cast<std::size_t>(
+      psync_frac * (total - static_cast<double>(n_async)) + 0.5);
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (i < n_async) {
+      m.set(links[i].first, links[i].second, LinkModelClass::kAsync);
+    } else if (i < n_async + n_psync) {
+      m.set(links[i].first, links[i].second, LinkModelClass::kPartialSync);
+    }
+  }
+  return m;
+}
+
+std::string LinkModelMatrix::grid() const {
+  static constexpr char kGlyph[kNumLinkModelClasses] = {'S', 'P', 'A'};
+  std::string out;
+  for (ProcessId d = 0; d < n_; ++d) {
+    for (ProcessId s = 0; s < n_; ++s) {
+      if (s > 0) out += ' ';
+      out += kGlyph[static_cast<int>(at(d, s))];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+/// Endpoint of a pair: a process id or the '*' wildcard (kNoProcess).
+bool parse_endpoint(const std::string& s, int n, ProcessId& out,
+                    std::string& err) {
+  if (s == "*") {
+    out = kNoProcess;
+    return true;
+  }
+  int v = 0;
+  if (!parse_int(s, v)) {
+    err = "bad process '" + s + "'";
+    return false;
+  }
+  if (v < 0 || v >= n) {
+    err = "process " + std::to_string(v) + " out of range for n=" +
+          std::to_string(n);
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+std::string parse_link_models(const std::string& spec, int n,
+                              LinkModelMatrix& out) {
+  LinkModelMatrix m(n);
+  if (spec.empty()) return "link_models: empty spec";
+  for (const std::string& clause : split(spec, ';')) {
+    const std::size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      return "link_models: clause '" + clause + "' is missing ':'";
+    }
+    LinkModelClass cls;
+    const std::string cls_str = clause.substr(0, colon);
+    if (!link_model_class_from_string(cls_str, cls)) {
+      return "link_models: unknown class '" + cls_str + "' in clause '" +
+             clause + "' (want sync|psync|async)";
+    }
+    const std::string targets = clause.substr(colon + 1);
+    if (targets == "all") {
+      for (ProcessId d = 0; d < n; ++d) {
+        for (ProcessId s = 0; s < n; ++s) {
+          if (d != s) m.set(d, s, cls);
+        }
+      }
+      continue;
+    }
+    if (targets.empty()) {
+      return "link_models: clause '" + clause + "' has no targets";
+    }
+    for (const std::string& pair : split(targets, ',')) {
+      const std::size_t arrow = pair.find("->");
+      if (arrow == std::string::npos) {
+        return "link_models: bad pair '" + pair + "' (want src->dst)";
+      }
+      ProcessId src = kNoProcess;
+      ProcessId dst = kNoProcess;
+      std::string err;
+      if (!parse_endpoint(pair.substr(0, arrow), n, src, err) ||
+          !parse_endpoint(pair.substr(arrow + 2), n, dst, err)) {
+        return "link_models: " + err + " in pair '" + pair + "'";
+      }
+      if (src != kNoProcess && src == dst && cls != LinkModelClass::kSync) {
+        return "link_models: self link " + pair +
+               " must be sync (self links always count)";
+      }
+      for (ProcessId d = 0; d < n; ++d) {
+        if (dst != kNoProcess && d != dst) continue;
+        for (ProcessId s = 0; s < n; ++s) {
+          if (src != kNoProcess && s != src) continue;
+          if (d == s) continue;  // wildcards skip self links
+          m.set(d, s, cls);
+        }
+      }
+    }
+  }
+  out = std::move(m);
+  return std::string();
+}
+
+}  // namespace timing

@@ -1,0 +1,118 @@
+// Per-link timing-model assignment (the Granular Synchrony view of the
+// paper's question). Instead of one system-wide TimingModel, every
+// directed link (src -> dst) carries its own assumption class:
+//
+//   sync  - the link is always required to be timely for conformance;
+//   psync - partially synchronous: required, like sync, for the per-round
+//           predicates (the sync/psync split matters to the analysis
+//           layer, which assigns the classes different per-round
+//           timeliness probabilities, and to per-class conformance
+//           reporting);
+//   async - no timing obligation at all. An async link can neither
+//           violate a predicate nor count towards its quorums.
+//
+// The granular predicates in models/predicates.hpp restrict every
+// requirement and every quorum count to the *reliable* plane
+// (sync + psync links). With an all-sync matrix they reduce exactly to
+// the homogeneous Section 4.1 predicates - tests/granular_test.cpp pins
+// that equivalence bit-for-bit.
+//
+// Self links are always sync: a process's link with itself counts towards
+// the paper's source/destination counts (footnote 1) and is always timely
+// in every sampler, so declaring it async would silently shrink quorums.
+//
+// Spec grammar (scenario override `link_models=`):
+//
+//   spec   := clause (';' clause)*
+//   clause := class ':' targets
+//   class  := 'sync' | 'psync' | 'async'
+//   targets:= 'all' | pair (',' pair)*
+//   pair   := endpoint '->' endpoint      // src -> dst, '*' is a wildcard
+//
+// Clauses apply in order, later clauses overwriting earlier ones;
+// unmentioned links default to sync, so `async:0->2,3->*` alone is a
+// valid spec. Wildcard clauses skip self links; naming a self link
+// explicitly with a non-sync class is an error.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace timing {
+
+enum class LinkModelClass : std::uint8_t {
+  kSync = 0,
+  kPartialSync = 1,
+  kAsync = 2,
+};
+
+inline constexpr int kNumLinkModelClasses = 3;
+
+inline constexpr std::array<LinkModelClass, kNumLinkModelClasses>
+    kAllLinkModelClasses{LinkModelClass::kSync, LinkModelClass::kPartialSync,
+                         LinkModelClass::kAsync};
+
+/// Canonical spelling used by the spec grammar and describe output.
+const char* to_string(LinkModelClass c) noexcept;
+
+/// Accepts the canonical spellings plus "partial-sync" for kPartialSync.
+bool link_model_class_from_string(const std::string& s, LinkModelClass& out);
+
+/// n x n per-link class assignment. Rows are destinations, columns are
+/// sources, matching LinkMatrix. Self links are pinned to sync.
+class LinkModelMatrix {
+ public:
+  LinkModelMatrix() = default;
+  explicit LinkModelMatrix(int n);
+
+  int n() const noexcept { return n_; }
+
+  LinkModelClass at(ProcessId dst, ProcessId src) const noexcept {
+    return static_cast<LinkModelClass>(
+        cells_[static_cast<std::size_t>(dst) * n_ + src]);
+  }
+
+  /// Self links are forced to sync regardless of `c`.
+  void set(ProcessId dst, ProcessId src, LinkModelClass c) noexcept;
+
+  /// True iff the link carries a timing obligation (sync or psync).
+  bool reliable(ProcessId dst, ProcessId src) const noexcept {
+    return at(dst, src) != LinkModelClass::kAsync;
+  }
+
+  bool all_sync() const noexcept;
+
+  /// Number of links assigned class `c` (self links included; they are
+  /// always sync).
+  int count(LinkModelClass c) const noexcept;
+
+  /// All links one class (self links still sync).
+  static LinkModelMatrix uniform(int n, LinkModelClass c);
+
+  /// Deterministic mixed matrix for sweep scenarios: of the n*(n-1)
+  /// off-diagonal links, round(async_frac * count) are async and, of the
+  /// remainder, round(psync_frac * count) are psync; which links is a
+  /// seed-determined shuffle, so the same (n, fracs, seed) always yields
+  /// the same matrix.
+  static LinkModelMatrix mixed(int n, double async_frac, double psync_frac,
+                               std::uint64_t seed);
+
+  /// Human-readable grid for `timing_lab describe`: one row per
+  /// destination, 'S'/'P'/'A' per source column.
+  std::string grid() const;
+
+ private:
+  int n_ = 0;
+  std::vector<std::uint8_t> cells_;
+};
+
+/// Parse the spec grammar into `out` (sized n). Returns the empty string
+/// on success, else a message naming the offending clause or pair.
+std::string parse_link_models(const std::string& spec, int n,
+                              LinkModelMatrix& out);
+
+}  // namespace timing

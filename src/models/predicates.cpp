@@ -1,5 +1,8 @@
 #include "models/predicates.hpp"
 
+#include <type_traits>
+#include <utility>
+
 #include "common/check.hpp"
 
 namespace timing {
@@ -105,19 +108,6 @@ bool satisfies(TimingModel m, const LinkMatrix& a, ProcessId leader,
   return false;
 }
 
-std::uint8_t evaluate_all(const LinkMatrix& a, ProcessId leader,
-                          const CorrectMask* correct, TraceSink* sink,
-                          Round k) {
-  std::uint8_t mask = 0;
-  for (TimingModel m : kAllModels) {
-    if (satisfies(m, a, leader, correct)) {
-      mask |= static_cast<std::uint8_t>(1u << static_cast<int>(m));
-    }
-  }
-  trace_emit(sink, TraceEvent::predicates(k, mask));
-  return mask;
-}
-
 // ---------------------------------------------------------------------
 // Packed fast path. The sim/packed_eval.hpp kernels use their own bit
 // constants so sim/ does not depend on the TimingModel enum; pin the two
@@ -170,27 +160,300 @@ bool satisfies(TimingModel m, const PackedLinkMatrix& a, ProcessId leader,
   return false;
 }
 
-std::uint8_t evaluate_all(const PackedLinkMatrix& a, ProcessId leader,
-                          const CorrectMask* correct, TraceSink* sink,
-                          Round k) {
-  TM_CHECK(leader >= 0 && leader < a.n(), "leader out of range");
-  std::uint8_t mask = 0;
-  if (correct == nullptr) {
-    // One sweep computes all four models; scratch is per-thread so the
-    // hot failure-free path never allocates.
-    thread_local ColumnDeficits cols;
-    mask = packed_evaluate_mask(a, leader, cols);
-  } else {
+// ---------------------------------------------------------------------
+// One templated body behind each scalar/packed overload pair (the
+// granular variants below reuse the same shape, so four entry points
+// share two implementations instead of four diverging loops).
+
+namespace {
+
+template <class Matrix>
+std::uint8_t evaluate_mask(const Matrix& a, ProcessId leader,
+                           const CorrectMask* correct) {
+  if constexpr (std::is_same_v<Matrix, PackedLinkMatrix>) {
+    if (correct == nullptr) {
+      // One sweep computes all four models; scratch is per-thread so the
+      // hot failure-free path never allocates.
+      thread_local ColumnDeficits cols;
+      return packed_evaluate_mask(a, leader, cols);
+    }
+    // Crash path: build the packed aliveness mask once for all four.
     const PackedCorrectMask cm(*correct, a.n());
+    std::uint8_t mask = 0;
     if (packed_satisfies_es(a, cm)) mask |= kPackedEsBit;
     if (cm.test(leader)) {
       if (packed_satisfies_lm(a, leader, cm)) mask |= kPackedLmBit;
       if (packed_satisfies_wlm(a, leader, cm)) mask |= kPackedWlmBit;
     }
     if (packed_satisfies_afm(a, cm)) mask |= kPackedAfmBit;
+    return mask;
+  } else {
+    std::uint8_t mask = 0;
+    for (TimingModel m : kAllModels) {
+      if (satisfies(m, a, leader, correct)) {
+        mask |= static_cast<std::uint8_t>(1u << static_cast<int>(m));
+      }
+    }
+    return mask;
   }
+}
+
+template <class Matrix>
+std::uint8_t evaluate_all_impl(const Matrix& a, ProcessId leader,
+                               const CorrectMask* correct, TraceSink* sink,
+                               Round k) {
+  TM_CHECK(leader >= 0 && leader < a.n(), "leader out of range");
+  const std::uint8_t mask = evaluate_mask(a, leader, correct);
   trace_emit(sink, TraceEvent::predicates(k, mask));
   return mask;
+}
+
+}  // namespace
+
+std::uint8_t evaluate_all(const LinkMatrix& a, ProcessId leader,
+                          const CorrectMask* correct, TraceSink* sink,
+                          Round k) {
+  return evaluate_all_impl(a, leader, correct, sink, k);
+}
+
+std::uint8_t evaluate_all(const PackedLinkMatrix& a, ProcessId leader,
+                          const CorrectMask* correct, TraceSink* sink,
+                          Round k) {
+  return evaluate_all_impl(a, leader, correct, sink, k);
+}
+
+// ---------------------------------------------------------------------
+// Granular predicates. Pin the LinkModelClass order to the generic class
+// indices of sim/packed_eval.hpp (sync and psync required, async exempt)
+// and to the obs csat bit order, here where all three are visible.
+static_assert(static_cast<int>(LinkModelClass::kSync) == 0);
+static_assert(static_cast<int>(LinkModelClass::kPartialSync) == 1);
+static_assert(static_cast<int>(LinkModelClass::kAsync) == 2);
+static_assert(kNumLinkModelClasses == GranularPlanes::kNumClasses);
+static_assert(static_cast<int>(LinkModelClass::kPartialSync) <
+              GranularPlanes::kNumRequiredClasses);
+static_assert(static_cast<int>(LinkModelClass::kAsync) >=
+              GranularPlanes::kNumRequiredClasses);
+static_assert(kNumLinkModelClasses == kTraceNumLinkClasses);
+
+GranularContext::GranularContext(LinkModelMatrix matrix)
+    : matrix_(std::move(matrix)),
+      planes_(matrix_.n(),
+              [this](ProcessId dst, ProcessId src) {
+                return static_cast<int>(matrix_.at(dst, src));
+              }),
+      all_sync_(matrix_.all_sync()) {}
+
+namespace {
+
+/// Required-and-timely links into `dst` from correct sources (self
+/// included; self links are always required).
+int granular_timely_in(const LinkMatrix& a, const GranularContext& g,
+                       ProcessId dst, const CorrectMask* correct) {
+  int c = 0;
+  for (ProcessId s = 0; s < a.n(); ++s) {
+    if (alive(correct, s) && g.matrix().reliable(dst, s) &&
+        a.timely(dst, s)) {
+      ++c;
+    }
+  }
+  return c;
+}
+
+bool granular_es(const LinkMatrix& a, const GranularContext& g,
+                 const CorrectMask* correct) {
+  for (ProcessId d = 0; d < a.n(); ++d) {
+    if (!alive(correct, d)) continue;
+    for (ProcessId s = 0; s < a.n(); ++s) {
+      if (!alive(correct, s)) continue;
+      if (g.matrix().reliable(d, s) && !a.timely(d, s)) return false;
+    }
+  }
+  return true;
+}
+
+/// Required leader-column links into correct processes are timely; an
+/// async (d <- leader) link is vacuously fine.
+bool granular_leader_column_ok(const LinkMatrix& a, const GranularContext& g,
+                               ProcessId leader,
+                               const CorrectMask* correct) {
+  for (ProcessId d = 0; d < a.n(); ++d) {
+    if (!alive(correct, d)) continue;
+    if (g.matrix().reliable(d, leader) && !a.timely(d, leader)) return false;
+  }
+  return true;
+}
+
+bool granular_lm(const LinkMatrix& a, const GranularContext& g,
+                 ProcessId leader, const CorrectMask* correct) {
+  if (!alive(correct, leader)) return false;
+  if (!granular_leader_column_ok(a, g, leader, correct)) return false;
+  const int maj = majority_size(a.n());
+  for (ProcessId d = 0; d < a.n(); ++d) {
+    if (!alive(correct, d)) continue;
+    if (granular_timely_in(a, g, d, correct) < maj) return false;
+  }
+  return true;
+}
+
+bool granular_wlm(const LinkMatrix& a, const GranularContext& g,
+                  ProcessId leader, const CorrectMask* correct) {
+  if (!alive(correct, leader)) return false;
+  if (!granular_leader_column_ok(a, g, leader, correct)) return false;
+  return granular_timely_in(a, g, leader, correct) >= majority_size(a.n());
+}
+
+bool granular_afm(const LinkMatrix& a, const GranularContext& g,
+                  const CorrectMask* correct) {
+  const int maj = majority_size(a.n());
+  for (ProcessId i = 0; i < a.n(); ++i) {
+    if (!alive(correct, i)) continue;
+    if (granular_timely_in(a, g, i, correct) < maj) return false;
+    // Majority-source over required links, same recipient convention as
+    // the homogeneous predicate above.
+    int c = 0;
+    for (ProcessId d = 0; d < a.n(); ++d) {
+      if ((d == i || alive(correct, d)) && g.matrix().reliable(d, i) &&
+          a.timely(d, i)) {
+        ++c;
+      }
+    }
+    if (c < maj) return false;
+  }
+  return true;
+}
+
+/// Scalar per-class conformance: bit c iff all class-c links between
+/// correct processes were timely.
+std::uint8_t granular_class_conformance(const LinkMatrix& a,
+                                        const GranularContext& g,
+                                        const CorrectMask* correct) {
+  bool class_ok[kNumLinkModelClasses] = {true, true, true};
+  for (ProcessId d = 0; d < a.n(); ++d) {
+    if (!alive(correct, d)) continue;
+    for (ProcessId s = 0; s < a.n(); ++s) {
+      if (!alive(correct, s)) continue;
+      if (!a.timely(d, s)) {
+        class_ok[static_cast<int>(g.matrix().at(d, s))] = false;
+      }
+    }
+  }
+  std::uint8_t csat = 0;
+  for (int c = 0; c < kNumLinkModelClasses; ++c) {
+    if (class_ok[c]) csat |= static_cast<std::uint8_t>(1u << c);
+  }
+  return csat;
+}
+
+template <class Matrix>
+GranularEval evaluate_granular_mask(const Matrix& a, ProcessId leader,
+                                    const GranularContext& g,
+                                    const CorrectMask* correct) {
+  GranularEval out;
+  if constexpr (std::is_same_v<Matrix, PackedLinkMatrix>) {
+    if (correct == nullptr) {
+      thread_local ColumnDeficits cols;
+      const GranularPackedEval e =
+          packed_evaluate_granular(a, leader, g.planes(), cols);
+      out.sat = e.sat;
+      out.csat = e.csat;
+      return out;
+    }
+    const PackedCorrectMask cm(*correct, a.n());
+    if (packed_granular_satisfies_es(a, g.planes(), cm)) {
+      out.sat |= kPackedEsBit;
+    }
+    if (cm.test(leader)) {
+      if (packed_granular_satisfies_lm(a, g.planes(), leader, cm)) {
+        out.sat |= kPackedLmBit;
+      }
+      if (packed_granular_satisfies_wlm(a, g.planes(), leader, cm)) {
+        out.sat |= kPackedWlmBit;
+      }
+    }
+    if (packed_granular_satisfies_afm(a, g.planes(), cm)) {
+      out.sat |= kPackedAfmBit;
+    }
+    out.csat = packed_granular_class_conformance(a, g.planes(), cm);
+    return out;
+  } else {
+    for (TimingModel m : kAllModels) {
+      if (satisfies_granular(m, a, leader, g, correct)) {
+        out.sat |= static_cast<std::uint8_t>(1u << static_cast<int>(m));
+      }
+    }
+    out.csat = granular_class_conformance(a, g, correct);
+    return out;
+  }
+}
+
+template <class Matrix>
+GranularEval evaluate_all_granular_impl(const Matrix& a, ProcessId leader,
+                                        const GranularContext& g,
+                                        const CorrectMask* correct,
+                                        TraceSink* sink, Round k) {
+  TM_CHECK(leader >= 0 && leader < a.n(), "leader out of range");
+  TM_CHECK(g.n() == a.n(), "link model matrix size mismatch");
+  const GranularEval e = evaluate_granular_mask(a, leader, g, correct);
+  trace_emit(sink, TraceEvent::granular_predicates(k, e.sat, e.csat));
+  return e;
+}
+
+}  // namespace
+
+bool satisfies_granular(TimingModel m, const LinkMatrix& a, ProcessId leader,
+                        const GranularContext& g,
+                        const CorrectMask* correct) {
+  TM_CHECK(g.n() == a.n(), "link model matrix size mismatch");
+  switch (m) {
+    case TimingModel::kEs: return granular_es(a, g, correct);
+    case TimingModel::kLm:
+      TM_CHECK(leader >= 0 && leader < a.n(), "leader out of range");
+      return granular_lm(a, g, leader, correct);
+    case TimingModel::kWlm:
+      TM_CHECK(leader >= 0 && leader < a.n(), "leader out of range");
+      return granular_wlm(a, g, leader, correct);
+    case TimingModel::kAfm: return granular_afm(a, g, correct);
+  }
+  return false;
+}
+
+bool satisfies_granular(TimingModel m, const PackedLinkMatrix& a,
+                        ProcessId leader, const GranularContext& g,
+                        const CorrectMask* correct) {
+  TM_CHECK(g.n() == a.n(), "link model matrix size mismatch");
+  TM_CHECK(leader >= 0 && leader < a.n(), "leader out of range");
+  if (correct == nullptr) {
+    const GranularPackedEval e = packed_evaluate_granular(a, leader,
+                                                          g.planes());
+    return (e.sat & (1u << static_cast<int>(m))) != 0;
+  }
+  const PackedCorrectMask cm(*correct, a.n());
+  switch (m) {
+    case TimingModel::kEs:
+      return packed_granular_satisfies_es(a, g.planes(), cm);
+    case TimingModel::kLm:
+      return packed_granular_satisfies_lm(a, g.planes(), leader, cm);
+    case TimingModel::kWlm:
+      return packed_granular_satisfies_wlm(a, g.planes(), leader, cm);
+    case TimingModel::kAfm:
+      return packed_granular_satisfies_afm(a, g.planes(), cm);
+  }
+  return false;
+}
+
+GranularEval evaluate_all_granular(const LinkMatrix& a, ProcessId leader,
+                                   const GranularContext& g,
+                                   const CorrectMask* correct,
+                                   TraceSink* sink, Round k) {
+  return evaluate_all_granular_impl(a, leader, g, correct, sink, k);
+}
+
+GranularEval evaluate_all_granular(const PackedLinkMatrix& a,
+                                   ProcessId leader, const GranularContext& g,
+                                   const CorrectMask* correct,
+                                   TraceSink* sink, Round k) {
+  return evaluate_all_granular_impl(a, leader, g, correct, sink, k);
 }
 
 }  // namespace timing

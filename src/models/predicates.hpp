@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "models/link_model_matrix.hpp"
 #include "models/timing_model.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/link_matrix.hpp"
@@ -78,5 +79,64 @@ std::uint8_t evaluate_all(const LinkMatrix& a, ProcessId leader,
 std::uint8_t evaluate_all(const PackedLinkMatrix& a, ProcessId leader,
                           const CorrectMask* correct = nullptr,
                           TraceSink* sink = nullptr, Round k = 0);
+
+// ---------------------------------------------------------------------
+// Granular (per-link) predicates. Every requirement and quorum count is
+// restricted to the *reliable* plane of a LinkModelMatrix (sync + psync
+// links); async links carry no obligation and cannot count towards a
+// quorum (see link_model_matrix.hpp for the full semantics). With an
+// all-sync matrix the granular predicates are bit-identical to the
+// homogeneous ones above — tests/granular_test.cpp pins that.
+
+/// Immutable evaluation context for one LinkModelMatrix: owns the matrix
+/// plus the pre-packed bit planes the granular kernels sweep. Build once
+/// per trial (or per scenario), evaluate many rounds.
+class GranularContext {
+ public:
+  explicit GranularContext(LinkModelMatrix matrix);
+
+  int n() const noexcept { return matrix_.n(); }
+  const LinkModelMatrix& matrix() const noexcept { return matrix_; }
+  const GranularPlanes& planes() const noexcept { return planes_; }
+  /// All-sync matrices take the homogeneous fast path unchanged.
+  bool all_sync() const noexcept { return all_sync_; }
+
+ private:
+  LinkModelMatrix matrix_;
+  GranularPlanes planes_;
+  bool all_sync_;
+};
+
+/// Result of one granular round evaluation. `sat` uses the canonical
+/// ES/LM/WLM/AFM bit order; `csat` bit c is set iff every class-c link
+/// (between correct processes) was timely this round — the per-class
+/// conformance trace_tool summary reports.
+struct GranularEval {
+  std::uint8_t sat = 0;
+  std::uint8_t csat = 0;
+};
+
+/// Single granular predicate, scalar and packed. `leader` is ignored for
+/// ES and <>AFM.
+bool satisfies_granular(TimingModel m, const LinkMatrix& a, ProcessId leader,
+                        const GranularContext& g,
+                        const CorrectMask* correct = nullptr);
+bool satisfies_granular(TimingModel m, const PackedLinkMatrix& a,
+                        ProcessId leader, const GranularContext& g,
+                        const CorrectMask* correct = nullptr);
+
+/// Evaluate all four granular predicates plus per-class conformance.
+/// When `sink` is non-null, one PredicateEval event with the csat field
+/// is emitted for round `k`.
+GranularEval evaluate_all_granular(const LinkMatrix& a, ProcessId leader,
+                                   const GranularContext& g,
+                                   const CorrectMask* correct = nullptr,
+                                   TraceSink* sink = nullptr, Round k = 0);
+
+/// Packed fast path: one sweep (sim/packed_eval.hpp). Identical result.
+GranularEval evaluate_all_granular(const PackedLinkMatrix& a,
+                                   ProcessId leader, const GranularContext& g,
+                                   const CorrectMask* correct = nullptr,
+                                   TraceSink* sink = nullptr, Round k = 0);
 
 }  // namespace timing

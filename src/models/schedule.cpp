@@ -17,6 +17,9 @@ ScheduleSampler::ScheduleSampler(const ScheduleConfig& cfg)
   TM_CHECK(cfg_.crash_rounds.empty() ||
                static_cast<int>(cfg_.crash_rounds.size()) == cfg_.n,
            "crash_rounds must be empty or have n entries");
+  TM_CHECK(cfg_.link_models.n() == 0 || cfg_.link_models.n() == cfg_.n,
+           "link_models size must match the schedule's n");
+  granular_ = cfg_.link_models.n() > 0 && !cfg_.link_models.all_sync();
 }
 
 bool ScheduleSampler::alive(ProcessId i, Round k) const noexcept {
@@ -57,12 +60,25 @@ void ScheduleSampler::repair_to_model(LinkMatrix& out, Round k) {
   TM_CHECK(static_cast<int>(alive_set.size()) >= maj,
            "schedule needs a correct majority");
 
+  // Under a granular matrix only reliable links carry obligations (and
+  // only they count towards forced quorums). required() is identically
+  // true on the homogeneous path, so an all-sync matrix draws the exact
+  // same RNG stream as no matrix at all.
+  auto required = [&](ProcessId d, ProcessId s) {
+    return !granular_ || cfg_.link_models.reliable(d, s);
+  };
+
   // Force `dst`'s row to receive timely from at least `maj` ALIVE sources
-  // (the self link always counts, matching the paper's footnote 1).
+  // (the self link always counts, matching the paper's footnote 1). With
+  // a granular matrix the quorum may be unreachable — the reliable
+  // in-degree caps it — in which case every reliable candidate is forced
+  // and the deficit is the caller's problem (granular_supports() gates
+  // the liveness expectation on exactly this).
   auto force_row_majority = [&](ProcessId dst) {
     int have = 0;
     std::vector<ProcessId> candidates;
     for (ProcessId s : alive_set) {
+      if (!required(dst, s)) continue;
       if (out.timely(dst, s) || s == dst) {
         ++have;
       } else {
@@ -81,21 +97,37 @@ void ScheduleSampler::repair_to_model(LinkMatrix& out, Round k) {
 
   switch (cfg_.model) {
     case TimingModel::kEs:
-      // All links between correct processes timely.
+      // All required links between correct processes timely.
       for (ProcessId d : alive_set) {
-        for (ProcessId s : alive_set) out.set(d, s, 0);
+        for (ProcessId s : alive_set) {
+          if (required(d, s)) out.set(d, s, 0);
+        }
       }
       break;
     case TimingModel::kLm:
-      for (ProcessId d = 0; d < n; ++d) out.set(d, cfg_.leader, 0);
+      for (ProcessId d = 0; d < n; ++d) {
+        if (required(d, cfg_.leader)) out.set(d, cfg_.leader, 0);
+      }
       for (ProcessId d : alive_set) force_row_majority(d);
       break;
     case TimingModel::kWlm:
-      for (ProcessId d = 0; d < n; ++d) out.set(d, cfg_.leader, 0);
+      for (ProcessId d = 0; d < n; ++d) {
+        if (required(d, cfg_.leader)) out.set(d, cfg_.leader, 0);
+      }
       force_row_majority(cfg_.leader);
       break;
     case TimingModel::kAfm: {
-      if (alive_set.size() == static_cast<std::size_t>(n)) {
+      if (granular_) {
+        // All reliable alive<->alive links timely: meets both the
+        // majority-destination and majority-source requirements wherever
+        // the reliable plane still can (the circulant below may land
+        // required mass on async links, which count for nothing).
+        for (ProcessId d : alive_set) {
+          for (ProcessId s : alive_set) {
+            if (required(d, s)) out.set(d, s, 0);
+          }
+        }
+      } else if (alive_set.size() == static_cast<std::size_t>(n)) {
         // Failure-free: a rotated circulant gives every row and column a
         // majority with mobile timely sets.
         const int rot = static_cast<int>(rng_.uniform_int(n));

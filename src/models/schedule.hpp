@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "models/link_model_matrix.hpp"
 #include "models/timing_model.hpp"
 #include "sim/sampler.hpp"
 
@@ -36,6 +37,13 @@ struct ScheduleConfig {
   /// incoming links from correct processes"), so the post-GSR repair must
   /// draw the forced majorities from processes still alive in that round.
   std::vector<Round> crash_rounds;
+  /// Optional per-link timing assignment (empty = homogeneous). With a
+  /// non-all-sync matrix the post-GSR repair only forces RELIABLE links
+  /// timely and only counts reliable links towards the forced quorums:
+  /// async links carry no obligation, so a granular-conforming schedule
+  /// may never make them timely. An all-sync matrix takes the
+  /// homogeneous code path and is therefore bit-identical to it.
+  LinkModelMatrix link_models;
 };
 
 class ScheduleSampler final : public TimelinessSampler {
@@ -58,6 +66,9 @@ class ScheduleSampler final : public TimelinessSampler {
 
   ScheduleConfig cfg_;
   Rng rng_;
+  /// True iff link_models names a non-all-sync matrix (the only case in
+  /// which the repair deviates from the homogeneous path).
+  bool granular_ = false;
 };
 
 }  // namespace timing

@@ -225,6 +225,9 @@ std::string to_jsonl(const TraceEvent& e) {
       break;
     case EventKind::kPredicateEval:
       append_field(s, "sat", e.sat);
+      // Granular evaluations carry the per-link-class conformance bits;
+      // homogeneous ones keep the sentinel and omit the field.
+      if (e.csat != kTraceNoClassSat) append_field(s, "csat", e.csat);
       break;
     case EventKind::kDecide:
       append_field(s, "p", e.proc);
@@ -400,6 +403,12 @@ ParsedTrace parse_trace(std::istream& in) {
           fail(line_no, "sat mask out of range");
         }
         e.sat = static_cast<std::uint8_t>(sat);
+        if (const auto csat = find_int(line, "csat", line_no)) {
+          if (*csat < 0 || *csat >= (1 << kTraceNumLinkClasses)) {
+            fail(line_no, "csat mask out of range");
+          }
+          e.csat = static_cast<std::uint8_t>(*csat);
+        }
         break;
       }
       case EventKind::kDecide: {

@@ -103,6 +103,14 @@ TrialSummary summarize_trial(const TrialTrace& trial, int n,
         break;
       case EventKind::kPredicateEval:
         ++out.pred_rounds;
+        if (e.csat != kTraceNoClassSat) {
+          ++out.granular_rounds;
+          for (int c = 0; c < kTraceNumLinkClasses; ++c) {
+            if (e.csat & (1u << c)) {
+              ++out.class_sat_rounds[static_cast<std::size_t>(c)];
+            }
+          }
+        }
         for (int m = 0; m < kTraceNumModels; ++m) {
           const auto mi = static_cast<std::size_t>(m);
           if (e.sat & (1u << m)) {

@@ -47,6 +47,12 @@ struct TrialSummary {
   long long pred_rounds = 0;
   /// Per model: rounds whose matrix satisfied the model.
   std::array<long long, kTraceNumModels> sat_rounds{};
+  /// PredicateEval events carrying a granular csat mask (0 for
+  /// homogeneous traces).
+  long long granular_rounds = 0;
+  /// Per link class (sync/psync/async): granular rounds in which every
+  /// link of that class was timely.
+  std::array<long long, kTraceNumLinkClasses> class_sat_rounds{};
   /// Per model: 1-based round in which the needed[m]-th consecutive
   /// conforming round occurred, counting from round 1 (equals
   /// rounds_until_conditions(sat, 0, needed).rounds); -1 if the run ended
@@ -70,6 +76,14 @@ struct TrialSummary {
                ? static_cast<double>(
                      sat_rounds[static_cast<std::size_t>(model)]) /
                      static_cast<double>(pred_rounds)
+               : 0.0;
+  }
+  /// Per-class conformance probability over the granular rounds.
+  double class_incidence(int cls) const noexcept {
+    return granular_rounds
+               ? static_cast<double>(
+                     class_sat_rounds[static_cast<std::size_t>(cls)]) /
+                     static_cast<double>(granular_rounds)
                : 0.0;
   }
   const LinkCounts& link(ProcessId src, ProcessId dst) const {

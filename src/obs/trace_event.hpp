@@ -31,6 +31,20 @@ inline constexpr int kTraceNumModels = 4;
 inline constexpr const char* kTraceModelNames[kTraceNumModels] = {
     "ES", "LM", "WLM", "AFM"};
 
+/// Number of per-link model classes a granular PredicateEval event can
+/// report conformance for (TraceEvent::csat). Bit c corresponds to class
+/// index c in the canonical sync/psync/async order of
+/// models/link_model_matrix.hpp (pinned by static_asserts there).
+inline constexpr int kTraceNumLinkClasses = 3;
+
+/// Canonical short names for the csat bits, index = class index.
+inline constexpr const char* kTraceLinkClassNames[kTraceNumLinkClasses] = {
+    "sync", "psync", "async"};
+
+/// TraceEvent::csat sentinel: the round was evaluated homogeneously (no
+/// per-link class information). Omitted from the JSONL encoding.
+inline constexpr std::uint8_t kTraceNoClassSat = 0xff;
+
 enum class EventKind : std::uint8_t {
   kRoundStart,    ///< round k began
   kRoundEnd,      ///< round k's compute phase finished
@@ -60,6 +74,8 @@ struct TraceEvent {
   ProcessId leader = kNoProcess;///< oracle output
   int delay = 0;                ///< MsgLate: rounds of extra delay
   std::uint8_t sat = 0;         ///< PredicateEval: bit per model
+  std::uint8_t csat = kTraceNoClassSat; ///< PredicateEval (granular): bit per
+                                ///< link class, all class links timely
   std::uint8_t rule = 0;        ///< Decide: protocol-specific rule tag
   Value value = kNoValue;       ///< Decide: value; ClientOp: observed result
 
@@ -125,6 +141,15 @@ struct TraceEvent {
     e.kind = EventKind::kPredicateEval;
     e.round = k;
     e.sat = sat_mask;
+    return e;
+  }
+  /// Granular evaluation: like predicates(), plus the per-link-class
+  /// conformance bits (csat != kTraceNoClassSat marks the round as
+  /// evaluated against a LinkModelMatrix).
+  static TraceEvent granular_predicates(Round k, std::uint8_t sat_mask,
+                                        std::uint8_t class_sat) {
+    TraceEvent e = predicates(k, sat_mask);
+    e.csat = class_sat;
     return e;
   }
   static TraceEvent decide(Round k, ProcessId proc, Value v,

@@ -11,6 +11,7 @@
 #include "common/table.hpp"
 #include "fault/chaos.hpp"
 #include "fault/parser.hpp"
+#include "models/link_model_matrix.hpp"
 #include "scenario/overrides.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/results.hpp"
@@ -62,8 +63,27 @@ void print_spec(std::ostream& os, const ScenarioSpec& spec) {
   os << "  (ES,LM,WLM,AFM)\n";
   os << "  group_sizes      "
      << (spec.group_sizes.empty() ? "-" : join_ints(spec.group_sizes)) << "\n";
+  if (!spec.async_fracs.empty()) {
+    os << "  async_fracs      " << join_doubles(spec.async_fracs) << "\n";
+    os << "  psync_frac       " << Table::num(spec.psync_frac, 2) << "\n";
+  }
   if (!spec.fault_spec.empty()) {
     os << "  fault            " << spec.fault_spec << "\n";
+  }
+  if (!spec.link_models.empty()) {
+    os << "  link_models      " << spec.link_models << "\n";
+    LinkModelMatrix m;
+    const std::string err = parse_link_models(spec.link_models, spec.n, m);
+    if (!err.empty()) {  // validate() reports this on `run`
+      os << "    (" << err << ")\n";
+      return;
+    }
+    os << "\nresolved link-model matrix (rows = destination, columns = "
+          "source; S sync, P psync, A async):\n"
+       << m.grid();
+    os << "links: " << m.count(LinkModelClass::kSync) << " sync, "
+       << m.count(LinkModelClass::kPartialSync) << " psync, "
+       << m.count(LinkModelClass::kAsync) << " async\n";
   }
 }
 

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <utility>
+#include <vector>
 
 #include "common/parse.hpp"
 
@@ -127,6 +129,21 @@ std::string apply_override(ScenarioSpec& spec, const std::string& key,
     if (!parse_int(value, spec.batch)) return "expected an integer";
     return "";
   }
+  if (key == "link_models") {
+    // Parsed against n in scenario::validate(); keep the raw spec here.
+    spec.link_models = value;
+    return "";
+  }
+  if (key == "async_fracs") {
+    if (!parse_double_list(value, spec.async_fracs)) {
+      return "expected a comma-separated list of numbers";
+    }
+    return "";
+  }
+  if (key == "psync_frac") {
+    if (!parse_double(value, spec.psync_frac)) return "expected a number";
+    return "";
+  }
   if (key == "profile") {
     // Switch latency testbed wholesale: sampler, group size and a
     // profile-appropriate round timeout (override timeouts_ms AFTER
@@ -152,6 +169,10 @@ std::string apply_override(ScenarioSpec& spec, const std::string& key,
 
 CliArgs apply_cli_args(ScenarioSpec& spec, int argc, char** argv, int first) {
   CliArgs out;
+  // Repeated key=value overrides are almost always a command-line typo
+  // (the second silently wins otherwise), so remember where each key was
+  // first set and reject the repeat with both positions.
+  std::vector<std::pair<std::string, int>> seen;
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--csv") {
@@ -170,6 +191,16 @@ CliArgs apply_cli_args(ScenarioSpec& spec, int argc, char** argv, int first) {
     }
     const std::string key = arg.substr(0, eq);
     const std::string value = arg.substr(eq + 1);
+    for (const auto& [prev_key, prev_pos] : seen) {
+      if (prev_key == key) {
+        out.error = "duplicate override '" + arg + "' (argument " +
+                    std::to_string(i - first + 1) + "): '" + key +
+                    "=' was already set by argument " +
+                    std::to_string(prev_pos - first + 1);
+        return out;
+      }
+    }
+    seen.emplace_back(key, i);
     const std::string err = apply_override(spec, key, value);
     if (!err.empty()) {
       out.error = "bad override '" + arg + "': " + err;
@@ -209,6 +240,13 @@ std::string override_help() {
       "  corrupt=none|stale|lost\n"
       "                      test-only linearizability violation hook\n"
       "                      (smr/linearizable; see docs/HISTORY.md)\n"
+      "  link_models=SPEC    per-link timing assumptions, e.g.\n"
+      "                      \"sync:all;async:0->2,3->*\" (classes sync,\n"
+      "                      psync, async; unmentioned links are sync;\n"
+      "                      '' = homogeneous predicates)\n"
+      "  async_fracs=A,B,..  async link-fraction sweep (granular/ablation)\n"
+      "  psync_frac=F        psync share of the non-async links in the\n"
+      "                      mixed matrices (granular/ablation)\n"
       "  pipeline=K          consensus instances kept in flight by the\n"
       "                      replicated log (smr/throughput; >1 switches\n"
       "                      smr/linearizable to the pipelined harness)\n"

@@ -109,6 +109,31 @@ ScenarioSpec group_size_defaults() {
   return s;
 }
 
+// -- Granular (per-link timing models) ---------------------------------
+
+ScenarioSpec granular_fig1_defaults() {
+  ScenarioSpec s = wan_defaults();
+  // One PlanetLab-style site (node 7) whose outgoing links carry no
+  // timing obligations, and a flaky inbound path to node 6 downgraded to
+  // partial synchrony. Override with link_models=SPEC.
+  s.link_models = "sync:all;psync:*->6;async:7->*";
+  return s;
+}
+
+ScenarioSpec granular_ablation_defaults() {
+  ScenarioSpec s;
+  s.sampler = SamplerKind::kIid;
+  s.n = 8;
+  s.iid_p = 0.95;
+  s.runs = 20;              // measurement runs per sweep point
+  s.rounds_per_run = 1000;  // rounds per run
+  s.start_points = 15;
+  s.seed = 0x9a41;
+  s.async_fracs = {0.0, 0.05, 0.1, 0.2, 0.3, 0.5};
+  s.psync_frac = 0.25;  // psync share of the remaining links
+  return s;
+}
+
 // -- Chaos (fault-injection safety harness) ----------------------------
 
 ScenarioSpec chaos_defaults() {
@@ -207,6 +232,14 @@ const std::vector<Scenario> kRegistry = {
     {"ablation/smr_cost", "ablation_smr_cost", "ablation",
      "Steady-state replication cost per committed command",
      smr_cost_defaults, run_ablation_smr_cost},
+    {"granular/fig1", "granular_fig1_wan", "granular",
+     "WAN Figure-1 sweep under per-link timing models (link_models=SPEC): "
+     "granular P_M, per-class conformance, rounds to decision",
+     granular_fig1_defaults, run_granular_fig1},
+    {"granular/ablation", "granular_ablation_mix", "granular",
+     "Async link-fraction sweep on IID links: measured granular P_M vs "
+     "the Poisson-binomial analysis",
+     granular_ablation_defaults, run_granular_ablation},
     {"chaos/consensus", "chaos_consensus", "chaos",
      "All four consensus algorithms under seeded random fault plans",
      chaos_defaults, run_chaos_consensus},

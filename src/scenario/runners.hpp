@@ -30,6 +30,8 @@ int run_ablation_simulation_cost(const ScenarioSpec& spec,
                                  const RunContext& ctx);
 int run_ablation_group_size(const ScenarioSpec& spec, const RunContext& ctx);
 int run_ablation_smr_cost(const ScenarioSpec& spec, const RunContext& ctx);
+int run_granular_fig1(const ScenarioSpec& spec, const RunContext& ctx);
+int run_granular_ablation(const ScenarioSpec& spec, const RunContext& ctx);
 int run_chaos_consensus(const ScenarioSpec& spec, const RunContext& ctx);
 int run_chaos_single(const ScenarioSpec& spec, const RunContext& ctx);
 int run_smr_linearizable(const ScenarioSpec& spec, const RunContext& ctx);

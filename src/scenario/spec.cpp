@@ -73,6 +73,17 @@ std::string validate(const ScenarioSpec& spec) {
       spec.corrupt_spec != "stale" && spec.corrupt_spec != "lost") {
     return "corrupt must be one of none, stale, lost";
   }
+  if (!spec.link_models.empty()) {
+    LinkModelMatrix m;
+    const std::string lerr = parse_link_models(spec.link_models, spec.n, m);
+    if (!lerr.empty()) return "bad link_models: " + lerr;
+  }
+  for (double f : spec.async_fracs) {
+    if (f < 0.0 || f > 1.0) return "async_fracs entries must be in [0, 1]";
+  }
+  if (spec.psync_frac < 0.0 || spec.psync_frac > 1.0) {
+    return "psync_frac must be in [0, 1]";
+  }
   if (!spec.fault_spec.empty()) {
     const fault::ParseResult pr = fault::load_fault_plan(spec.fault_spec);
     if (!pr.ok()) return "bad fault plan: " + pr.error;
@@ -96,6 +107,11 @@ ExperimentConfig to_experiment_config(const ScenarioSpec& spec) {
   cfg.lan = spec.lan;
   cfg.wan = spec.wan;
   cfg.decision_rounds = spec.decision_rounds;
+  if (!spec.link_models.empty()) {
+    const std::string lerr =
+        parse_link_models(spec.link_models, spec.n, cfg.link_models);
+    TM_CHECK(lerr.empty(), lerr.c_str());
+  }
   switch (spec.leader_policy) {
     case LeaderPolicy::kDefault:
       cfg.leader = kNoProcess;

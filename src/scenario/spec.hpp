@@ -96,6 +96,18 @@ struct ScenarioSpec {
   /// Commands batched into one decree per log slot (the flush deadline
   /// still seals partial batches). 1 = one command per slot.
   int batch = 1;
+  /// Per-link timing assumptions (`link_models=` override): a spec in the
+  /// grammar of models/link_model_matrix.hpp, e.g.
+  /// "sync:all;async:0->2,3->*". Empty = homogeneous (every link carries
+  /// the model's obligations, the pre-granular behaviour); "sync:all"
+  /// reproduces the homogeneous results bit-for-bit.
+  std::string link_models;
+  /// Async link-fraction sweep for granular/ablation (each point builds a
+  /// seeded LinkModelMatrix::mixed with this fraction of async links).
+  std::vector<double> async_fracs;
+  /// Fraction of the remaining (non-async) links made partial-sync in the
+  /// mixed matrices of the granular/ablation sweep.
+  double psync_frac = 0.0;
 };
 
 /// Empty string when the spec is coherent; otherwise a one-line reason

@@ -355,6 +355,102 @@ TEST(Chaos, TraceBytesIdenticalAcrossThreadCounts) {
 }
 
 // ---------------------------------------------------------------------------
+// Chaos under granular link models
+// ---------------------------------------------------------------------------
+
+TEST(ChaosGranular, AllSyncVerdictsAreBitIdentical) {
+  // An all-sync matrix must take the homogeneous code paths exactly:
+  // same schedules, same RNG draws, same verdicts, same trace volume.
+  for (std::uint64_t seed : {1ull, 7ull, 99ull}) {
+    ChaosTrialConfig plain;
+    plain.n = 5;
+    plain.leader = 0;
+    plain.seed = seed;
+    plain.plan = random_fault_plan(5, 0, seed);
+    plain.max_rounds = 120;
+    ChaosTrialConfig granular = plain;
+    granular.link_models = LinkModelMatrix(5);  // defaults all-sync
+    for (AlgorithmKind k :
+         {AlgorithmKind::kWlm, AlgorithmKind::kEs3, AlgorithmKind::kLm3,
+          AlgorithmKind::kAfm5}) {
+      const ChaosRunResult a = run_chaos_algorithm(k, plain);
+      const ChaosRunResult b = run_chaos_algorithm(k, granular);
+      EXPECT_EQ(a.safety_ok, b.safety_ok);
+      EXPECT_EQ(a.liveness_ok, b.liveness_ok);
+      EXPECT_TRUE(b.liveness_enforced);
+      EXPECT_EQ(a.global_decision_round, b.global_decision_round);
+      EXPECT_EQ(a.fault_events, b.fault_events);
+      EXPECT_EQ(a.violation, b.violation);
+    }
+  }
+}
+
+TEST(ChaosGranular, SupportsFollowsTheReliablePlane) {
+  const int n = 5;
+  LinkModelMatrix m(n);
+  const std::vector<bool> all_alive;
+  for (TimingModel model : kAllModels) {
+    EXPECT_TRUE(granular_supports(model, 0, m, all_alive));
+  }
+
+  // One async non-leader link: only ES loses support.
+  m.set(2, 3, LinkModelClass::kAsync);
+  EXPECT_FALSE(granular_supports(TimingModel::kEs, 0, m, all_alive));
+  EXPECT_TRUE(granular_supports(TimingModel::kLm, 0, m, all_alive));
+  EXPECT_TRUE(granular_supports(TimingModel::kWlm, 0, m, all_alive));
+  EXPECT_TRUE(granular_supports(TimingModel::kAfm, 0, m, all_alive));
+
+  // An async leader entry kills the leader models for that row...
+  m.set(2, 0, LinkModelClass::kAsync);
+  EXPECT_FALSE(granular_supports(TimingModel::kLm, 0, m, all_alive));
+  EXPECT_FALSE(granular_supports(TimingModel::kWlm, 0, m, all_alive));
+  // ... unless that destination is crashed.
+  std::vector<bool> alive(static_cast<std::size_t>(n), true);
+  alive[2] = false;
+  EXPECT_TRUE(granular_supports(TimingModel::kLm, 0, m, alive));
+  EXPECT_TRUE(granular_supports(TimingModel::kWlm, 0, m, alive));
+
+  // Starve row 1 below majority (needs 3 of 5): leave only self + one.
+  LinkModelMatrix starved(n);
+  for (ProcessId s = 0; s < n; ++s) {
+    if (s != 1 && s != 0) starved.set(1, s, LinkModelClass::kAsync);
+  }
+  EXPECT_FALSE(granular_supports(TimingModel::kLm, 0, starved, all_alive));
+  EXPECT_FALSE(granular_supports(TimingModel::kAfm, 0, starved, all_alive));
+  // WLM only needs the leader's own row to reach majority.
+  EXPECT_TRUE(granular_supports(TimingModel::kWlm, 0, starved, all_alive));
+}
+
+TEST(ChaosGranular, UnsupportedMatrixWaivesLivenessKeepsSafety) {
+  const int n = 5;
+  // Sever every non-self inbound link of the leader (who is never
+  // permanently crashed by random plans, so the waiver cannot be
+  // voided by the alive mask): no granular model can make it hear
+  // anything reliably, so no liveness bound is owed — but
+  // agreement/validity/integrity still are.
+  LinkModelMatrix m(n);
+  for (ProcessId s = 1; s < n; ++s) m.set(0, s, LinkModelClass::kAsync);
+  for (std::uint64_t seed : {1ull, 5ull}) {
+    ChaosTrialConfig cfg;
+    cfg.n = n;
+    cfg.leader = 0;
+    cfg.seed = seed;
+    cfg.plan = random_fault_plan(n, 0, seed);
+    cfg.max_rounds = 120;
+    cfg.link_models = m;
+    for (AlgorithmKind k :
+         {AlgorithmKind::kWlm, AlgorithmKind::kEs3, AlgorithmKind::kLm3,
+          AlgorithmKind::kAfm5}) {
+      const ChaosRunResult r = run_chaos_algorithm(k, cfg);
+      EXPECT_TRUE(r.safety_ok) << r.violation;
+      EXPECT_TRUE(r.liveness_ok) << r.violation;
+      EXPECT_FALSE(r.liveness_enforced)
+          << algorithm_key(k) << " seed " << seed;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Sim vs live: one plan, two backends, same injections
 // ---------------------------------------------------------------------------
 

@@ -267,6 +267,53 @@ TEST(OverrideTest, PipelineBatchAndProfile) {
   EXPECT_NE(apply(s, {"profile=metro"}).error, "");
 }
 
+TEST(OverrideTest, RejectsDuplicateKeys) {
+  ScenarioSpec s = wan_spec();
+  // The last write would silently win without the check; the error names
+  // both argument positions so the offender is easy to find in a long
+  // command line.
+  const CliArgs a = apply(s, {"runs=2", "seed=7", "runs=3"});
+  EXPECT_EQ(a.error,
+            "duplicate override 'runs=3' (argument 3): "
+            "'runs=' was already set by argument 1");
+  // Distinct keys and repeated flags stay fine.
+  EXPECT_TRUE(apply(s, {"runs=2", "rounds_per_run=20"}).error.empty());
+  EXPECT_TRUE(apply(s, {"--csv", "--csv", "runs=2"}).error.empty());
+}
+
+TEST(OverrideTest, LinkModelKeys) {
+  ScenarioSpec s = wan_spec();
+  EXPECT_TRUE(apply(s, {"link_models=sync:all;async:0->2"}).error.empty());
+  EXPECT_EQ(s.link_models, "sync:all;async:0->2");
+  EXPECT_EQ(validate(s), "");
+
+  EXPECT_TRUE(apply(s, {"async_fracs=0,0.25,0.5", "psync_frac=0.3"})
+                  .error.empty());
+  EXPECT_EQ(s.async_fracs, (std::vector<double>{0, 0.25, 0.5}));
+  EXPECT_DOUBLE_EQ(s.psync_frac, 0.3);
+  EXPECT_EQ(validate(s), "");
+}
+
+TEST(SpecTest, RejectsBadLinkModels) {
+  ScenarioSpec s = wan_spec();
+  // The matrix spec is parsed at validation time, against the spec's n.
+  s.link_models = "sync:all;turbo:0->1";
+  EXPECT_NE(validate(s).find("bad link_models"), std::string::npos)
+      << validate(s);
+  s.link_models = "async:0->99";  // out of range for n = 8
+  EXPECT_NE(validate(s).find("bad link_models"), std::string::npos)
+      << validate(s);
+  s.link_models = "sync:all";
+  EXPECT_EQ(validate(s), "");
+
+  s = wan_spec();
+  s.async_fracs = {0.5, 1.5};
+  EXPECT_EQ(validate(s), "async_fracs entries must be in [0, 1]");
+  s = wan_spec();
+  s.psync_frac = -0.1;
+  EXPECT_EQ(validate(s), "psync_frac must be in [0, 1]");
+}
+
 TEST(OverrideTest, AlgorithmKeys) {
   ScenarioSpec s = wan_spec();
   EXPECT_TRUE(apply(s, {"algorithm=paxos"}).error.empty());
@@ -297,7 +344,8 @@ TEST(RegistryTest, HasAllScenariosWithUniqueNames) {
       "fig1h", "fig1i", "appc", "ablation/paxos_recovery",
       "ablation/algorithms_live", "ablation/window_formula",
       "ablation/simulation_cost", "ablation/group_size",
-      "ablation/smr_cost", "chaos/consensus", "chaos/single",
+      "ablation/smr_cost", "granular/fig1", "granular/ablation",
+      "chaos/consensus", "chaos/single",
       "smr/linearizable", "smr/throughput"};
   EXPECT_EQ(names, expected);
 }

@@ -86,6 +86,13 @@ void print_trial_summary(const TrialSummary& t,
                 kTraceModelNames[mi], t.incidence(m), needed[mi],
                 static_cast<long long>(t.first_window[mi]));
   }
+  if (t.granular_rounds > 0) {
+    for (int c = 0; c < kTraceNumLinkClasses; ++c) {
+      std::printf("  class %-5s P=%.4f\n",
+                  kTraceLinkClassNames[static_cast<std::size_t>(c)],
+                  t.class_incidence(c));
+    }
+  }
 }
 
 int cmd_summary(const ParsedTrace& trace,
@@ -102,6 +109,28 @@ int cmd_summary(const ParsedTrace& trace,
                 kTraceModelNames[static_cast<std::size_t>(m)],
                 s.mean_incidence(m), needed[static_cast<std::size_t>(m)], fw,
                 completed, s.trials.size());
+  }
+  // Per-link-class conformance, present only in granular traces (rounds
+  // evaluated against a LinkModelMatrix record a csat mask).
+  long long granular = 0;
+  std::array<long long, kTraceNumLinkClasses> class_sat{};
+  for (const TrialSummary& t : s.trials) {
+    granular += t.granular_rounds;
+    for (int c = 0; c < kTraceNumLinkClasses; ++c) {
+      class_sat[static_cast<std::size_t>(c)] +=
+          t.class_sat_rounds[static_cast<std::size_t>(c)];
+    }
+  }
+  if (granular > 0) {
+    std::printf("granular rounds: %lld\n", granular);
+    for (int c = 0; c < kTraceNumLinkClasses; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      std::printf("  class %-5s conforming %10.4f (%lld/%lld)\n",
+                  kTraceLinkClassNames[ci],
+                  static_cast<double>(class_sat[ci]) /
+                      static_cast<double>(granular),
+                  class_sat[ci], granular);
+    }
   }
   long long faults = 0;
   long long ops = 0;
