@@ -1,0 +1,12 @@
+// Fitness-guided hunt for worst-case fault schedules: simulated
+// annealing + elite pool over the fault-plan grammar, shrunk winners,
+// and the search-beats-uniform-sampling acceptance gate (baseline=N).
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_adversary_search; the same run is reachable as
+// `timing_lab run adversary/search`.
+#include "scenario/cli.hpp"
+
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("adversary/search", argc, argv);
+}

@@ -1,0 +1,11 @@
+// Replay the archived minimized adversary plans (archive=DIR) and hold
+// every entry to its recorded verdict, decision round and score.
+//
+// Thin wrapper over the scenario registry (src/scenario): the experiment
+// body is run_chaos_regression; the same run is reachable as
+// `timing_lab run chaos/regression`.
+#include "scenario/cli.hpp"
+
+int main(int argc, char** argv) {
+  return timing::scenario::bench_main("chaos/regression", argc, argv);
+}

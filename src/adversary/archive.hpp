@@ -1,0 +1,67 @@
+// The adversary archive: minimized hunt winners as regression fixtures.
+//
+// Each entry is one file that is simultaneously a valid fault-plan file
+// (the plan parser skips '#' comment lines) and a self-describing
+// record of the evaluation it must reproduce:
+//
+//   # adversary v1
+//   # algorithm=paxos n=5 leader=0 pre_gsr_p=0.4 eval_seed=123 samples=5 min_rounds=80
+//   # link_models=sync:all
+//   # verdict=decided delay=8.2 decision_round=25 score=8.2
+//   suppress_leader @6..9
+//   gsr @9
+//
+// `timing_lab replay <file>` and the chaos/regression scenario re-run
+// the recorded (algorithm, n, leader, pre_gsr_p, eval_seed) evaluation
+// and compare verdict, decision round and score against the header —
+// evaluation is a pure function, so any divergence is a behavior change
+// in the engine, the injector or the protocol, which is exactly what a
+// regression gate is for. Files sort by name on load, so archive order
+// (and therefore every report built from it) is deterministic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "adversary/fitness.hpp"
+
+namespace timing::adversary {
+
+struct ArchiveEntry {
+  std::string name;  ///< file stem (set by load/write)
+  EvalConfig eval;   ///< the recorded evaluation configuration
+  Candidate candidate;
+  /// Recorded outcome the replay must reproduce.
+  std::string verdict;
+  double delay = 0.0;
+  Round decision_round = -1;
+  double score = 0.0;
+};
+
+/// Entry from a finished evaluation (name left empty until written).
+ArchiveEntry make_archive_entry(const Candidate& c, const Fitness& f,
+                                const EvalConfig& eval);
+
+/// Deterministic file stem: "<algorithm>-<candidate hash hex>".
+std::string entry_stem(const ArchiveEntry& e);
+
+/// The full file text (header comments + canonical plan spec).
+std::string format_archive_entry(const ArchiveEntry& e);
+
+/// Parse a full file text; "" on success. Validates the plan against the
+/// recorded n/leader and parses link_models with the recorded n.
+std::string parse_archive_entry(const std::string& text, ArchiveEntry& out);
+
+/// Quick sniff: does this text carry the archive header?
+bool is_archive_text(const std::string& text);
+
+/// Write `<dir>/<entry_stem>.plan` (creating dir); "" on success, else an
+/// error message. `path_out`, when given, receives the file path.
+std::string write_archive_entry(const std::string& dir, const ArchiveEntry& e,
+                                std::string* path_out = nullptr);
+
+/// Load every *.plan in `dir`, sorted by file name; "" on success.
+std::string load_archive(const std::string& dir,
+                         std::vector<ArchiveEntry>& out);
+
+}  // namespace timing::adversary

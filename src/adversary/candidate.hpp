@@ -1,0 +1,52 @@
+// A search candidate: one complete adversary the chaos harness can run.
+//
+// The search space is the cross product of the fault-plan grammar
+// (fault/plan.hpp) and a static per-link timing assignment
+// (models/link_model_matrix.hpp). The plan injects crashes, partitions,
+// drops, delays and leader suppression before its gsr marker; the matrix
+// chooses which links even owe timeliness afterwards. Both halves are
+// plain data, so a candidate is trivially hashable, comparable and
+// serializable — the properties the mutator, the elite pool and the
+// archive all lean on.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/plan.hpp"
+#include "models/link_model_matrix.hpp"
+
+namespace timing::adversary {
+
+struct Candidate {
+  fault::FaultPlan plan;
+  /// Per-link model assignment the candidate runs under; all-sync is the
+  /// homogeneous case. Always sized to the search's n.
+  LinkModelMatrix link_models;
+};
+
+/// True iff the candidates describe the same adversary: structurally
+/// equal plans (fault::structurally_equal — `source` text is ignored)
+/// and identical link matrices.
+inline bool structurally_equal(const Candidate& a, const Candidate& b) {
+  return fault::structurally_equal(a.plan, b.plan) &&
+         a.link_models == b.link_models;
+}
+
+/// Stable content hash over plan structure and link classes; equal
+/// candidates hash identically across runs and platforms. Used to dedupe
+/// the elite pool and to name archive entries.
+inline std::uint64_t candidate_hash(const Candidate& c) {
+  std::uint64_t h = fault::plan_hash(c.plan);
+  const int n = c.link_models.n();
+  h ^= static_cast<std::uint64_t>(n) + 0x9e3779b97f4a7c15ull;
+  h *= 0x100000001b3ull;
+  for (ProcessId d = 0; d < n; ++d) {
+    for (ProcessId s = 0; s < n; ++s) {
+      h ^= static_cast<std::uint64_t>(c.link_models.at(d, s)) + 1;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace timing::adversary

@@ -1,0 +1,47 @@
+// Greedy plan minimization: make an elite small enough to read.
+//
+// shrink() repeatedly tries the cheapest structural simplifications —
+// drop a statement (a crash takes its recover; a recover alone turns its
+// crash permanent), narrow a window by one round from either end, pull
+// the gsr marker earlier, upgrade a degraded link back toward sync — and
+// keeps any edit whose re-evaluated score is no worse than the best seen
+// so far. Each adopted edit strictly shrinks a bounded measure (event
+// count, total window width, gsr, degraded-link count), so the loop
+// terminates; candidates are re-validated before every evaluation.
+//
+// The result is deterministic in (start, configs): edits are tried in a
+// fixed order and evaluation is pure, so the minimized specs the archive
+// stores are byte-stable across runs and thread counts.
+#pragma once
+
+#include "adversary/fitness.hpp"
+#include "adversary/mutate.hpp"
+
+namespace timing::adversary {
+
+struct ShrinkResult {
+  Candidate candidate;
+  Fitness fitness;      ///< of the minimized candidate
+  int steps = 0;        ///< simplifications adopted
+  int evaluations = 0;  ///< chaos runs spent (incl. the baseline one)
+};
+
+ShrinkResult shrink(const Candidate& start, const MutationConfig& mcfg,
+                    const EvalConfig& ecfg);
+
+struct PolishResult {
+  Candidate candidate;
+  Fitness fitness;
+  int evaluations = 0;   ///< mutations evaluated (excl. the baseline one)
+  int improvements = 0;  ///< strict score gains adopted
+};
+
+/// Greedy intensification around a finished candidate: `budget` single
+/// mutations, adopting any whose score is no worse (plateau drift is
+/// allowed, so the walk can cross flat ground). The annealer explores;
+/// this squeezes the last rounds out of the basin it ends in.
+/// Deterministic in (start, configs, seed) — one serial RNG stream.
+PolishResult polish(const Candidate& start, const MutationConfig& mcfg,
+                    const EvalConfig& ecfg, std::uint64_t seed, int budget);
+
+}  // namespace timing::adversary

@@ -194,14 +194,17 @@ ParseResult parse_with_locations(const std::string& text,
   const bool by_line = std::string(unit_name) == "line";
   std::size_t line_no = 0;
   std::size_t stmt_no = 0;
-  for (const std::string& line : split(text, '\n')) {
+  for (const std::string& full_line : split(text, '\n')) {
     ++line_no;
+    // A '#' comments out the rest of the LINE, before statement
+    // splitting — otherwise a ';' inside a comment would smuggle the
+    // trailing text back in as a statement.
+    std::string line = full_line;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
     for (const std::string& raw : split(line, ';')) {
       ++stmt_no;
-      std::string stmt = raw;
-      const std::size_t hash = stmt.find('#');
-      if (hash != std::string::npos) stmt.resize(hash);
-      stmt = trim(stmt);
+      std::string stmt = trim(raw);
       if (stmt.empty()) continue;
       FaultEvent e;
       const std::string err = parse_statement(stmt, e);

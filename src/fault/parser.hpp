@@ -1,5 +1,6 @@
 // Text grammar for fault plans. One statement per line (or ';' separated
-// when inline); '#' starts a comment; blank lines ignored:
+// when inline); '#' comments out the rest of its line (including any
+// ';' after it); blank lines ignored:
 //
 //   crash <p> @<r>
 //   recover <p> @<r>

@@ -1,6 +1,7 @@
 #include "fault/plan.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <set>
 #include <sstream>
 
@@ -251,6 +252,53 @@ std::string timeline(const FaultPlan& plan) {
     out += "  " + when + " " + e.spec() + "\n";
   }
   return out;
+}
+
+bool structurally_equal(const FaultPlan& a, const FaultPlan& b) noexcept {
+  return a.gsr == b.gsr && a.events == b.events;
+}
+
+namespace {
+
+void hash_mix(std::uint64_t& h, std::uint64_t v) noexcept {
+  // FNV-1a over the value's 8 bytes, little-endian by construction.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+}
+
+std::uint64_t double_bits(double d) noexcept {
+  // +0.0 and -0.0 compare equal but differ in bits; canonicalize so
+  // structurally_equal plans always hash identically.
+  if (d == 0.0) d = 0.0;
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+std::uint64_t plan_hash(const FaultPlan& plan) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  hash_mix(h, static_cast<std::uint64_t>(plan.gsr) + 1);
+  for (const FaultEvent& e : plan.events) {
+    hash_mix(h, static_cast<std::uint64_t>(e.kind));
+    hash_mix(h, static_cast<std::uint64_t>(e.proc) + 1);
+    hash_mix(h, static_cast<std::uint64_t>(e.src) + 1);
+    hash_mix(h, static_cast<std::uint64_t>(e.dst) + 1);
+    hash_mix(h, static_cast<std::uint64_t>(e.from));
+    hash_mix(h, static_cast<std::uint64_t>(e.to));
+    hash_mix(h, double_bits(e.prob));
+    hash_mix(h, double_bits(e.extra_ms));
+    hash_mix(h, e.groups.size());
+    for (const auto& g : e.groups) {
+      hash_mix(h, g.size());
+      for (ProcessId p : g) hash_mix(h, static_cast<std::uint64_t>(p) + 1);
+    }
+  }
+  return h;
 }
 
 int min_processes(const FaultPlan& plan) noexcept {

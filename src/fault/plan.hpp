@@ -107,6 +107,17 @@ std::string validate(const FaultPlan& plan, int n,
 /// binds it to a concrete n.
 int min_processes(const FaultPlan& plan) noexcept;
 
+/// True iff the plans inject the same adversary: identical event lists
+/// and gsr. `source` is ignored — two plans parsed from differently
+/// formatted text (or one parsed, one built) still compare equal.
+bool structurally_equal(const FaultPlan& a, const FaultPlan& b) noexcept;
+
+/// Order-sensitive FNV-1a hash over the structural content (events and
+/// gsr, not `source`). structurally_equal plans hash identically; the
+/// adversary search uses this to dedupe candidates and name archive
+/// entries, so the value must be stable across platforms and runs.
+std::uint64_t plan_hash(const FaultPlan& plan) noexcept;
+
 /// Human-readable timeline for `timing_lab describe`: one line per
 /// event, sorted by activation round (plan order breaks ties), e.g.
 ///

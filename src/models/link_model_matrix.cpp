@@ -116,6 +116,28 @@ std::string LinkModelMatrix::grid() const {
   return out;
 }
 
+std::string LinkModelMatrix::spec() const {
+  std::string out = "sync:all";
+  for (LinkModelClass cls :
+       {LinkModelClass::kPartialSync, LinkModelClass::kAsync}) {
+    std::string clause;
+    for (ProcessId s = 0; s < n_; ++s) {
+      for (ProcessId d = 0; d < n_; ++d) {
+        if (d == s || at(d, s) != cls) continue;
+        if (!clause.empty()) clause += ',';
+        clause += std::to_string(s) + "->" + std::to_string(d);
+      }
+    }
+    if (!clause.empty()) {
+      out += ';';
+      out += to_string(cls);
+      out += ':';
+      out += clause;
+    }
+  }
+  return out;
+}
+
 namespace {
 
 /// Endpoint of a pair: a process id or the '*' wildcard (kNoProcess).

@@ -105,6 +105,16 @@ class LinkModelMatrix {
   /// destination, 'S'/'P'/'A' per source column.
   std::string grid() const;
 
+  /// Canonical spec-grammar text: "sync:all" followed by one clause per
+  /// non-sync class listing its links in (src, dst) order, e.g.
+  /// "sync:all;psync:0->2;async:1->0,3->2". Round-trips exactly through
+  /// parse_link_models, and equal matrices always serialize identically,
+  /// so the adversary archive can store matrices verbatim.
+  std::string spec() const;
+
+  /// Structural equality: same n and the same class on every link.
+  bool operator==(const LinkModelMatrix&) const = default;
+
  private:
   int n_ = 0;
   std::vector<std::uint8_t> cells_;

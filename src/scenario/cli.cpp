@@ -7,10 +7,16 @@
 #include <string>
 #include <vector>
 
+#include <sstream>
+
+#include "adversary/archive.hpp"
+#include "common/check.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "fault/chaos.hpp"
 #include "fault/parser.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/trace_sink.hpp"
 #include "models/link_model_matrix.hpp"
 #include "scenario/overrides.hpp"
 #include "scenario/registry.hpp"
@@ -175,6 +181,14 @@ void print_lab_usage(std::ostream& os) {
         "  validate <file>              strict-parse a results JSONL file\n"
         "                               or a fault-plan file (sniffed by\n"
         "                               the first byte)\n"
+        "  replay <plan> [trace=PATH] [key=value ...]\n"
+        "                               run one fault plan (file or inline\n"
+        "                               spec) and print the verdict;\n"
+        "                               adversary-archive entries replay\n"
+        "                               their recorded evaluation; seed=\n"
+        "                               takes a chaos report's trial seed\n"
+        "                               verbatim; trace= records a JSONL\n"
+        "                               trace for offline re-verification\n"
         "  help                         this text\n\n"
         "overrides:\n"
      << override_help();
@@ -309,6 +323,193 @@ int lab_validate(const std::string& path) {
   return 0;
 }
 
+/// One line describing a finished evaluation, shared by both replay
+/// modes.
+void print_replay_outcome(std::ostream& os, const adversary::Fitness& f,
+                          const fault::FaultPlan& plan, AlgorithmKind kind) {
+  os << "verdict: " << adversary::verdict_string(f) << "\n";
+  if (f.decision_round >= 0) {
+    os << "decided at round " << f.decision_round << " (mean delay "
+       << Table::num(f.delay, 2) << " rounds past gsr " << plan.gsr
+       << ", bound gsr+" << fault::bound_after_gsr(kind) << ")\n";
+  } else if (f.supported) {
+    os << "never decided (mean delay " << Table::num(f.delay, 2)
+       << " rounds past gsr " << plan.gsr << " observed, bound gsr+"
+       << fault::bound_after_gsr(kind) << ")\n";
+  } else {
+    os << "liveness was not owed: the matrix's reliable plane cannot "
+          "carry the algorithm's native model\n";
+  }
+  os << "score: " << Table::num(f.score, 1) << "\n";
+  if (!f.violation.empty()) os << "\n" << f.violation << "\n";
+}
+
+/// Record the replay's trace as a schema-v1 JSONL file (one trial per
+/// evaluation sample) so trace_tool can re-verify the run offline
+/// (validate / summary --json).
+int write_replay_trace(const std::string& path,
+                       const std::vector<TrialTrace>& traces, int n) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "error: cannot open trace file '" << path << "'\n";
+    return 1;
+  }
+  write_trace_header(out, n);
+  std::size_t events = 0;
+  for (const TrialTrace& t : traces) {
+    write_trial(out, t.id, t.events, n);
+    events += t.events.size();
+  }
+  out.flush();
+  if (!out) {
+    std::cerr << "error: short write to '" << path << "'\n";
+    return 1;
+  }
+  std::cerr << "trace: " << traces.size() << " trial(s), " << events
+            << " event(s) -> " << path << "\n";
+  return 0;
+}
+
+/// `timing_lab replay <plan-file-or-inline-spec> [trace=PATH] [key=value]`
+///
+/// Closes the loop on "violations are reported as replayable plan
+/// specs": paste the spec (or an archive entry file) and get the
+/// verdict back. Two modes:
+///  * archive entries (files starting with "# adversary v1") replay
+///    their own recorded evaluation and must reproduce it exactly;
+///  * bare plans run under chaos/single's defaults with overrides
+///    (algorithm=, n=, leader=, iid_p=, seed=, link_models=, ...);
+///    seed= is the trial seed verbatim, so the seed a chaos violation
+///    report quotes replays that exact trial.
+/// Exit: 0 clean (archive mode: reproduced), 1 violation or archive
+/// drift, 2 usage errors.
+int lab_replay(int argc, char** argv) {
+  const std::string value = argv[2];
+
+  // `trace=PATH` is a replay-only key; filter before the shared parser.
+  std::string trace_path;
+  std::vector<char*> rest;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("trace=", 0) == 0) {
+      trace_path = arg.substr(6);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+
+  // Archive mode: the file carries its own evaluation config and the
+  // outcome it must reproduce.
+  std::ifstream file(value);
+  std::string text;
+  if (file) {
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    text = buf.str();
+  }
+  if (adversary::is_archive_text(text)) {
+    if (!rest.empty()) {
+      std::cerr << "error: archive entries replay their recorded "
+                   "configuration; only trace=PATH applies\n";
+      return 2;
+    }
+    adversary::ArchiveEntry entry;
+    const std::string err = adversary::parse_archive_entry(text, entry);
+    if (!err.empty()) {
+      std::cerr << "error: " << value << ": " << err << "\n";
+      return 2;
+    }
+    std::cout << "archive entry: algorithm "
+              << algorithm_key(entry.eval.algorithm) << ", n=" << entry.eval.n
+              << ", leader=" << entry.eval.leader
+              << ", eval_seed=" << entry.eval.eval_seed << "\n"
+              << "recorded: verdict=" << entry.verdict
+              << " delay=" << entry.delay << " decided@"
+              << entry.decision_round << " score="
+              << Table::num(entry.score, 1) << "\n\n";
+    std::vector<TrialTrace> traces;
+    const adversary::Fitness f =
+        adversary::evaluate(entry.candidate, entry.eval, &traces);
+    print_replay_outcome(std::cout, f, entry.candidate.plan,
+                         entry.eval.algorithm);
+    if (!trace_path.empty() &&
+        write_replay_trace(trace_path, traces, entry.eval.n) != 0) {
+      return 1;
+    }
+    const bool match = entry.verdict == adversary::verdict_string(f) &&
+                       entry.delay == f.delay &&
+                       entry.decision_round == f.decision_round &&
+                       entry.score == f.score;
+    if (!match) {
+      std::cerr << "MISMATCH: the replay differs from the recorded "
+                   "outcome (engine behavior changed)\n";
+      return 1;
+    }
+    std::cout << "\nreproduced the recorded outcome exactly.\n";
+    return 0;
+  }
+
+  // Bare-plan mode: chaos/single's defaults, overridable.
+  const Scenario* chaos = find_scenario("chaos/single");
+  TM_CHECK(chaos != nullptr, "chaos/single is always registered");
+  ScenarioSpec spec = chaos->defaults();
+  spec.fault_spec = value;
+  const CliArgs args = apply_cli_args(spec, static_cast<int>(rest.size()),
+                                      rest.data(), 0);
+  if (args.help) {
+    print_lab_usage(std::cout);
+    return 0;
+  }
+  if (!args.error.empty()) {
+    std::cerr << "error: " << args.error << "\n";
+    return 2;
+  }
+  const std::string invalid = validate(spec);
+  if (!invalid.empty()) {
+    std::cerr << "error: " << invalid << "\n";
+    return 2;
+  }
+  const fault::ParseResult pr = fault::load_fault_plan(spec.fault_spec);
+  TM_CHECK(pr.ok(), "validate() admits only parseable plans");
+  if (pr.plan.gsr < 1) {
+    std::cerr << "error: replay needs a plan with a terminal `gsr @R` "
+                 "marker (the liveness bound counts from it)\n";
+    return 2;
+  }
+
+  adversary::Candidate c;
+  c.plan = pr.plan;
+  if (!spec.link_models.empty()) {
+    const std::string lerr =
+        parse_link_models(spec.link_models, spec.n, c.link_models);
+    TM_CHECK(lerr.empty(), "validate() admits only parseable link_models");
+  } else {
+    c.link_models = LinkModelMatrix(spec.n);
+  }
+  adversary::EvalConfig eval;
+  eval.algorithm = spec.algorithm;
+  eval.n = spec.n;
+  eval.leader = spec.leader_policy == LeaderPolicy::kFixed ? spec.leader : 0;
+  eval.pre_gsr_p = spec.iid_p;
+  eval.eval_seed = spec.seed;  // the trial seed verbatim...
+  eval.samples = 1;            // ...for exactly that one trial
+  eval.min_rounds = spec.rounds_per_run;
+
+  std::cout << "replaying under algorithm " << algorithm_key(eval.algorithm)
+            << ", n=" << eval.n << ", leader=" << eval.leader
+            << ", pre_gsr_p=" << Table::num(eval.pre_gsr_p, 2)
+            << ", seed=" << eval.eval_seed << "\n\nplan:\n"
+            << fault::timeline(c.plan) << "\n";
+  std::vector<TrialTrace> traces;
+  const adversary::Fitness f = adversary::evaluate(c, eval, &traces);
+  print_replay_outcome(std::cout, f, c.plan, eval.algorithm);
+  if (!trace_path.empty() &&
+      write_replay_trace(trace_path, traces, eval.n) != 0) {
+    return 1;
+  }
+  return f.safety_violation || f.liveness_violation ? 1 : 0;
+}
+
 }  // namespace
 
 int bench_main(const char* name, int argc, char** argv) {
@@ -352,6 +553,13 @@ int lab_main(int argc, char** argv) {
     return lab_describe(argc, argv);
   }
   if (cmd == "run") return lab_run(argc, argv);
+  if (cmd == "replay") {
+    if (argc < 3) {
+      std::cerr << "error: replay needs a plan file or inline spec\n";
+      return 2;
+    }
+    return lab_replay(argc, argv);
+  }
   if (cmd == "validate") {
     if (argc < 3) {
       std::cerr << "error: validate needs a results.jsonl path\n";

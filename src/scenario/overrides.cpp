@@ -144,6 +144,18 @@ std::string apply_override(ScenarioSpec& spec, const std::string& key,
     if (!parse_double(value, spec.psync_frac)) return "expected a number";
     return "";
   }
+  if (key == "budget") {
+    if (!parse_int(value, spec.budget)) return "expected an integer";
+    return "";
+  }
+  if (key == "baseline") {
+    if (!parse_int(value, spec.baseline)) return "expected an integer";
+    return "";
+  }
+  if (key == "archive") {
+    spec.archive = value;  // existence checked by the scenario runner
+    return "";
+  }
   if (key == "profile") {
     // Switch latency testbed wholesale: sampler, group size and a
     // profile-appropriate round timeout (override timeouts_ms AFTER
@@ -254,7 +266,15 @@ std::string override_help() {
       "                      still seals partial batches)\n"
       "  profile=lan|wan     latency testbed for smr/throughput (sets\n"
       "                      sampler, n and a matching round timeout;\n"
-      "                      put timeouts_ms= after it to re-pick)\n";
+      "                      put timeouts_ms= after it to re-pick)\n"
+      "  budget=N            chaos evaluations for the adversary hunt\n"
+      "                      (adversary/search; rounds up to whole\n"
+      "                      generations)\n"
+      "  baseline=N          uniform random plans the hunt must beat\n"
+      "                      (adversary/search; 0 skips the gate)\n"
+      "  archive=DIR         adversary archive directory: search writes\n"
+      "                      minimized winners, chaos/regression replays\n"
+      "                      every *.plan in it\n";
 }
 
 int runs_or_default(int paper_default) {

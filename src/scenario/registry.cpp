@@ -149,6 +149,28 @@ ScenarioSpec chaos_defaults() {
   return s;
 }
 
+ScenarioSpec adversary_search_defaults() {
+  ScenarioSpec s;
+  s.sampler = SamplerKind::kSchedule;
+  s.n = 5;
+  s.iid_p = 0.4;  // pre-gsr per-link timeliness under the faults
+  s.runs = 5;     // chaos executions averaged per candidate evaluation
+  s.rounds_per_run = 80;  // floor for the per-evaluation round cap
+  s.seed = 0xad5e7;
+  s.leader_policy = LeaderPolicy::kFixed;
+  s.leader = 0;
+  s.algorithm = AlgorithmKind::kPaxos;  // no constant bound: most headroom
+  s.budget = 2000;
+  s.baseline = 2000;
+  return s;
+}
+
+ScenarioSpec chaos_regression_defaults() {
+  ScenarioSpec s = adversary_search_defaults();
+  s.archive = "tests/golden/adversary";
+  return s;
+}
+
 ScenarioSpec smr_linearizable_defaults() {
   ScenarioSpec s;
   s.sampler = SamplerKind::kSchedule;
@@ -250,6 +272,14 @@ const std::vector<Scenario> kRegistry = {
      "Client op histories against the SMR layer checked for "
      "linearizability under fault injection",
      smr_linearizable_defaults, run_smr_linearizable},
+    {"adversary/search", "adversary_search", "adversary",
+     "Fitness-guided hunt for worst-case fault schedules (algorithm=KEY, "
+     "budget=N evaluations, baseline=N uniform plans to beat)",
+     adversary_search_defaults, run_adversary_search},
+    {"chaos/regression", "chaos_regression", "adversary",
+     "Replay the archived minimized adversary plans (archive=DIR) and "
+     "hold each to its recorded verdict and fitness",
+     chaos_regression_defaults, run_chaos_regression},
     {"smr/throughput", "smr_throughput", "smr",
      "Pipelined, batched replicated-log load: ops/sec and commit-latency "
      "quantiles vs the serialized baseline",

@@ -36,5 +36,7 @@ int run_chaos_consensus(const ScenarioSpec& spec, const RunContext& ctx);
 int run_chaos_single(const ScenarioSpec& spec, const RunContext& ctx);
 int run_smr_linearizable(const ScenarioSpec& spec, const RunContext& ctx);
 int run_smr_throughput(const ScenarioSpec& spec, const RunContext& ctx);
+int run_adversary_search(const ScenarioSpec& spec, const RunContext& ctx);
+int run_chaos_regression(const ScenarioSpec& spec, const RunContext& ctx);
 
 }  // namespace timing::scenario

@@ -84,6 +84,8 @@ std::string validate(const ScenarioSpec& spec) {
   if (spec.psync_frac < 0.0 || spec.psync_frac > 1.0) {
     return "psync_frac must be in [0, 1]";
   }
+  if (spec.budget < 1) return "budget must be >= 1";
+  if (spec.baseline < 0) return "baseline must be >= 0";
   if (!spec.fault_spec.empty()) {
     const fault::ParseResult pr = fault::load_fault_plan(spec.fault_spec);
     if (!pr.ok()) return "bad fault plan: " + pr.error;

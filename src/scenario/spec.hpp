@@ -108,6 +108,17 @@ struct ScenarioSpec {
   /// Fraction of the remaining (non-async) links made partial-sync in the
   /// mixed matrices of the granular/ablation sweep.
   double psync_frac = 0.0;
+  /// Chaos-evaluation budget for the adversary hunt (`budget=` override,
+  /// adversary/search only). The search runs whole generations, so the
+  /// spent count rounds up to a multiple of its walker count.
+  int budget = 2000;
+  /// Uniform random_fault_plan samples the hunt must beat
+  /// (adversary/search). 0 disables the comparison gate.
+  int baseline = 0;
+  /// Archive directory (`archive=` override): adversary/search writes
+  /// minimized winners there; chaos/regression replays every *.plan in
+  /// it. Empty keeps the hunt's winners in the report only.
+  std::string archive;
 };
 
 /// Empty string when the spec is coherent; otherwise a one-line reason

@@ -1,14 +1,19 @@
-# Golden-output test driver: run BINARY with a clean environment (no
-# TIMING_RUNS / TIMING_THREADS, which legitimately change the sweep) and
-# require its stdout to be byte-identical to the GOLDEN fixture. Pins the
-# migrated figure binaries to the pre-registry output.
+# Golden-output test driver: run BINARY (with optional ARGS, a
+# semicolon-separated list) in a clean environment (no TIMING_RUNS /
+# TIMING_THREADS, which legitimately change the sweep) and require its
+# stdout to be byte-identical to the GOLDEN fixture. Pins the migrated
+# figure binaries — and machine-readable CLI output like
+# `trace_tool summary --json` — to the committed bytes.
 if(NOT DEFINED BINARY OR NOT DEFINED GOLDEN)
-  message(FATAL_ERROR "usage: cmake -DBINARY=... -DGOLDEN=... -P run_and_compare.cmake")
+  message(FATAL_ERROR "usage: cmake -DBINARY=... [-DARGS=a;b;c] -DGOLDEN=... -P run_and_compare.cmake")
+endif()
+if(NOT DEFINED ARGS)
+  set(ARGS "")
 endif()
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E env --unset=TIMING_RUNS --unset=TIMING_THREADS
-          ${BINARY}
+          ${BINARY} ${ARGS}
   OUTPUT_VARIABLE actual
   RESULT_VARIABLE rc)
 if(NOT rc EQUAL 0)

@@ -346,6 +346,7 @@ TEST(RegistryTest, HasAllScenariosWithUniqueNames) {
       "ablation/simulation_cost", "ablation/group_size",
       "ablation/smr_cost", "granular/fig1", "granular/ablation",
       "chaos/consensus", "chaos/single",
+      "adversary/search", "chaos/regression",
       "smr/linearizable", "smr/throughput"};
   EXPECT_EQ(names, expected);
 }

@@ -48,7 +48,7 @@ constexpr std::array<int, kTraceNumModels> kDefaultNeeded{3, 3, 4, 5};
 int usage() {
   std::fprintf(stderr,
                "usage: trace_tool summary  <trace.jsonl> [--needed a,b,c,d] "
-               "[--per-trial]\n"
+               "[--per-trial] [--json]\n"
                "       trace_tool links    <trace.jsonl> [--trial K] [--top N]\n"
                "       trace_tool leader   <trace.jsonl> [--trial K]\n"
                "       trace_tool validate <trace.jsonl>\n"
@@ -93,6 +93,103 @@ void print_trial_summary(const TrialSummary& t,
                   t.class_incidence(c));
     }
   }
+}
+
+/// Machine-readable mirror of cmd_summary: one JSON object on stdout.
+/// Keys are stable (tests pin the exact bytes); doubles print with six
+/// decimals so the output is platform-independent.
+int cmd_summary_json(const ParsedTrace& trace,
+                     const std::array<int, kTraceNumModels>& needed,
+                     bool per_trial) {
+  const TraceSummary s = summarize_trace(trace, needed);
+  std::printf("{\n");
+  std::printf("  \"schema\": %d,\n", kTraceSchemaVersion);
+  std::printf("  \"n\": %d,\n", s.n);
+  std::printf("  \"trials\": %zu,\n", s.trials.size());
+  std::printf("  \"models\": [\n");
+  for (int m = 0; m < kTraceNumModels; ++m) {
+    const auto mi = static_cast<std::size_t>(m);
+    int completed = 0;
+    const double fw = s.mean_first_window(m, &completed);
+    std::printf("    {\"model\": \"%s\", \"needed\": %d, "
+                "\"mean_p\": %.6f, \"mean_first_window\": %.2f, "
+                "\"completed\": %d}%s\n",
+                kTraceModelNames[mi], needed[mi], s.mean_incidence(m),
+                completed > 0 ? fw : -1.0, completed,
+                m + 1 < kTraceNumModels ? "," : "");
+  }
+  std::printf("  ],\n");
+  long long granular = 0;
+  std::array<long long, kTraceNumLinkClasses> class_sat{};
+  LinkCounts fates;
+  long long faults = 0;
+  long long ops = 0;
+  long long decides = 0;
+  long long crashes = 0;
+  for (const TrialSummary& t : s.trials) {
+    granular += t.granular_rounds;
+    for (int c = 0; c < kTraceNumLinkClasses; ++c) {
+      class_sat[static_cast<std::size_t>(c)] +=
+          t.class_sat_rounds[static_cast<std::size_t>(c)];
+    }
+    fates.timely += t.totals.timely;
+    fates.late += t.totals.late;
+    fates.lost += t.totals.lost;
+    faults += t.fault_events;
+    ops += t.op_events;
+    decides += static_cast<long long>(t.decides.size());
+    crashes += static_cast<long long>(t.crashes.size());
+  }
+  if (granular > 0) {
+    std::printf("  \"granular\": {\"rounds\": %lld, \"classes\": [\n",
+                granular);
+    for (int c = 0; c < kTraceNumLinkClasses; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      std::printf("    {\"class\": \"%s\", \"sat_rounds\": %lld, "
+                  "\"conforming\": %.6f}%s\n",
+                  kTraceLinkClassNames[ci], class_sat[ci],
+                  static_cast<double>(class_sat[ci]) /
+                      static_cast<double>(granular),
+                  c + 1 < kTraceNumLinkClasses ? "," : "");
+    }
+    std::printf("  ]},\n");
+  } else {
+    std::printf("  \"granular\": null,\n");
+  }
+  std::printf("  \"fates\": {\"timely\": %lld, \"late\": %lld, "
+              "\"lost\": %lld},\n",
+              fates.timely, fates.late, fates.lost);
+  std::printf("  \"fault_events\": %lld,\n", faults);
+  std::printf("  \"op_events\": %lld,\n", ops);
+  std::printf("  \"decide_events\": %lld,\n", decides);
+  std::printf("  \"crash_events\": %lld%s\n", crashes,
+              per_trial ? "," : "");
+  if (per_trial) {
+    std::printf("  \"per_trial\": [\n");
+    for (std::size_t i = 0; i < s.trials.size(); ++i) {
+      const TrialSummary& t = s.trials[i];
+      std::printf("    {\"trial\": %d, \"rounds\": %lld, "
+                  "\"pred_rounds\": %lld, \"decision_round\": %lld, "
+                  "\"fault_events\": %lld, \"decides\": %zu, "
+                  "\"crashes\": %zu, \"models\": [",
+                  t.trial_id, static_cast<long long>(t.rounds),
+                  t.pred_rounds,
+                  static_cast<long long>(t.global_decision_round),
+                  t.fault_events, t.decides.size(), t.crashes.size());
+      for (int m = 0; m < kTraceNumModels; ++m) {
+        const auto mi = static_cast<std::size_t>(m);
+        std::printf("{\"model\": \"%s\", \"p\": %.6f, "
+                    "\"first_window\": %lld}%s",
+                    kTraceModelNames[mi], t.incidence(m),
+                    static_cast<long long>(t.first_window[mi]),
+                    m + 1 < kTraceNumModels ? ", " : "");
+      }
+      std::printf("]}%s\n", i + 1 < s.trials.size() ? "," : "");
+    }
+    std::printf("  ]\n");
+  }
+  std::printf("}\n");
+  return 0;
 }
 
 int cmd_summary(const ParsedTrace& trace,
@@ -393,12 +490,15 @@ int main(int argc, char** argv) {
 
     std::array<int, kTraceNumModels> needed = kDefaultNeeded;
     bool per_trial = false;
+    bool json = false;
     bool csv = false;
     int trial = -1;
     int top = 0;
     for (int i = 3; i < argc; ++i) {
       if (std::strcmp(argv[i], "--per-trial") == 0) {
         per_trial = true;
+      } else if (std::strcmp(argv[i], "--json") == 0) {
+        json = true;
       } else if (std::strcmp(argv[i], "--csv") == 0) {
         csv = true;
       } else if (std::strcmp(argv[i], "--needed") == 0 && i + 1 < argc) {
@@ -428,7 +528,10 @@ int main(int argc, char** argv) {
       return usage();
     }
     const ParsedTrace trace = parse_trace_file(argv[2]);
-    if (cmd == "summary") return cmd_summary(trace, needed, per_trial);
+    if (cmd == "summary") {
+      return json ? cmd_summary_json(trace, needed, per_trial)
+                  : cmd_summary(trace, needed, per_trial);
+    }
     if (cmd == "links") return cmd_links(trace, trial, top);
     if (cmd == "leader") return cmd_leader(trace, trial);
     if (cmd == "check") return cmd_check(trace, trial);
